@@ -1,0 +1,117 @@
+//===- bench_scaling.cpp - Lemma 6.7: complexity in the lean size ----------===//
+//
+// The satisfiability algorithm is 2^O(|Lean(ψ)|) in the worst case
+// (Lemma 6.7), but the implicit BDD representation keeps typical growth
+// far tamer (§7). This harness sweeps families of growing problems and
+// reports time against the lean size:
+//
+//   * chain(k): containment of two child-chains of length k (UNSAT runs,
+//     full fixpoint);
+//   * star(k): emptiness of a//x1//x2//...//xk (SAT runs, early exit);
+//   * qualifier(k): nested qualifiers a[b[c[...]]] containment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Lean.h"
+#include "solver/BddSolver.h"
+#include "xpath/Compile.h"
+#include "xpath/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace xsa;
+
+namespace {
+
+ExprRef xp(const std::string &Src) {
+  std::string Error;
+  ExprRef E = parseXPath(Src, Error);
+  if (!E) {
+    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+    std::exit(1);
+  }
+  return E;
+}
+
+std::string chainQuery(int K, const char *Step) {
+  std::string Q = "a0";
+  for (int I = 1; I <= K; ++I)
+    Q += std::string(Step) + "a" + std::to_string(I);
+  return Q;
+}
+
+/// Containment of a k-chain in itself with the last label changed: UNSAT
+/// one way (runs the fixpoint to exhaustion) — the worst case shape.
+void BM_ChainContainment(benchmark::State &State) {
+  int K = static_cast<int>(State.range(0));
+  size_t LeanSize = 0;
+  for (auto _ : State) {
+    FormulaFactory FF;
+    Formula F1 = compileXPath(FF, xp(chainQuery(K, "/")), FF.trueF());
+    Formula F2 = compileXPath(FF, xp(chainQuery(K, "/")), FF.trueF());
+    BddSolver Solver(FF);
+    SolverResult R = Solver.solve(FF.conj(F1, FF.negate(F2)));
+    if (R.Satisfiable)
+      State.SkipWithError("chain ⊆ itself must hold");
+    LeanSize = R.Stats.LeanSize;
+  }
+  State.counters["lean"] = static_cast<double>(LeanSize);
+}
+BENCHMARK(BM_ChainContainment)
+    ->DenseRange(1, 13, 2)
+    ->Unit(benchmark::kMillisecond);
+
+/// Emptiness of a growing descendant query: satisfiable, so the run
+/// stops at the first satisfying iteration (early termination, §6.2).
+void BM_DescendantChainSat(benchmark::State &State) {
+  int K = static_cast<int>(State.range(0));
+  size_t LeanSize = 0, Iterations = 0;
+  for (auto _ : State) {
+    FormulaFactory FF;
+    Formula F = compileXPath(FF, xp(chainQuery(K, "//")), FF.trueF());
+    BddSolver Solver(FF);
+    SolverResult R = Solver.solve(F);
+    if (!R.Satisfiable)
+      State.SkipWithError("descendant chain must be satisfiable");
+    LeanSize = R.Stats.LeanSize;
+    Iterations = R.Stats.Iterations;
+  }
+  State.counters["lean"] = static_cast<double>(LeanSize);
+  State.counters["iters"] = static_cast<double>(Iterations);
+}
+BENCHMARK(BM_DescendantChainSat)
+    ->DenseRange(1, 13, 2)
+    ->Unit(benchmark::kMillisecond);
+
+std::string nestedQualifier(int K) {
+  std::string Q = "a" + std::to_string(K);
+  for (int I = K - 1; I >= 0; --I)
+    Q = "a" + std::to_string(I) + "[" + Q + "]";
+  return Q;
+}
+
+void BM_NestedQualifierContainment(benchmark::State &State) {
+  int K = static_cast<int>(State.range(0));
+  size_t LeanSize = 0;
+  for (auto _ : State) {
+    FormulaFactory FF;
+    Formula F1 = compileXPath(FF, xp(nestedQualifier(K)), FF.trueF());
+    Formula F2 = compileXPath(FF, xp("a0"), FF.trueF());
+    BddSolver Solver(FF);
+    SolverResult R = Solver.solve(FF.conj(F1, FF.negate(F2)));
+    if (R.Satisfiable)
+      State.SkipWithError("a0[...] ⊆ a0 must hold");
+    LeanSize = R.Stats.LeanSize;
+  }
+  State.counters["lean"] = static_cast<double>(LeanSize);
+}
+BENCHMARK(BM_NestedQualifierContainment)
+    ->DenseRange(1, 9, 2)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

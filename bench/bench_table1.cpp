@@ -1,0 +1,74 @@
+//===- bench_table1.cpp - Table 1: types used in experiments ---------------===//
+//
+// Regenerates Table 1 of the paper:
+//
+//   DTD                 Symbols   Binary Type Variables
+//   SMIL 1.0            19        11
+//   XHTML 1.0 Strict    77        325
+//
+// We print both the raw construction (one variable per Glushkov state of
+// each distinct content model — the paper-scale count) and the minimized
+// grammar our binarizer produces (an extension; see DESIGN.md), plus the
+// Wikipedia DTD of Fig. 12/13 (9 symbols, 9 variables).
+//
+//===----------------------------------------------------------------------===//
+
+#include "xtype/Binarize.h"
+#include "xtype/BuiltinDtds.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace xsa;
+
+namespace {
+
+void printTable1() {
+  std::printf("=== Table 1: Types used in experiments ===\n");
+  std::printf("%-20s %8s %14s %14s   (paper)\n", "DTD", "Symbols",
+              "BinVars(raw)", "BinVars(min)");
+  struct Row {
+    const char *Name;
+    const Dtd &D;
+    const char *Paper;
+  } Rows[] = {
+      {"SMIL 1.0", smil10Dtd(), "19 / 11"},
+      {"XHTML 1.0 Strict", xhtml10StrictDtd(), "77 / 325"},
+      {"Wikipedia (Fig 12)", wikipediaDtd(), "9 / 9"},
+  };
+  for (const Row &R : Rows) {
+    BinaryTypeGrammar Raw = binarize(R.D, /*Minimize=*/false);
+    BinaryTypeGrammar Min = binarize(R.D, /*Minimize=*/true);
+    std::printf("%-20s %8zu %14zu %14zu   %s\n", R.Name, R.D.numSymbols(),
+                Raw.numVars(), Min.numVars(), R.Paper);
+  }
+  std::printf("\n");
+}
+
+void BM_BinarizeSmil(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(binarize(smil10Dtd()));
+}
+BENCHMARK(BM_BinarizeSmil)->Unit(benchmark::kMillisecond);
+
+void BM_BinarizeXhtml(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(binarize(xhtml10StrictDtd()));
+}
+BENCHMARK(BM_BinarizeXhtml)->Unit(benchmark::kMillisecond);
+
+void BM_BinarizeXhtmlRaw(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(binarize(xhtml10StrictDtd(), false));
+}
+BENCHMARK(BM_BinarizeXhtmlRaw)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

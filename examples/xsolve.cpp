@@ -1,0 +1,195 @@
+//===- xsolve.cpp - Command-line front end to the solver -------------------===//
+//
+// A small CLI in the spirit of the system the paper describes (§7-§8):
+//
+//   xsolve sat '<formula>'                 Lµ satisfiability + model
+//   xsolve empty '<xpath>' [dtd-file]      XPath emptiness
+//   xsolve contains '<e1>' '<e2>' [dtd]    XPath containment
+//   xsolve overlap '<e1>' '<e2>' [dtd]     XPath overlap
+//   xsolve compile '<xpath>'               print the Lµ translation
+//   xsolve validate <xml-file> <dtd-file>  DTD validation
+//
+// DTD arguments may be a file path or one of the builtin names
+// `wikipedia`, `smil`, `xhtml`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Problems.h"
+#include "logic/CycleFree.h"
+#include "logic/Parser.h"
+#include "tree/Xml.h"
+#include "xpath/Compile.h"
+#include "xpath/Parser.h"
+#include "xtype/BuiltinDtds.h"
+#include "xtype/Compile.h"
+#include "xtype/Validate.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace xsa;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  xsolve sat '<formula>'\n"
+      "  xsolve compile '<xpath>'\n"
+      "  xsolve empty '<xpath>' [dtd]\n"
+      "  xsolve contains '<e1>' '<e2>' [dtd]\n"
+      "  xsolve overlap '<e1>' '<e2>' [dtd]\n"
+      "  xsolve validate <xml-file> <dtd>\n"
+      "where [dtd] is a file path or one of: wikipedia, smil, xhtml\n");
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+const Dtd *loadDtd(const std::string &Arg, Dtd &Storage) {
+  if (Arg == "wikipedia")
+    return &wikipediaDtd();
+  if (Arg == "smil")
+    return &smil10Dtd();
+  if (Arg == "xhtml")
+    return &xhtml10StrictDtd();
+  std::string Text, Error;
+  if (!readFile(Arg, Text)) {
+    std::fprintf(stderr, "error: cannot read DTD %s\n", Arg.c_str());
+    return nullptr;
+  }
+  if (!parseDtd(Text, Storage, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return nullptr;
+  }
+  return &Storage;
+}
+
+ExprRef parseQuery(const char *Src) {
+  std::string Error;
+  ExprRef E = parseXPath(Src, Error);
+  if (!E)
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+  return E;
+}
+
+void report(const AnalysisResult &R, const char *YesMsg, const char *NoMsg) {
+  std::printf("%s  (lean=%zu, %zu iterations, %.1f ms)\n",
+              R.Holds ? YesMsg : NoMsg, R.Stats.LeanSize, R.Stats.Iterations,
+              R.Stats.TimeMs);
+  if (R.Tree) {
+    std::printf("%s", printXml(*R.Tree, R.Target).c_str());
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3)
+    return usage();
+  std::string Cmd = argv[1];
+  FormulaFactory FF;
+
+  if (Cmd == "sat") {
+    std::string Error;
+    Formula F = parseFormula(FF, argv[2], Error);
+    if (!F) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    if (!isCycleFree(F)) {
+      std::fprintf(stderr, "error: formula is not cycle free\n");
+      return 1;
+    }
+    BddSolver Solver(FF);
+    SolverResult R = Solver.solve(F);
+    std::printf("%s  (lean=%zu, %zu iterations, %.1f ms)\n",
+                R.Satisfiable ? "satisfiable" : "unsatisfiable",
+                R.Stats.LeanSize, R.Stats.Iterations, R.Stats.TimeMs);
+    if (R.Model)
+      std::printf("%s", printXml(*R.Model).c_str());
+    return R.Satisfiable ? 0 : 1;
+  }
+
+  if (Cmd == "compile") {
+    ExprRef E = parseQuery(argv[2]);
+    if (!E)
+      return 1;
+    Formula F = compileXPath(FF, E, FF.trueF());
+    std::printf("%s\n(size %u, cycle-free: %s)\n", FF.toString(F).c_str(),
+                F->size(), isCycleFree(F) ? "yes" : "no");
+    return 0;
+  }
+
+  if (Cmd == "validate") {
+    if (argc < 4)
+      return usage();
+    std::string Xml;
+    if (!readFile(argv[2], Xml)) {
+      std::fprintf(stderr, "error: cannot read %s\n", argv[2]);
+      return 1;
+    }
+    Document Doc;
+    std::string Error;
+    if (!parseXml(Xml, Doc, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    Dtd Storage;
+    const Dtd *D = loadDtd(argv[3], Storage);
+    if (!D)
+      return 1;
+    std::string Why;
+    if (validate(Doc, *D, &Why)) {
+      std::printf("valid\n");
+      return 0;
+    }
+    std::printf("invalid: %s\n", Why.c_str());
+    return 1;
+  }
+
+  // The remaining commands take queries and an optional DTD.
+  Analyzer An(FF);
+  Formula Chi = FF.trueF();
+  Dtd Storage;
+  int DtdArg = Cmd == "empty" ? 3 : 4;
+  if (argc > DtdArg) {
+    const Dtd *D = loadDtd(argv[DtdArg], Storage);
+    if (!D)
+      return 1;
+    Chi = FF.conj(compileDtd(FF, *D), rootFormula(FF));
+  }
+
+  if (Cmd == "empty") {
+    ExprRef E = parseQuery(argv[2]);
+    if (!E)
+      return 1;
+    report(An.emptiness(E, Chi), "always empty", "satisfiable");
+    return 0;
+  }
+  if (Cmd == "contains" || Cmd == "overlap") {
+    if (argc < 4)
+      return usage();
+    ExprRef E1 = parseQuery(argv[2]);
+    ExprRef E2 = parseQuery(argv[3]);
+    if (!E1 || !E2)
+      return 1;
+    if (Cmd == "contains")
+      report(An.containment(E1, Chi, E2, Chi), "contained", "NOT contained");
+    else
+      report(An.overlap(E1, Chi, E2, Chi), "overlapping", "disjoint");
+    return 0;
+  }
+  return usage();
+}

@@ -1,0 +1,666 @@
+//===- Bdd.cpp - BDD package implementation -------------------------------===//
+
+#include "bdd/Bdd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace xsa;
+
+//===----------------------------------------------------------------------===//
+// Bdd handle
+//===----------------------------------------------------------------------===//
+
+Bdd::Bdd(BddManager *Mgr, uint32_t Node, bool AlreadyReferenced)
+    : Mgr(Mgr), Node(Node) {
+  if (Mgr && !AlreadyReferenced)
+    Mgr->ref(Node);
+}
+
+Bdd::Bdd(const Bdd &O) : Mgr(O.Mgr), Node(O.Node) {
+  if (Mgr)
+    Mgr->ref(Node);
+}
+
+Bdd::Bdd(Bdd &&O) noexcept : Mgr(O.Mgr), Node(O.Node) { O.Mgr = nullptr; }
+
+Bdd &Bdd::operator=(const Bdd &O) {
+  if (this == &O)
+    return *this;
+  if (O.Mgr)
+    O.Mgr->ref(O.Node);
+  if (Mgr)
+    Mgr->deref(Node);
+  Mgr = O.Mgr;
+  Node = O.Node;
+  return *this;
+}
+
+Bdd &Bdd::operator=(Bdd &&O) noexcept {
+  if (this == &O)
+    return *this;
+  if (Mgr)
+    Mgr->deref(Node);
+  Mgr = O.Mgr;
+  Node = O.Node;
+  O.Mgr = nullptr;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (Mgr)
+    Mgr->deref(Node);
+}
+
+bool Bdd::isOne() const { return Mgr && Node == 1; }
+bool Bdd::isZero() const { return Mgr && Node == 0; }
+
+Bdd Bdd::operator&(const Bdd &O) const {
+  assert(Mgr && Mgr == O.Mgr && "operands from different managers");
+  Mgr->maybeGc();
+  return Bdd(Mgr, Mgr->applyRec(BddManager::Op::And, Node, O.Node), false);
+}
+
+Bdd Bdd::operator|(const Bdd &O) const {
+  assert(Mgr && Mgr == O.Mgr && "operands from different managers");
+  Mgr->maybeGc();
+  return Bdd(Mgr, Mgr->applyRec(BddManager::Op::Or, Node, O.Node), false);
+}
+
+Bdd Bdd::operator^(const Bdd &O) const {
+  assert(Mgr && Mgr == O.Mgr && "operands from different managers");
+  Mgr->maybeGc();
+  return Bdd(Mgr, Mgr->applyRec(BddManager::Op::Xor, Node, O.Node), false);
+}
+
+Bdd Bdd::operator!() const {
+  assert(Mgr && "invalid handle");
+  Mgr->maybeGc();
+  return Bdd(Mgr, Mgr->notRec(Node), false);
+}
+
+Bdd Bdd::implies(const Bdd &O) const { return (!*this) | O; }
+
+Bdd Bdd::iff(const Bdd &O) const { return !(*this ^ O); }
+
+size_t Bdd::nodeCount() const {
+  if (!Mgr)
+    return 0;
+  std::unordered_set<uint32_t> Seen;
+  std::vector<uint32_t> Stack{Node};
+  size_t Internal = 0;
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(N).second || N <= 1)
+      continue;
+    ++Internal;
+    Stack.push_back(Mgr->Nodes[N].Low);
+    Stack.push_back(Mgr->Nodes[N].High);
+  }
+  return Internal + 1; // all terminals count as one
+}
+
+//===----------------------------------------------------------------------===//
+// BddManager: node store and unique table
+//===----------------------------------------------------------------------===//
+
+static constexpr uint32_t InvalidNode = ~0u;
+static constexpr size_t CacheSize = 1u << 18; // direct-mapped entries
+
+BddManager::BddManager(unsigned InitialVars) {
+  Nodes.reserve(1 << 14);
+  // Terminal nodes 0 (false) and 1 (true); permanently referenced.
+  Nodes.push_back({TerminalVar, 0, 0, InvalidNode, 1, false});
+  Nodes.push_back({TerminalVar, 1, 1, InvalidNode, 1, false});
+  NodeCount = 2;
+  PeakNodeCount = 2;
+  GcThreshold = 1u << 20;
+  UniqueTable.assign(1u << 14, InvalidNode);
+  OpCache.resize(CacheSize);
+  ensureVars(InitialVars);
+}
+
+BddManager::~BddManager() = default;
+
+static inline size_t hash3(uint32_t A, uint32_t B, uint32_t C) {
+  uint64_t H = (uint64_t(A) * 0x9e3779b97f4a7c15ull) ^
+               (uint64_t(B) * 0xc2b2ae3d27d4eb4full) ^
+               (uint64_t(C) * 0x165667b19e3779f9ull);
+  H ^= H >> 29;
+  return static_cast<size_t>(H);
+}
+
+uint32_t BddManager::allocNode() {
+  if (FreeList != InvalidNode) {
+    uint32_t N = FreeList;
+    FreeList = Nodes[N].Next;
+    return N;
+  }
+  Nodes.push_back({});
+  return static_cast<uint32_t>(Nodes.size() - 1);
+}
+
+void BddManager::growUniqueTable() {
+  size_t NewSize = UniqueTable.size() * 2;
+  UniqueTable.assign(NewSize, InvalidNode);
+  for (uint32_t N = 2; N < Nodes.size(); ++N) {
+    Node &Nd = Nodes[N];
+    if (Nd.Var == TerminalVar) // terminal or free slot
+      continue;
+    size_t Bucket = hash3(Nd.Var, Nd.Low, Nd.High) & (NewSize - 1);
+    Nd.Next = UniqueTable[Bucket];
+    UniqueTable[Bucket] = N;
+  }
+}
+
+uint32_t BddManager::mk(uint32_t Var, uint32_t Low, uint32_t High) {
+  if (Low == High)
+    return Low;
+  assert(Nodes[Low].Var == TerminalVar || Nodes[Low].Var > Var);
+  assert(Nodes[High].Var == TerminalVar || Nodes[High].Var > Var);
+  size_t Mask = UniqueTable.size() - 1;
+  size_t Bucket = hash3(Var, Low, High) & Mask;
+  for (uint32_t N = UniqueTable[Bucket]; N != InvalidNode; N = Nodes[N].Next) {
+    const Node &Nd = Nodes[N];
+    if (Nd.Var == Var && Nd.Low == Low && Nd.High == High)
+      return N;
+  }
+  uint32_t N = allocNode();
+  Nodes[N] = {Var, Low, High, UniqueTable[Bucket], 0, false};
+  UniqueTable[Bucket] = N;
+  ++NodeCount;
+  PeakNodeCount = std::max(PeakNodeCount, NodeCount);
+  if (NodeCount > UniqueTable.size() * 3 / 4) {
+    growUniqueTable();
+  }
+  return N;
+}
+
+void BddManager::ref(uint32_t N) { ++Nodes[N].Refs; }
+
+void BddManager::deref(uint32_t N) {
+  assert(Nodes[N].Refs > 0 && "over-deref of BDD node");
+  --Nodes[N].Refs;
+}
+
+void BddManager::ensureVars(unsigned NewNumVars) {
+  while (NumVars < NewNumVars) {
+    VarNodes.push_back(mk(NumVars, ZeroNode, OneNode));
+    ++NumVars;
+  }
+}
+
+uint32_t BddManager::var2Node(unsigned Var) {
+  ensureVars(Var + 1);
+  return VarNodes[Var];
+}
+
+Bdd BddManager::one() { return wrap(OneNode); }
+Bdd BddManager::zero() { return wrap(ZeroNode); }
+Bdd BddManager::var(unsigned Var) { return wrap(var2Node(Var)); }
+Bdd BddManager::nvar(unsigned Var) {
+  unsigned V = var2Node(Var);
+  return wrap(notRec(V));
+}
+
+//===----------------------------------------------------------------------===//
+// Garbage collection
+//===----------------------------------------------------------------------===//
+
+void BddManager::markRecursive(uint32_t N) {
+  while (N > 1 && !Nodes[N].Mark) {
+    Nodes[N].Mark = true;
+    markRecursive(Nodes[N].Low);
+    N = Nodes[N].High;
+  }
+}
+
+void BddManager::gc() {
+  ++GcRuns;
+  // Mark phase: externally referenced nodes and the variable nodes are roots.
+  for (uint32_t N = 2; N < Nodes.size(); ++N)
+    if (Nodes[N].Var != TerminalVar && Nodes[N].Refs > 0)
+      markRecursive(N);
+  for (uint32_t V : VarNodes)
+    markRecursive(V);
+  // Sweep phase: rebuild the unique table with the surviving nodes only.
+  std::fill(UniqueTable.begin(), UniqueTable.end(), InvalidNode);
+  FreeList = InvalidNode;
+  size_t Mask = UniqueTable.size() - 1;
+  NodeCount = 2;
+  for (uint32_t N = 2; N < Nodes.size(); ++N) {
+    Node &Nd = Nodes[N];
+    if (Nd.Var == TerminalVar)
+      continue; // already free
+    if (!Nd.Mark) {
+      Nd.Var = TerminalVar;
+      Nd.Next = FreeList;
+      FreeList = N;
+      continue;
+    }
+    Nd.Mark = false;
+    size_t Bucket = hash3(Nd.Var, Nd.Low, Nd.High) & Mask;
+    Nd.Next = UniqueTable[Bucket];
+    UniqueTable[Bucket] = N;
+    ++NodeCount;
+  }
+  clearCaches();
+}
+
+void BddManager::maybeGc() {
+  if (!GcEnabled || NodeCount <= GcThreshold)
+    return;
+  gc();
+  // If most nodes survived, grow the threshold so we do not thrash.
+  if (NodeCount > GcThreshold * 4 / 5)
+    GcThreshold *= 2;
+}
+
+//===----------------------------------------------------------------------===//
+// Operation cache
+//===----------------------------------------------------------------------===//
+
+BddManager::CacheEntry &BddManager::cacheSlot(uint8_t OpTag, uint32_t A,
+                                              uint32_t B, uint32_t C) {
+  uint64_t H = hash3(A, B, C) * 0x2545f4914f6cdd1dull + OpTag;
+  return OpCache[H & (CacheSize - 1)];
+}
+
+void BddManager::clearCaches() {
+  std::fill(OpCache.begin(), OpCache.end(), CacheEntry{});
+}
+
+namespace {
+constexpr uint8_t TagNot = 200;
+constexpr uint8_t TagIte = 201;
+constexpr uint8_t TagExists = 202;
+constexpr uint8_t TagForall = 203;
+constexpr uint8_t TagAndExists = 204;
+constexpr uint8_t TagCofactor0 = 205;
+constexpr uint8_t TagCofactor1 = 206;
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Core recursive algorithms
+//===----------------------------------------------------------------------===//
+
+uint32_t BddManager::notRec(uint32_t F) {
+  if (F <= 1)
+    return F ^ 1;
+  {
+    CacheEntry &E = cacheSlot(TagNot, F, 0, 0);
+    if (E.OpTag == TagNot && E.A == F && E.B == 0 && E.C == 0)
+      return E.Result;
+  }
+  const Node Nd = Nodes[F];
+  uint32_t R = mk(Nd.Var, notRec(Nd.Low), notRec(Nd.High));
+  cacheSlot(TagNot, F, 0, 0) = {F, 0, 0, TagNot, R};
+  return R;
+}
+
+uint32_t BddManager::applyRec(Op O, uint32_t A, uint32_t B) {
+  // Terminal cases.
+  switch (O) {
+  case Op::And:
+    if (A == B)
+      return A;
+    if (A == 0 || B == 0)
+      return 0;
+    if (A == 1)
+      return B;
+    if (B == 1)
+      return A;
+    break;
+  case Op::Or:
+    if (A == B)
+      return A;
+    if (A == 1 || B == 1)
+      return 1;
+    if (A == 0)
+      return B;
+    if (B == 0)
+      return A;
+    break;
+  case Op::Xor:
+    if (A == B)
+      return 0;
+    if (A == 0)
+      return B;
+    if (B == 0)
+      return A;
+    if (A == 1)
+      return notRec(B);
+    if (B == 1)
+      return notRec(A);
+    break;
+  default:
+    assert(false && "applyRec only handles And/Or/Xor");
+  }
+  if (A > B)
+    std::swap(A, B); // commutative: canonicalize for the cache
+  uint8_t Tag = static_cast<uint8_t>(O);
+  {
+    CacheEntry &E = cacheSlot(Tag, A, B, 0);
+    if (E.OpTag == Tag && E.A == A && E.B == B && E.C == 0)
+      return E.Result;
+  }
+  const Node NA = Nodes[A], NB = Nodes[B];
+  uint32_t V = std::min(NA.Var, NB.Var);
+  uint32_t A0 = NA.Var == V ? NA.Low : A;
+  uint32_t A1 = NA.Var == V ? NA.High : A;
+  uint32_t B0 = NB.Var == V ? NB.Low : B;
+  uint32_t B1 = NB.Var == V ? NB.High : B;
+  uint32_t R0 = applyRec(O, A0, B0);
+  uint32_t R1 = applyRec(O, A1, B1);
+  uint32_t R = mk(V, R0, R1);
+  cacheSlot(Tag, A, B, 0) = {A, B, 0, Tag, R};
+  return R;
+}
+
+uint32_t BddManager::iteRec(uint32_t F, uint32_t G, uint32_t H) {
+  if (F == 1)
+    return G;
+  if (F == 0)
+    return H;
+  if (G == H)
+    return G;
+  if (G == 1 && H == 0)
+    return F;
+  if (G == 0 && H == 1)
+    return notRec(F);
+  {
+    CacheEntry &E = cacheSlot(TagIte, F, G, H);
+    if (E.OpTag == TagIte && E.A == F && E.B == G && E.C == H)
+      return E.Result;
+  }
+  const Node NF = Nodes[F], NG = Nodes[G], NH = Nodes[H];
+  uint32_t V = NF.Var;
+  if (NG.Var != TerminalVar)
+    V = std::min(V, NG.Var);
+  if (NH.Var != TerminalVar)
+    V = std::min(V, NH.Var);
+  uint32_t F0 = NF.Var == V ? NF.Low : F, F1 = NF.Var == V ? NF.High : F;
+  uint32_t G0 = NG.Var == V ? NG.Low : G, G1 = NG.Var == V ? NG.High : G;
+  uint32_t H0 = NH.Var == V ? NH.Low : H, H1 = NH.Var == V ? NH.High : H;
+  uint32_t R = mk(V, iteRec(F0, G0, H0), iteRec(F1, G1, H1));
+  cacheSlot(TagIte, F, G, H) = {F, G, H, TagIte, R};
+  return R;
+}
+
+uint32_t BddManager::existsRec(uint32_t F, uint32_t Cube, bool Universal) {
+  if (F <= 1)
+    return F;
+  // Skip quantified variables above F's top variable.
+  uint32_t FVar = Nodes[F].Var;
+  while (Cube > 1 && Nodes[Cube].Var < FVar)
+    Cube = Nodes[Cube].High;
+  if (Cube <= 1)
+    return F;
+  uint8_t Tag = Universal ? TagForall : TagExists;
+  {
+    CacheEntry &E = cacheSlot(Tag, F, Cube, 0);
+    if (E.OpTag == Tag && E.A == F && E.B == Cube && E.C == 0)
+      return E.Result;
+  }
+  const Node NF = Nodes[F];
+  uint32_t R;
+  if (Nodes[Cube].Var == NF.Var) {
+    uint32_t NextCube = Nodes[Cube].High;
+    uint32_t R0 = existsRec(NF.Low, NextCube, Universal);
+    // Short-circuit: OR with 1 (or AND with 0) is absorbing.
+    if (!Universal && R0 == 1)
+      R = 1;
+    else if (Universal && R0 == 0)
+      R = 0;
+    else {
+      uint32_t R1 = existsRec(NF.High, NextCube, Universal);
+      R = applyRec(Universal ? Op::And : Op::Or, R0, R1);
+    }
+  } else {
+    R = mk(NF.Var, existsRec(NF.Low, Cube, Universal),
+           existsRec(NF.High, Cube, Universal));
+  }
+  cacheSlot(Tag, F, Cube, 0) = {F, Cube, 0, Tag, R};
+  return R;
+}
+
+uint32_t BddManager::andExistsRec(uint32_t F, uint32_t G, uint32_t Cube) {
+  if (F == 0 || G == 0)
+    return 0;
+  if (F == 1)
+    return existsRec(G, Cube, false);
+  if (G == 1 || F == G)
+    return existsRec(F, Cube, false);
+  if (Cube <= 1)
+    return applyRec(Op::And, F, G);
+  if (F > G)
+    std::swap(F, G);
+  const Node NF = Nodes[F], NG = Nodes[G];
+  uint32_t V = std::min(NF.Var, NG.Var);
+  while (Cube > 1 && Nodes[Cube].Var < V)
+    Cube = Nodes[Cube].High;
+  if (Cube <= 1)
+    return applyRec(Op::And, F, G);
+  {
+    CacheEntry &E = cacheSlot(TagAndExists, F, G, Cube);
+    if (E.OpTag == TagAndExists && E.A == F && E.B == G && E.C == Cube)
+      return E.Result;
+  }
+  uint32_t F0 = NF.Var == V ? NF.Low : F, F1 = NF.Var == V ? NF.High : F;
+  uint32_t G0 = NG.Var == V ? NG.Low : G, G1 = NG.Var == V ? NG.High : G;
+  uint32_t R;
+  if (Nodes[Cube].Var == V) {
+    uint32_t NextCube = Nodes[Cube].High;
+    uint32_t R0 = andExistsRec(F0, G0, NextCube);
+    if (R0 == 1)
+      R = 1;
+    else
+      R = applyRec(Op::Or, R0, andExistsRec(F1, G1, NextCube));
+  } else {
+    R = mk(V, andExistsRec(F0, G0, Cube), andExistsRec(F1, G1, Cube));
+  }
+  cacheSlot(TagAndExists, F, G, Cube) = {F, G, Cube, TagAndExists, R};
+  return R;
+}
+
+uint32_t BddManager::cofactorRec(uint32_t F, uint32_t Var, bool Val) {
+  if (F <= 1 || Nodes[F].Var > Var)
+    return F;
+  const Node NF = Nodes[F];
+  if (NF.Var == Var)
+    return Val ? NF.High : NF.Low;
+  uint8_t Tag = Val ? TagCofactor1 : TagCofactor0;
+  {
+    CacheEntry &E = cacheSlot(Tag, F, Var, 0);
+    if (E.OpTag == Tag && E.A == F && E.B == Var && E.C == 0)
+      return E.Result;
+  }
+  uint32_t R = mk(NF.Var, cofactorRec(NF.Low, Var, Val),
+                  cofactorRec(NF.High, Var, Val));
+  cacheSlot(Tag, F, Var, 0) = {F, Var, 0, Tag, R};
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Public operations
+//===----------------------------------------------------------------------===//
+
+Bdd BddManager::ite(const Bdd &F, const Bdd &G, const Bdd &H) {
+  assert(F.manager() == this && G.manager() == this && H.manager() == this);
+  maybeGc();
+  return wrap(iteRec(F.node(), G.node(), H.node()));
+}
+
+Bdd BddManager::exists(const Bdd &F, const Bdd &Cube) {
+  assert(F.manager() == this && Cube.manager() == this);
+  maybeGc();
+  return wrap(existsRec(F.node(), Cube.node(), /*Universal=*/false));
+}
+
+Bdd BddManager::forall(const Bdd &F, const Bdd &Cube) {
+  assert(F.manager() == this && Cube.manager() == this);
+  maybeGc();
+  return wrap(existsRec(F.node(), Cube.node(), /*Universal=*/true));
+}
+
+Bdd BddManager::andExists(const Bdd &F, const Bdd &G, const Bdd &Cube) {
+  assert(F.manager() == this && G.manager() == this && Cube.manager() == this);
+  maybeGc();
+  return wrap(andExistsRec(F.node(), G.node(), Cube.node()));
+}
+
+Bdd BddManager::cube(const std::vector<unsigned> &Vars) {
+  std::vector<unsigned> Sorted(Vars);
+  std::sort(Sorted.begin(), Sorted.end());
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  uint32_t R = OneNode;
+  for (auto It = Sorted.rbegin(); It != Sorted.rend(); ++It) {
+    ensureVars(*It + 1);
+    R = mk(*It, ZeroNode, R);
+  }
+  return wrap(R);
+}
+
+Bdd BddManager::cofactor(const Bdd &F, unsigned Var, bool Val) {
+  assert(F.manager() == this);
+  maybeGc();
+  return wrap(cofactorRec(F.node(), Var, Val));
+}
+
+Bdd BddManager::restrict(
+    const Bdd &F, const std::vector<std::pair<unsigned, bool>> &Assignment) {
+  assert(F.manager() == this);
+  maybeGc();
+  uint32_t R = F.node();
+  for (const auto &[Var, Val] : Assignment)
+    R = cofactorRec(R, Var, Val);
+  return wrap(R);
+}
+
+Bdd BddManager::remapVars(const Bdd &F, const std::vector<unsigned> &VarMap) {
+  assert(F.manager() == this);
+  maybeGc();
+  std::unordered_map<uint32_t, uint32_t> Memo;
+  auto Rec = [&](auto &&Self, uint32_t N) -> uint32_t {
+    if (N <= 1)
+      return N;
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return It->second;
+    const Node Nd = Nodes[N];
+    assert(Nd.Var < VarMap.size() && "remap without a mapping for a var");
+    unsigned NewVar = VarMap[Nd.Var];
+    ensureVars(NewVar + 1);
+    uint32_t R = mk(NewVar, Self(Self, Nd.Low), Self(Self, Nd.High));
+    Memo.emplace(N, R);
+    return R;
+  };
+  return wrap(Rec(Rec, F.node()));
+}
+
+bool BddManager::satOne(const Bdd &F, std::vector<bool> &Values,
+                        std::vector<bool> *DontCare) {
+  assert(F.manager() == this);
+  Values.assign(NumVars, false);
+  if (DontCare)
+    DontCare->assign(NumVars, true);
+  if (F.node() == 0)
+    return false;
+  uint32_t N = F.node();
+  while (N > 1) {
+    const Node &Nd = Nodes[N];
+    // Prefer the low branch: variables default to false, which for the
+    // solver's lean encoding means fewer obligations — smaller models
+    // (§7.2 asks for minimal satisfying trees).
+    bool TakeHigh = Nd.Low == 0;
+    Values[Nd.Var] = TakeHigh;
+    if (DontCare)
+      (*DontCare)[Nd.Var] = false;
+    N = TakeHigh ? Nd.High : Nd.Low;
+  }
+  assert(N == 1 && "reduced BDD path must end in a terminal");
+  return true;
+}
+
+double BddManager::satCountRec(uint32_t F, std::vector<double> &Memo) {
+  if (F == 0)
+    return 0.0;
+  if (F == 1)
+    return 1.0;
+  if (Memo[F] >= 0)
+    return Memo[F];
+  const Node &Nd = Nodes[F];
+  auto VarOf = [&](uint32_t N) {
+    return N <= 1 ? NumVars : Nodes[N].Var;
+  };
+  double CL = satCountRec(Nd.Low, Memo) *
+              std::pow(2.0, double(VarOf(Nd.Low)) - Nd.Var - 1);
+  double CH = satCountRec(Nd.High, Memo) *
+              std::pow(2.0, double(VarOf(Nd.High)) - Nd.Var - 1);
+  Memo[F] = CL + CH;
+  return Memo[F];
+}
+
+double BddManager::satCount(const Bdd &F, unsigned OverVars) {
+  assert(F.manager() == this);
+  assert(OverVars <= NumVars && "count domain exceeds variable universe");
+  // Counting is done over the full universe, then scaled down.
+  std::vector<double> Memo(Nodes.size(), -1.0);
+  uint32_t N = F.node();
+  double TopVar = N <= 1 ? NumVars : Nodes[N].Var;
+  double C = satCountRec(N, Memo) * std::pow(2.0, TopVar);
+  return C / std::pow(2.0, double(NumVars) - OverVars);
+}
+
+std::vector<unsigned> BddManager::support(const Bdd &F) {
+  std::unordered_set<uint32_t> Seen;
+  std::vector<uint32_t> Stack{F.node()};
+  std::vector<bool> InSupport(NumVars, false);
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    if (N <= 1 || !Seen.insert(N).second)
+      continue;
+    InSupport[Nodes[N].Var] = true;
+    Stack.push_back(Nodes[N].Low);
+    Stack.push_back(Nodes[N].High);
+  }
+  std::vector<unsigned> Result;
+  for (unsigned V = 0; V < NumVars; ++V)
+    if (InSupport[V])
+      Result.push_back(V);
+  return Result;
+}
+
+std::string BddManager::toDot(const Bdd &F,
+                              const std::vector<std::string> *VarNames) {
+  std::ostringstream OS;
+  OS << "digraph bdd {\n";
+  std::unordered_set<uint32_t> Seen;
+  std::vector<uint32_t> Stack{F.node()};
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(N).second)
+      continue;
+    if (N <= 1) {
+      OS << "  n" << N << " [shape=box,label=\"" << N << "\"];\n";
+      continue;
+    }
+    const Node &Nd = Nodes[N];
+    std::string Label = VarNames && Nd.Var < VarNames->size()
+                            ? (*VarNames)[Nd.Var]
+                            : "x" + std::to_string(Nd.Var);
+    OS << "  n" << N << " [label=\"" << Label << "\"];\n";
+    OS << "  n" << N << " -> n" << Nd.Low << " [style=dashed];\n";
+    OS << "  n" << N << " -> n" << Nd.High << ";\n";
+    Stack.push_back(Nd.Low);
+    Stack.push_back(Nd.High);
+  }
+  OS << "}\n";
+  return OS.str();
+}

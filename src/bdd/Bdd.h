@@ -1,0 +1,241 @@
+//===- Bdd.h - Binary decision diagram package -------------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained reduced ordered BDD package. The paper (§7) implements
+/// its satisfiability algorithm on top of a BDD library (the implicit
+/// representation of sets of ψ-types, the ∆a relations, and the fixpoint
+/// computation are all boolean-function manipulations). No third-party BDD
+/// library is available offline, so this module provides the substrate from
+/// scratch:
+///
+///   * hash-consed node store with a unique table (canonicity);
+///   * apply/ITE with operation caches;
+///   * existential quantification and the combined relational product
+///     (andExists) needed for the early-quantification scheme of §7.3;
+///   * cofactor/restrict, support, satisfying-assignment extraction and
+///     model counting (used by model reconstruction, §7.2);
+///   * deferred-reclamation mark-and-sweep garbage collection driven by
+///     external reference counts on Bdd handles.
+///
+/// Variables are identified by dense integer indices; the variable order is
+/// the index order (the solver chooses indices with the breadth-first
+/// heuristic of §7.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_BDD_BDD_H
+#define XSA_BDD_BDD_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xsa {
+
+class BddManager;
+
+/// A reference-counted handle to a BDD node. Copying a handle bumps the
+/// external reference count used as GC roots; destroying it drops the count.
+/// Handles are cheap (pointer + index) and have value semantics.
+class Bdd {
+public:
+  Bdd() = default;
+  Bdd(const Bdd &O);
+  Bdd(Bdd &&O) noexcept;
+  Bdd &operator=(const Bdd &O);
+  Bdd &operator=(Bdd &&O) noexcept;
+  ~Bdd();
+
+  /// True if this handle refers to a node (even the constant nodes).
+  bool valid() const { return Mgr != nullptr; }
+
+  bool isOne() const;
+  bool isZero() const;
+  bool isConst() const { return isOne() || isZero(); }
+
+  BddManager *manager() const { return Mgr; }
+  uint32_t node() const { return Node; }
+
+  // Logical operations (all go through the manager's caches).
+  Bdd operator&(const Bdd &O) const;
+  Bdd operator|(const Bdd &O) const;
+  Bdd operator^(const Bdd &O) const;
+  Bdd operator!() const;
+  Bdd implies(const Bdd &O) const;
+  Bdd iff(const Bdd &O) const;
+
+  Bdd &operator&=(const Bdd &O) { return *this = *this & O; }
+  Bdd &operator|=(const Bdd &O) { return *this = *this | O; }
+  Bdd &operator^=(const Bdd &O) { return *this = *this ^ O; }
+
+  /// Structural equality: by canonicity, equal iff same function.
+  bool operator==(const Bdd &O) const {
+    return Mgr == O.Mgr && Node == O.Node;
+  }
+  bool operator!=(const Bdd &O) const { return !(*this == O); }
+
+  /// Number of nodes in this BDD (including constants).
+  size_t nodeCount() const;
+
+private:
+  friend class BddManager;
+  Bdd(BddManager *Mgr, uint32_t Node, bool AlreadyReferenced);
+
+  BddManager *Mgr = nullptr;
+  uint32_t Node = 0;
+};
+
+/// Owns the node store, unique table, operation caches and garbage
+/// collector. All Bdd handles belong to exactly one manager; mixing
+/// managers is a programming error (asserted).
+class BddManager {
+public:
+  /// \param InitialVars number of variables to pre-create (more can be
+  ///        added with ensureVars / newVar).
+  explicit BddManager(unsigned InitialVars = 0);
+  ~BddManager();
+
+  BddManager(const BddManager &) = delete;
+  BddManager &operator=(const BddManager &) = delete;
+
+  /// Constant true / false.
+  Bdd one();
+  Bdd zero();
+
+  /// The function of variable \p Var (positive literal).
+  Bdd var(unsigned Var);
+  /// The negative literal of \p Var.
+  Bdd nvar(unsigned Var);
+
+  /// Creates variables up to index \p NumVars - 1.
+  void ensureVars(unsigned NumVars);
+  unsigned numVars() const { return NumVars; }
+
+  /// If-then-else: F ? G : H.
+  Bdd ite(const Bdd &F, const Bdd &G, const Bdd &H);
+
+  /// Existentially quantifies the variables of \p Cube (a positive
+  /// conjunction of variables) out of \p F.
+  Bdd exists(const Bdd &F, const Bdd &Cube);
+
+  /// Universally quantifies the variables of \p Cube out of \p F.
+  Bdd forall(const Bdd &F, const Bdd &Cube);
+
+  /// Relational product: exists(Cube, F & G) computed without building
+  /// the full conjunction. This is the workhorse of §7.3.
+  Bdd andExists(const Bdd &F, const Bdd &G, const Bdd &Cube);
+
+  /// A positive cube over \p Vars (sorted or not).
+  Bdd cube(const std::vector<unsigned> &Vars);
+
+  /// Cofactor of F with Var fixed to Val.
+  Bdd cofactor(const Bdd &F, unsigned Var, bool Val);
+
+  /// Generalized cofactor: fixes every (var, val) pair in \p Assignment.
+  Bdd restrict(const Bdd &F, const std::vector<std::pair<unsigned, bool>> &Assignment);
+
+  /// Renames variables: node with variable v becomes variable VarMap[v].
+  /// VarMap must be strictly increasing on the support of F (the variable
+  /// order is preserved), which holds for the solver's interleaved
+  /// unprimed/primed copies.
+  Bdd remapVars(const Bdd &F, const std::vector<unsigned> &VarMap);
+
+  /// Extracts one satisfying assignment of F. Returns false if F is the
+  /// zero function. Variables not on the chosen path are reported in
+  /// \p DontCare (any value satisfies) and assigned 'false' in \p Values.
+  /// \p Values is resized to numVars().
+  bool satOne(const Bdd &F, std::vector<bool> &Values,
+              std::vector<bool> *DontCare = nullptr);
+
+  /// Number of satisfying assignments over \p OverVars variables.
+  double satCount(const Bdd &F, unsigned OverVars);
+
+  /// The set of variables F depends on.
+  std::vector<unsigned> support(const Bdd &F);
+
+  /// Live node statistics (excluding dead-but-unswept nodes).
+  size_t numNodes() const { return NodeCount; }
+  size_t peakNodes() const { return PeakNodeCount; }
+  size_t gcRuns() const { return GcRuns; }
+
+  /// Forces a mark-and-sweep collection. Called automatically when the
+  /// node store grows past an adaptive threshold.
+  void gc();
+
+  /// Graphviz dump for debugging.
+  std::string toDot(const Bdd &F, const std::vector<std::string> *VarNames = nullptr);
+
+private:
+  friend class Bdd;
+
+  struct Node {
+    uint32_t Var;  ///< variable index; ~0u marks terminal nodes
+    uint32_t Low;  ///< else-branch node id
+    uint32_t High; ///< then-branch node id
+    uint32_t Next; ///< unique-table chain / free list
+    uint32_t Refs; ///< external references (GC roots)
+    bool Mark;     ///< GC mark bit
+  };
+
+  enum class Op : uint8_t { And, Or, Xor, Exists, AndExists, Forall };
+
+  // Node management.
+  uint32_t mk(uint32_t Var, uint32_t Low, uint32_t High);
+  uint32_t allocNode();
+  void growUniqueTable();
+  void ref(uint32_t N);
+  void deref(uint32_t N);
+  void markRecursive(uint32_t N);
+  void maybeGc();
+
+  // Core recursive algorithms (on raw node ids).
+  uint32_t applyRec(Op O, uint32_t A, uint32_t B);
+  uint32_t iteRec(uint32_t F, uint32_t G, uint32_t H);
+  uint32_t notRec(uint32_t F);
+  uint32_t existsRec(uint32_t F, uint32_t Cube, bool Universal);
+  uint32_t andExistsRec(uint32_t F, uint32_t G, uint32_t Cube);
+  uint32_t cofactorRec(uint32_t F, uint32_t Var, bool Val);
+  double satCountRec(uint32_t F, std::vector<double> &Memo);
+
+  Bdd wrap(uint32_t N) { return Bdd(this, N, /*AlreadyReferenced=*/false); }
+
+  uint32_t var2Node(unsigned Var);
+
+  // Caches. Direct-mapped and lossy; entries store all operands so that a
+  // hash collision can never produce a wrong result.
+  struct CacheEntry {
+    uint32_t A = ~0u;
+    uint32_t B = 0;
+    uint32_t C = 0;
+    uint8_t OpTag = 0;
+    uint32_t Result = 0;
+  };
+  CacheEntry &cacheSlot(uint8_t OpTag, uint32_t A, uint32_t B, uint32_t C);
+  void clearCaches();
+
+  std::vector<Node> Nodes;
+  std::vector<uint32_t> UniqueTable; // bucket heads
+  uint32_t FreeList = ~0u;
+  size_t NodeCount = 0;
+  size_t PeakNodeCount = 0;
+  size_t GcThreshold;
+  size_t GcRuns = 0;
+  bool GcEnabled = true;
+  unsigned NumVars = 0;
+  std::vector<uint32_t> VarNodes; // cached single-variable nodes
+
+  std::vector<CacheEntry> OpCache;
+
+  static constexpr uint32_t ZeroNode = 0;
+  static constexpr uint32_t OneNode = 1;
+  static constexpr uint32_t TerminalVar = ~0u;
+};
+
+} // namespace xsa
+
+#endif // XSA_BDD_BDD_H

@@ -1,0 +1,427 @@
+//===- CycleFree.cpp - Cycle-free formula check (Fig. 3) -------------------===//
+//
+// A formula is cycle free when every path of every unfolding contains a
+// bounded number of modality cycles ⟨a⟩⟨ā⟩ (§4). Unbounded repetition can
+// only come from recursion: for each variable X, each "period" — a path
+// from an occurrence of X through its definition back to an occurrence of
+// X — must be free of modality cycles, *including* the pair formed where
+// one period ends and the next begins (loops may alternate, so every
+// (last modality, first modality) combination over X's periods must
+// compose cleanly).
+//
+// This refines the presentation of Figure 3: Γ maps each variable to the
+// direction of the last modality crossed since the variable's binder or
+// last expansion (with a sticky ⊥ when a converse pair is crossed), and
+// additionally remembers the first modality of the current period; rule
+// Rec resets the expanded variable's entry, and rule NoRec both requires
+// a clean direction and records the (first, last) pair for the final
+// wrap-around check. On the paper's examples (§4) this accepts and
+// rejects exactly as stated, including the mutual-recursion example
+// µX = ⟨1⟩(X∨Y), Y = ⟨1̄⟩(Y∨⊤) in X (cycle free: the ⟨1⟩⟨1̄⟩ cycle
+// happens once, not once per unfolding).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/CycleFree.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace xsa;
+
+namespace {
+
+enum class Direction : uint8_t {
+  Unknown, // no modality crossed yet
+  D1,      // ⟨1⟩
+  D2,      // ⟨2⟩
+  DP1,     // ⟨1̄⟩
+  DP2,     // ⟨2̄⟩
+  Bottom,  // converse pair crossed
+};
+
+Direction fromProgram(Program P) {
+  switch (P) {
+  case Program::Child:
+    return Direction::D1;
+  case Program::Sibling:
+    return Direction::D2;
+  case Program::ParentInv:
+    return Direction::DP1;
+  case Program::SiblingInv:
+    return Direction::DP2;
+  }
+  return Direction::Bottom;
+}
+
+Program toProgram(Direction D) {
+  switch (D) {
+  case Direction::D1:
+    return Program::Child;
+  case Direction::D2:
+    return Program::Sibling;
+  case Direction::DP1:
+    return Program::ParentInv;
+  case Direction::DP2:
+    return Program::SiblingInv;
+  default:
+    assert(false && "no program for unknown/bottom");
+    return Program::Child;
+  }
+}
+
+/// The · C ⟨a⟩ operator of §4: ⊥ exactly when the previous modality is
+/// the converse of the new one.
+Direction compose(Direction D, Program A) {
+  if (D == Direction::Bottom)
+    return Direction::Bottom;
+  if (D == Direction::Unknown)
+    return fromProgram(A);
+  if (converse(toProgram(D)) == A)
+    return Direction::Bottom;
+  return fromProgram(A);
+}
+
+/// Does the two-modality sequence ⟨l⟩⟨f⟩ contain a cycle?
+bool wrapClean(Direction L, Direction F) {
+  if (L == Direction::Unknown || F == Direction::Unknown)
+    return true;
+  return compose(L, toProgram(F)) != Direction::Bottom;
+}
+
+struct VarState {
+  Direction Dir = Direction::Unknown;   ///< last modality of the period
+  Direction First = Direction::Unknown; ///< first modality of the period
+};
+
+using Gamma = std::map<Symbol, VarState>;
+
+class Checker {
+public:
+  bool check(Formula F) {
+    Gamma G;
+    return judge(F, G);
+  }
+
+private:
+  std::map<Symbol, Formula> Delta;
+  std::set<Symbol> R; ///< variables being expanded on this branch
+  std::set<Symbol> I; ///< variables already checked (rule Ign)
+  /// (first, last) modalities observed at occurrences, per expanded var.
+  std::map<Symbol, std::set<std::pair<Direction, Direction>>> Periods;
+
+  bool judge(Formula F, Gamma &G) {
+    switch (F->kind()) {
+    case FormulaKind::True:
+    case FormulaKind::False:
+    case FormulaKind::Prop:
+    case FormulaKind::NegProp:
+    case FormulaKind::Start:
+    case FormulaKind::NegStart:
+    case FormulaKind::NegExistTop:
+      return true;
+    case FormulaKind::And:
+    case FormulaKind::Or: {
+      // Each branch is a separate path: copy Γ for the left branch.
+      Gamma Left(G);
+      return judge(F->lhs(), Left) && judge(F->rhs(), G);
+    }
+    case FormulaKind::Exist: {
+      Gamma Composed;
+      for (const auto &[Var, St] : G) {
+        VarState NS;
+        NS.Dir = compose(St.Dir, F->program());
+        NS.First = St.First == Direction::Unknown ? fromProgram(F->program())
+                                                  : St.First;
+        Composed.emplace(Var, NS);
+      }
+      return judge(F->lhs(), Composed);
+    }
+    case FormulaKind::Var: {
+      Symbol X = F->sym();
+      if (I.count(X))
+        return true; // rule Ign
+      auto GIt = G.find(X);
+      if (GIt == G.end())
+        return false; // free variable: ill-formed
+      if (R.count(X)) {
+        // Rule NoRec: the period must be guarded and cycle free inside.
+        const VarState &St = GIt->second;
+        if (St.Dir == Direction::Unknown || St.Dir == Direction::Bottom)
+          return false;
+        Periods[X].insert({St.First, St.Dir});
+        return true;
+      }
+      // Rule Rec: expand the definition once, measuring a fresh period.
+      auto DIt = Delta.find(X);
+      assert(DIt != Delta.end() && "Γ has X but ∆ does not");
+      R.insert(X);
+      VarState Saved = GIt->second;
+      GIt->second = VarState();
+      auto SavedPeriods = std::move(Periods[X]);
+      Periods[X].clear();
+      bool Ok = judge(DIt->second, G);
+      if (Ok) {
+        // Wrap-around: any period may follow any other.
+        const auto &Ps = Periods[X];
+        for (const auto &[F1, L1] : Ps) {
+          (void)F1;
+          for (const auto &[F2, L2] : Ps) {
+            (void)L2;
+            if (!wrapClean(L1, F2)) {
+              Ok = false;
+              break;
+            }
+          }
+          if (!Ok)
+            break;
+        }
+      }
+      Periods[X] = std::move(SavedPeriods);
+      G[X] = Saved;
+      R.erase(X);
+      return Ok;
+    }
+    case FormulaKind::Mu: {
+      // Save shadowed state.
+      std::map<Symbol, Formula> SavedDelta;
+      Gamma SavedGamma;
+      std::set<Symbol> SavedR, SavedI;
+      for (const MuBinding &B : F->bindings()) {
+        if (auto It = Delta.find(B.Var); It != Delta.end())
+          SavedDelta.emplace(B.Var, It->second);
+        if (auto It = G.find(B.Var); It != G.end())
+          SavedGamma.emplace(B.Var, It->second);
+        if (R.erase(B.Var))
+          SavedR.insert(B.Var);
+        if (I.erase(B.Var))
+          SavedI.insert(B.Var);
+        Delta[B.Var] = B.Def;
+      }
+      bool Ok = true;
+      // Check every binding with Γ + X̄ : unknown (the binder opens a
+      // fresh period for its variables).
+      for (const MuBinding &B : F->bindings()) {
+        Gamma G2(G);
+        for (const MuBinding &B2 : F->bindings())
+          G2[B2.Var] = VarState();
+        if (!judge(B.Def, G2)) {
+          Ok = false;
+          break;
+        }
+      }
+      if (Ok) {
+        for (const MuBinding &B : F->bindings())
+          I.insert(B.Var);
+        Gamma GBody(G);
+        for (const MuBinding &B : F->bindings())
+          GBody[B.Var] = VarState();
+        Ok = judge(F->body(), GBody);
+        for (const MuBinding &B : F->bindings())
+          I.erase(B.Var);
+      }
+      // Restore.
+      for (const MuBinding &B : F->bindings()) {
+        Delta.erase(B.Var);
+        G.erase(B.Var);
+      }
+      for (auto &[K, V] : SavedDelta)
+        Delta[K] = V;
+      for (auto &[K, V] : SavedGamma)
+        G[K] = V;
+      for (Symbol S : SavedR)
+        R.insert(S);
+      for (Symbol S : SavedI)
+        I.insert(S);
+      return Ok;
+    }
+    }
+    return false;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Polynomial graph-based checker
+//===----------------------------------------------------------------------===//
+
+/// An edge Y → Z: within Y's definition there is a path from the start
+/// to an occurrence of Z whose first/last crossed modalities are First/
+/// Last. Epsilon marks a modality-free path (unguarded occurrence);
+/// Internal marks a converse pair ⟨a⟩⟨ā⟩ crossed inside the path.
+struct PathEdge {
+  Symbol From;
+  Symbol To;
+  Direction First = Direction::Unknown;
+  Direction Last = Direction::Unknown;
+  bool Internal = false;
+  bool epsilon() const { return First == Direction::Unknown; }
+};
+
+class GraphChecker {
+public:
+  bool check(Formula Root) {
+    collectBindings(Root);
+    for (const auto &[Var, Def] : Bindings)
+      summarize(Var, Def);
+    return !hasBadCycle();
+  }
+
+private:
+  std::map<Symbol, Formula> Bindings;
+  std::vector<PathEdge> Edges;
+  std::map<Symbol, std::vector<size_t>> OutEdges;
+
+  void collectBindings(Formula F) {
+    if (!Seen.insert(F).second)
+      return;
+    switch (F->kind()) {
+    case FormulaKind::And:
+    case FormulaKind::Or:
+      collectBindings(F->lhs());
+      collectBindings(F->rhs());
+      return;
+    case FormulaKind::Exist:
+      collectBindings(F->lhs());
+      return;
+    case FormulaKind::Mu:
+      for (const MuBinding &B : F->bindings()) {
+        // Fresh-variable discipline: shadowing would conflate loops.
+        Bindings.emplace(B.Var, B.Def);
+        collectBindings(B.Def);
+      }
+      collectBindings(F->body());
+      return;
+    default:
+      return;
+    }
+  }
+
+  /// Walks Y's definition (descending through inner fixpoints' bodies —
+  /// their bindings are summarized separately) and emits one edge per
+  /// distinct (occurrence, First, Last, Internal) path summary. States
+  /// are memoized, so the walk is polynomial in |Def| despite sharing.
+  void summarize(Symbol Y, Formula Def) {
+    Memo.clear();
+    walk(Y, Def, Direction::Unknown, Direction::Unknown, false);
+  }
+
+  struct WalkState {
+    Formula F;
+    Direction First, Last;
+    bool Internal;
+    bool operator<(const WalkState &O) const {
+      return std::tie(F, First, Last, Internal) <
+             std::tie(O.F, O.First, O.Last, O.Internal);
+    }
+  };
+
+  void walk(Symbol Y, Formula F, Direction First, Direction Last,
+            bool Internal) {
+    if (!Memo.insert({F, First, Last, Internal}).second)
+      return;
+    switch (F->kind()) {
+    case FormulaKind::Var: {
+      size_t Idx = Edges.size();
+      Edges.push_back({Y, F->sym(), First, Last, Internal});
+      OutEdges[Y].push_back(Idx);
+      return;
+    }
+    case FormulaKind::And:
+    case FormulaKind::Or:
+      walk(Y, F->lhs(), First, Last, Internal);
+      walk(Y, F->rhs(), First, Last, Internal);
+      return;
+    case FormulaKind::Exist: {
+      Direction NewLast = compose(Last, F->program());
+      bool NewInternal = Internal || NewLast == Direction::Bottom;
+      if (NewLast == Direction::Bottom)
+        NewLast = fromProgram(F->program()); // keep tracking past the pair
+      Direction NewFirst =
+          First == Direction::Unknown ? fromProgram(F->program()) : First;
+      walk(Y, F->lhs(), NewFirst, NewLast, NewInternal);
+      return;
+    }
+    case FormulaKind::Mu:
+      // Inner bindings are separate graph nodes; the path continues
+      // through the body.
+      walk(Y, F->body(), First, Last, Internal);
+      return;
+    default:
+      return; // atoms end the path
+    }
+  }
+
+  /// Reachability over all edges / over ε edges only.
+  bool reaches(Symbol From, Symbol To, bool EpsilonOnly,
+               bool AllowEmpty) const {
+    if (AllowEmpty && From == To)
+      return true;
+    std::set<Symbol> Visited;
+    std::vector<Symbol> Stack{From};
+    while (!Stack.empty()) {
+      Symbol V = Stack.back();
+      Stack.pop_back();
+      auto It = OutEdges.find(V);
+      if (It == OutEdges.end())
+        continue;
+      for (size_t E : It->second) {
+        if (EpsilonOnly && !Edges[E].epsilon())
+          continue;
+        Symbol T = Edges[E].To;
+        if (T == To)
+          return true;
+        if (Visited.insert(T).second)
+          Stack.push_back(T);
+      }
+    }
+    return false;
+  }
+
+  bool hasBadCycle() const {
+    // (a) An internal converse pair, or an unguarded (ε) step, that can
+    // repeat: the edge closes a cycle.
+    for (const PathEdge &E : Edges) {
+      if (E.Internal && reaches(E.To, E.From, /*EpsilonOnly=*/false,
+                                /*AllowEmpty=*/true))
+        return true;
+      if (E.epsilon() && reaches(E.To, E.From, /*EpsilonOnly=*/true,
+                                 /*AllowEmpty=*/true))
+        return true;
+    }
+    // (b) Two modal edges meeting — possibly across ε edges — in a
+    // converse pair, on a common cycle.
+    for (const PathEdge &E1 : Edges) {
+      if (E1.epsilon())
+        continue;
+      for (const PathEdge &E2 : Edges) {
+        if (E2.epsilon())
+          continue;
+        if (E1.Last == Direction::Unknown || E2.First == Direction::Unknown)
+          continue;
+        if (wrapClean(E1.Last, E2.First))
+          continue;
+        // e1 ⟶ε* e2 adjacency and a walk closing the loop.
+        if (reaches(E1.To, E2.From, /*EpsilonOnly=*/true, /*AllowEmpty=*/true) &&
+            reaches(E2.To, E1.From, /*EpsilonOnly=*/false, /*AllowEmpty=*/true))
+          return true;
+      }
+    }
+    return false;
+  }
+
+  std::set<Formula> Seen;
+  std::set<WalkState> Memo;
+};
+
+} // namespace
+
+bool xsa::isCycleFree(Formula F) {
+  GraphChecker C;
+  return C.check(F);
+}
+
+bool xsa::isCycleFreeFig3(Formula F) {
+  Checker C;
+  return C.check(F);
+}

@@ -1,0 +1,40 @@
+//===- CycleFree.h - Cycle-free formula check (Fig. 3) -----------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the inductive relation ∆ ‖ Γ ⊢ᴿᵢ φ of Figure 3, which decides
+/// whether a formula is *cycle free*: every path of modalities in every
+/// unfolding has a bounded number of modality cycles ⟨a⟩⟨ā⟩. Cycle-freeness
+/// is the syntactic restriction under which least and greatest fixpoints
+/// collapse on finite trees (Lemma 4.2), making the logic closed under
+/// negation; the satisfiability algorithm requires it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_LOGIC_CYCLEFREE_H
+#define XSA_LOGIC_CYCLEFREE_H
+
+#include "logic/Formula.h"
+
+namespace xsa {
+
+/// Returns true iff \p F is cycle free. Polynomial-time: summarizes each
+/// fixpoint binding's paths to recursion-variable occurrences as edges of
+/// a graph (first modality, last modality, internal-converse-pair flag)
+/// and rejects exactly when some cyclic walk contains a converse pair —
+/// within an edge, or where two consecutive edges meet — or is entirely
+/// modality-free (unguarded recursion). \p F must be closed.
+bool isCycleFree(Formula F);
+
+/// The literal inductive judgement of Figure 3 (with the per-variable
+/// expansion reset and wrap-around check the examples of §4 require).
+/// Exponential on dense recursion graphs — kept as the paper-faithful
+/// reference and cross-checked against isCycleFree in the tests.
+bool isCycleFreeFig3(Formula F);
+
+} // namespace xsa
+
+#endif // XSA_LOGIC_CYCLEFREE_H

@@ -1,0 +1,251 @@
+//===- Parser.cpp - Textual syntax for Lµ ----------------------------------===//
+
+#include "logic/Parser.h"
+
+#include <cctype>
+
+using namespace xsa;
+
+namespace {
+
+class FormulaParser {
+public:
+  FormulaParser(FormulaFactory &FF, std::string_view In, std::string &Error)
+      : FF(FF), In(In), Error(Error) {}
+
+  Formula run() {
+    Formula F = parseOr();
+    if (!F)
+      return nullptr;
+    skipWs();
+    if (Pos != In.size()) {
+      fail("unexpected trailing input");
+      return nullptr;
+    }
+    return F;
+  }
+
+private:
+  Formula fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "parse error at offset " + std::to_string(Pos) + ": " + Msg;
+    return nullptr;
+  }
+
+  void skipWs() {
+    while (Pos < In.size() &&
+           std::isspace(static_cast<unsigned char>(In[Pos])))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < In.size() && In[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool peekWord(std::string_view W) {
+    skipWs();
+    if (In.substr(Pos, W.size()) != W)
+      return false;
+    size_t After = Pos + W.size();
+    if (After < In.size() && isNameChar(In[After]))
+      return false;
+    return true;
+  }
+
+  bool eatWord(std::string_view W) {
+    if (!peekWord(W))
+      return false;
+    skipWs();
+    Pos += W.size();
+    return true;
+  }
+
+  static bool isNameStart(char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '#';
+  }
+  static bool isNameChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '-' || C == '.' || C == '#';
+  }
+
+  std::string parseName() {
+    skipWs();
+    if (Pos >= In.size() || !isNameStart(In[Pos]))
+      return "";
+    size_t Start = Pos;
+    ++Pos;
+    while (Pos < In.size() && isNameChar(In[Pos]))
+      ++Pos;
+    return std::string(In.substr(Start, Pos - Start));
+  }
+
+  Formula parseOr() {
+    Formula L = parseAnd();
+    if (!L)
+      return nullptr;
+    while (eat('|')) {
+      Formula R = parseAnd();
+      if (!R)
+        return nullptr;
+      L = FF.disj(L, R);
+    }
+    return L;
+  }
+
+  Formula parseAnd() {
+    Formula L = parseUnary();
+    if (!L)
+      return nullptr;
+    while (eat('&')) {
+      Formula R = parseUnary();
+      if (!R)
+        return nullptr;
+      L = FF.conj(L, R);
+    }
+    return L;
+  }
+
+  bool parseProgram(Program &P) {
+    skipWs();
+    bool Converse = false;
+    if (Pos < In.size() && In[Pos] == '-') {
+      Converse = true;
+      ++Pos;
+    }
+    if (Pos >= In.size() || (In[Pos] != '1' && In[Pos] != '2')) {
+      fail("expected modality 1, 2, -1 or -2");
+      return false;
+    }
+    bool IsTwo = In[Pos] == '2';
+    ++Pos;
+    if (!Converse)
+      P = IsTwo ? Program::Sibling : Program::Child;
+    else
+      P = IsTwo ? Program::SiblingInv : Program::ParentInv;
+    return true;
+  }
+
+  Formula parseUnary() {
+    skipWs();
+    if (eat('~')) {
+      Formula F = parseUnary();
+      if (!F)
+        return nullptr;
+      if (!FF.isClosed(F))
+        return fail("negation of a formula with free variables");
+      return FF.negate(F);
+    }
+    if (eat('<')) {
+      Program P;
+      if (!parseProgram(P))
+        return nullptr;
+      if (!eat('>'))
+        return fail("expected '>' after modality");
+      Formula F = parseUnary();
+      if (!F)
+        return nullptr;
+      return FF.diamond(P, F);
+    }
+    return parseAtom();
+  }
+
+  Formula parseAtom() {
+    skipWs();
+    if (eat('(')) {
+      Formula F = parseOr();
+      if (!F)
+        return nullptr;
+      if (!eat(')'))
+        return fail("expected ')'");
+      return F;
+    }
+    if (eat('$')) {
+      std::string Name = parseName();
+      if (Name.empty())
+        return fail("expected variable name after '$'");
+      return FF.var(Name);
+    }
+    if (eatWord("let"))
+      return parseLet();
+    if (eatWord("mu"))
+      return parseMu();
+    // Lemma 4.2: least and greatest fixpoints coincide on finite trees
+    // for cycle-free formulas, so ν is accepted as a synonym of µ.
+    if (eatWord("nu"))
+      return parseMu();
+    if (peekWord("T")) {
+      eatWord("T");
+      return FF.trueF();
+    }
+    if (peekWord("F")) {
+      eatWord("F");
+      return FF.falseF();
+    }
+    std::string Name = parseName();
+    if (Name.empty())
+      return fail("expected a formula");
+    if (Name == "#s")
+      return FF.start();
+    return FF.prop(Name);
+  }
+
+  Formula parseLet() {
+    std::vector<MuBinding> Bindings;
+    for (;;) {
+      if (!eat('$'))
+        return fail("expected '$' starting a let binding");
+      std::string Name = parseName();
+      if (Name.empty())
+        return fail("expected variable name after '$'");
+      if (!eat('='))
+        return fail("expected '=' in let binding");
+      Formula Def = parseOr();
+      if (!Def)
+        return nullptr;
+      Bindings.push_back({internSymbol(Name), Def});
+      if (eat(';'))
+        continue;
+      break;
+    }
+    if (!eatWord("in"))
+      return fail("expected 'in' after let bindings");
+    Formula Body = parseOr();
+    if (!Body)
+      return nullptr;
+    return FF.mu(std::move(Bindings), Body);
+  }
+
+  Formula parseMu() {
+    if (!eat('$'))
+      return fail("expected '$' after 'mu'");
+    std::string Name = parseName();
+    if (Name.empty())
+      return fail("expected variable name after '$'");
+    if (!eat('.'))
+      return fail("expected '.' after mu variable");
+    Formula Def = parseOr();
+    if (!Def)
+      return nullptr;
+    return FF.mu(internSymbol(Name), Def);
+  }
+
+  FormulaFactory &FF;
+  std::string_view In;
+  size_t Pos = 0;
+  std::string &Error;
+};
+
+} // namespace
+
+Formula xsa::parseFormula(FormulaFactory &FF, std::string_view Input,
+                          std::string &Error) {
+  Error.clear();
+  FormulaParser P(FF, Input, Error);
+  return P.run();
+}

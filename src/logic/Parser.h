@@ -1,0 +1,38 @@
+//===- Parser.h - Textual syntax for Lµ --------------------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reader for a textual Lµ syntax modeled on the paper's Figure 14
+/// output format:
+///
+///   φ ::= T | F | name | ~φ | #s | $X
+///       | φ & φ | φ | φ | <1>φ | <2>φ | <-1>φ | <-2>φ | (φ)
+///       | let $X = φ; ... in φ         n-ary least fixpoint
+///       | mu $X . φ                    sugar for let $X = φ in φ
+///
+/// `~` is general negation, resolved at parse time through the dualities
+/// of §4 (the parsed formula is in negation normal form); it can only be
+/// applied to closed subformulas.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_LOGIC_PARSER_H
+#define XSA_LOGIC_PARSER_H
+
+#include "logic/Formula.h"
+
+#include <string>
+#include <string_view>
+
+namespace xsa {
+
+/// Parses \p Input; returns nullptr and fills \p Error on failure.
+Formula parseFormula(FormulaFactory &FF, std::string_view Input,
+                     std::string &Error);
+
+} // namespace xsa
+
+#endif // XSA_LOGIC_PARSER_H

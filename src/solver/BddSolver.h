@@ -1,0 +1,116 @@
+//===- BddSolver.h - Symbolic satisfiability solver (§7) ---------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's satisfiability-testing algorithm (§6.2) in its symbolic
+/// implementation (§7):
+///
+///  * sets of ψ-types are represented implicitly as BDDs over one boolean
+///    variable per Lean member (§7.1), with interleaved primed copies for
+///    the parent/child relation;
+///  * witness bookkeeping is avoided by solving the linear-size "plunging"
+///    formula µX.ψ ∨ ⟨1⟩X ∨ ⟨2⟩X at the root (§7.1);
+///  * the compatibility relations ∆a are kept as conjunctions of
+///    equivalence clauses and the relational products are computed with
+///    conjunctive partitioning + early quantification, eliminating primed
+///    variables in greedy min-cost order (§7.3);
+///  * BDD variables are ordered by breadth-first traversal of the formula
+///    (§7.4);
+///  * intermediate sets T^i are retained so that a minimal satisfying
+///    model (counterexample tree) can be rebuilt top-down (§7.2).
+///
+/// The main fixpoint is exactly the two-line loop of §7.1:
+///
+///   χUpd(T)(x) = χT(x) ∨ (χTypes(x) ∧ ∧_{a∈{1,2}} χWita(T)(x))
+///
+/// with termination as soon as a root type implying the formula appears
+/// (the "early exit" that distinguishes this least-fixpoint procedure
+/// from the greatest-fixpoint procedure of Tanabe et al., §9).
+///
+/// Start-mark uniqueness (the four Upd cases of Fig. 16) is enforced by
+/// conjoining an Lµ-definable "exactly one mark below the root" formula;
+/// see DESIGN.md for the equivalence argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_SOLVER_BDDSOLVER_H
+#define XSA_SOLVER_BDDSOLVER_H
+
+#include "logic/Formula.h"
+#include "logic/Lean.h"
+#include "tree/Document.h"
+
+#include <optional>
+
+namespace xsa {
+
+struct SolverOptions {
+  /// Lean member / BDD variable order (§7.4). BreadthFirst is the paper's
+  /// choice; the others exist for the ablation benchmarks.
+  LeanOrder Order = LeanOrder::BreadthFirst;
+  /// Conjunctive partitioning + early quantification (§7.3). When false,
+  /// the monolithic ∆a BDD is built up front (ablation).
+  bool EarlyQuantification = true;
+  /// Enforce that models carry exactly one start mark (Fig. 16's four
+  /// Upd cases). Safe to keep on even for formulas not mentioning s.
+  bool EnforceSingleMark = true;
+  /// Reconstruct a satisfying tree when satisfiable (§7.2).
+  bool ExtractModel = true;
+  /// Check the final condition after every iteration and stop as soon as
+  /// a satisfying root type appears. When false, runs the fixpoint to
+  /// completion first (ablation; the Tanabe-style behaviour).
+  bool EarlyTermination = true;
+  /// Accept only single-rooted models (¬⟨2⟩⊤ at the root in addition to
+  /// the ¬⟨1̄⟩⊤/¬⟨2̄⟩⊤ of FinalCheck). The paper's focused trees are
+  /// hedges — the root may have top-level siblings — but XML documents
+  /// are single-rooted, and on hedges the absolute-path translation
+  /// (Fig. 8) lets a top-level node to the left of the mark pose as
+  /// "the root". The Analyzer turns this on.
+  bool RequireSingleRoot = false;
+};
+
+struct SolverStats {
+  size_t LeanSize = 0;
+  size_t Iterations = 0;
+  size_t PeakBddNodes = 0;
+  double TimeMs = 0;
+};
+
+struct SolverResult {
+  bool Satisfiable = false;
+  /// A satisfying tree (hedge) with the start mark set, when requested.
+  std::optional<Document> Model;
+  SolverStats Stats;
+};
+
+/// Decides the satisfiability of closed cycle-free Lµ formulas over
+/// finite focused trees (Theorem 6.3), in time 2^O(|Lean(ψ)|)
+/// (Lemma 6.7).
+class BddSolver {
+public:
+  explicit BddSolver(FormulaFactory &FF, SolverOptions Opts = {})
+      : FF(FF), Opts(Opts) {}
+
+  /// Is JψK non-empty? \p Psi must be closed and cycle free (checked
+  /// with assertions).
+  SolverResult solve(Formula Psi);
+
+private:
+  FormulaFactory &FF;
+  SolverOptions Opts;
+};
+
+/// µX.ψ ∨ ⟨1⟩X ∨ ⟨2⟩X: ψ holds somewhere at or below the focus (§7.1).
+Formula plungeFormula(FormulaFactory &FF, Formula Psi);
+
+/// "Exactly one start mark in the binary subtree of the focus": the
+/// Lµ-definable uniqueness constraint used in place of Fig. 16's marked
+/// triples. Cycle free (downward modalities only).
+Formula singleMarkFormula(FormulaFactory &FF);
+
+} // namespace xsa
+
+#endif // XSA_SOLVER_BDDSOLVER_H

@@ -1,0 +1,239 @@
+//===- ExplicitSolver.cpp - Reference solver (Fig. 15/16) ------------------===//
+
+#include "solver/ExplicitSolver.h"
+
+#include "logic/CycleFree.h"
+
+#include <array>
+#include <cassert>
+#include <chrono>
+#include <map>
+
+using namespace xsa;
+
+namespace {
+
+struct ExplicitRun {
+  FormulaFactory &FF;
+  Formula Phi; ///< plunged formula
+  Lean L;
+  std::vector<DynBitset> Types;            ///< all valid ψ-types
+  std::vector<unsigned> ModalBits;         ///< lean indices of ⟨a⟩φ members
+  // Presence[t][m]: iteration (1-based) at which (type t, marked m) was
+  // added; 0 = absent.
+  std::vector<std::array<unsigned, 2>> Presence;
+
+  ExplicitRun(FormulaFactory &FF, Formula Phi)
+      : FF(FF), Phi(Phi), L(Lean::compute(FF, Phi)) {}
+
+  void enumerateTypes() {
+    for (unsigned I = 0; I < L.size(); ++I)
+      if (L.members()[I]->is(FormulaKind::Exist))
+        ModalBits.push_back(I);
+    size_t K = ModalBits.size();
+    for (uint64_t Mask = 0; Mask < (uint64_t(1) << K); ++Mask) {
+      DynBitset Base(L.size());
+      for (size_t B = 0; B < K; ++B)
+        if ((Mask >> B) & 1)
+          Base.set(ModalBits[B]);
+      for (Symbol P : L.props()) {
+        DynBitset T = Base;
+        T.set(L.propIndex(P));
+        if (!L.isValidType(T))
+          continue;
+        Types.push_back(T);
+        DynBitset TS = T;
+        TS.set(L.startIndex());
+        Types.push_back(TS); // s may belong to t (§6.1)
+      }
+    }
+    Presence.assign(Types.size(), {0, 0});
+  }
+
+  bool delta(Program A, const DynBitset &T, const DynBitset &TChild) const {
+    Program ABar = converse(A);
+    for (unsigned I : ModalBits) {
+      Formula F = L.members()[I];
+      if (F->program() == A) {
+        if (T.test(I) != L.status(FF, F->lhs(), TChild))
+          return false;
+      } else if (F->program() == ABar) {
+        if (TChild.test(I) != L.status(FF, F->lhs(), T))
+          return false;
+      }
+    }
+    return true;
+  }
+
+  bool isChild(Program A, const DynBitset &T) const {
+    return T.test(L.diamTopIndex(converse(A)));
+  }
+  bool isParent(Program A, const DynBitset &T) const {
+    return T.test(L.diamTopIndex(A));
+  }
+  bool isRoot(const DynBitset &T) const {
+    return !T.test(L.diamTopIndex(Program::ParentInv)) &&
+           !T.test(L.diamTopIndex(Program::SiblingInv));
+  }
+
+  /// Runs the main loop; returns the index of a satisfying root entry
+  /// (type index, marked) or (-1, false).
+  std::pair<int, bool> mainLoop(unsigned &Iterations) {
+    Iterations = 0;
+    for (;;) {
+      ++Iterations;
+      bool Changed = false;
+      for (size_t TI = 0; TI < Types.size(); ++TI) {
+        const DynBitset &T = Types[TI];
+        bool HasMarkHere = T.test(L.startIndex());
+        // Witness availability per program and witness-mark flag, over
+        // entries present at the *previous* iterations.
+        auto WitnessExists = [&](Program A, bool Marked) {
+          for (size_t CI = 0; CI < Types.size(); ++CI) {
+            unsigned Added = Presence[CI][Marked];
+            if (!Added || Added >= Iterations)
+              continue;
+            if (!isChild(A, Types[CI]))
+              continue;
+            if (delta(A, T, Types[CI]))
+              return true;
+          }
+          return false;
+        };
+        bool Need1 = isParent(Program::Child, T);
+        bool Need2 = isParent(Program::Sibling, T);
+        // The four cases of Upd(X) in Fig. 16.
+        auto TryAdd = [&](bool Marked) {
+          if (Presence[TI][Marked])
+            return;
+          bool Ok = false;
+          if (!Marked) {
+            Ok = !HasMarkHere && (!Need1 || WitnessExists(Program::Child, false)) &&
+                 (!Need2 || WitnessExists(Program::Sibling, false));
+          } else if (HasMarkHere) {
+            Ok = (!Need1 || WitnessExists(Program::Child, false)) &&
+                 (!Need2 || WitnessExists(Program::Sibling, false));
+          } else {
+            bool MarkIn1 = Need1 && WitnessExists(Program::Child, true) &&
+                           (!Need2 || WitnessExists(Program::Sibling, false));
+            bool MarkIn2 = Need2 && WitnessExists(Program::Sibling, true) &&
+                           (!Need1 || WitnessExists(Program::Child, false));
+            Ok = MarkIn1 || MarkIn2;
+          }
+          if (Ok) {
+            Presence[TI][Marked] = Iterations;
+            Changed = true;
+          }
+        };
+        TryAdd(false);
+        TryAdd(true);
+      }
+      // FinalCheck: a marked root type that implies the plunged formula.
+      for (size_t TI = 0; TI < Types.size(); ++TI)
+        if (Presence[TI][1] && isRoot(Types[TI]) &&
+            L.status(FF, Phi, Types[TI]))
+          return {static_cast<int>(TI), true};
+      if (!Changed)
+        return {-1, false};
+    }
+  }
+
+  /// Top-down reconstruction mirroring §7.2.
+  void rebuild(Document &Doc, size_t TI, bool Marked, unsigned MaxIter,
+               NodeId Parent) {
+    const DynBitset &T = Types[TI];
+    Symbol Label = 0;
+    for (Symbol S : L.props())
+      if (T.test(L.propIndex(S))) {
+        Label = S == L.otherProp() ? internSymbol("_any") : S;
+        break;
+      }
+    NodeId N = Doc.addNode(Label, Parent);
+    if (T.test(L.startIndex()))
+      Doc.setMark(N);
+    bool Need1 = isParent(Program::Child, T);
+    bool Need2 = isParent(Program::Sibling, T);
+    // Decompose the mark obligation onto the subtrees.
+    bool MarkHere = T.test(L.startIndex());
+    auto FindChild = [&](Program A, bool WantMarked, size_t &OutTI,
+                         unsigned &OutIter) {
+      OutTI = static_cast<size_t>(-1);
+      OutIter = ~0u;
+      for (size_t CI = 0; CI < Types.size(); ++CI) {
+        unsigned Added = Presence[CI][WantMarked];
+        if (!Added || Added >= MaxIter)
+          continue;
+        if (!isChild(A, Types[CI]) || !delta(A, T, Types[CI]))
+          continue;
+        if (Added < OutIter) {
+          OutIter = Added;
+          OutTI = CI;
+        }
+      }
+      return OutTI != static_cast<size_t>(-1);
+    };
+    bool Mark1 = false, Mark2 = false;
+    if (Marked && !MarkHere) {
+      size_t Dummy;
+      unsigned DummyIter;
+      if (Need1 && FindChild(Program::Child, true, Dummy, DummyIter) &&
+          (!Need2 || FindChild(Program::Sibling, false, Dummy, DummyIter)))
+        Mark1 = true;
+      else
+        Mark2 = true;
+    }
+    // Children: ⟨1⟩ subtree then ⟨2⟩ sibling continuation. The binary
+    // encoding means the ⟨2⟩ child is the *next sibling* of this node:
+    // emit it under the same parent.
+    if (Need1) {
+      size_t CTI;
+      unsigned CIter;
+      bool Found = FindChild(Program::Child, Mark1, CTI, CIter);
+      assert(Found && "missing ⟨1⟩ witness in reconstruction");
+      if (Found)
+        rebuild(Doc, CTI, Mark1, CIter, N);
+    }
+    if (Need2) {
+      size_t CTI;
+      unsigned CIter;
+      bool Found = FindChild(Program::Sibling, Mark2, CTI, CIter);
+      assert(Found && "missing ⟨2⟩ witness in reconstruction");
+      if (Found)
+        rebuild(Doc, CTI, Mark2, CIter, Parent);
+    }
+  }
+};
+
+} // namespace
+
+ExplicitSolver::Result ExplicitSolver::solve(Formula Psi) {
+  auto Start = std::chrono::steady_clock::now();
+  Result R;
+  assert(FF.isClosed(Psi) && "solver input must be closed");
+  Formula Phi = plungeFormula(FF, Psi);
+  ExplicitRun Run(FF, Phi);
+  size_t Modal = 0;
+  for (Formula F : Run.L.members())
+    if (F->is(FormulaKind::Exist))
+      ++Modal;
+  R.Stats.LeanSize = Run.L.size();
+  if (Modal > MaxModalBits) {
+    R.Feasible = false;
+    return R;
+  }
+  Run.enumerateTypes();
+  unsigned Iterations = 0;
+  auto [RootTI, Sat] = Run.mainLoop(Iterations);
+  R.Stats.Iterations = Iterations;
+  R.Satisfiable = Sat;
+  if (Sat) {
+    Document Doc;
+    Run.rebuild(Doc, static_cast<size_t>(RootTI), /*Marked=*/true,
+                Iterations + 1, InvalidNodeId);
+    R.Model = std::move(Doc);
+  }
+  R.Stats.TimeMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  return R;
+}

@@ -1,0 +1,53 @@
+//===- ExplicitSolver.h - Reference solver (Fig. 15/16) ----------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A literal, explicit-state implementation of the satisfiability
+/// algorithm of §6.2 / Figure 16: ψ-types are enumerated as bit vectors
+/// over the Lean, the update operation tracks the four start-mark cases
+/// of Upd(X) (absent / here / in the first subtree / in the second
+/// subtree), and the final check looks for a marked root type implying
+/// the plunged formula.
+///
+/// This solver is exponential in the Lean in the most naive way — it
+/// enumerates Types(ψ) — so it is only usable on small formulas. Its job
+/// is to be *obviously correct*: it serves as the differential oracle
+/// for the symbolic solver of §7 (BddSolver).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_SOLVER_EXPLICITSOLVER_H
+#define XSA_SOLVER_EXPLICITSOLVER_H
+
+#include "solver/BddSolver.h"
+
+namespace xsa {
+
+class ExplicitSolver {
+public:
+  /// \p MaxModalBits bounds the number of modal Lean members (the
+  /// enumeration is 2^modal × props × 2); inputs beyond the bound are
+  /// rejected with Feasible = false in the result.
+  explicit ExplicitSolver(FormulaFactory &FF, unsigned MaxModalBits = 24)
+      : FF(FF), MaxModalBits(MaxModalBits) {}
+
+  struct Result {
+    bool Feasible = true; ///< false: lean too large for enumeration
+    bool Satisfiable = false;
+    std::optional<Document> Model;
+    SolverStats Stats;
+  };
+
+  Result solve(Formula Psi);
+
+private:
+  FormulaFactory &FF;
+  unsigned MaxModalBits;
+};
+
+} // namespace xsa
+
+#endif // XSA_SOLVER_EXPLICITSOLVER_H

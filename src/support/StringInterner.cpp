@@ -1,0 +1,32 @@
+//===- StringInterner.cpp -------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace xsa;
+
+Symbol StringInterner::intern(std::string_view S) {
+  auto It = Table.find(std::string(S));
+  if (It != Table.end())
+    return It->second;
+  Symbol Sym = static_cast<Symbol>(Names.size());
+  Names.emplace_back(S);
+  Table.emplace(Names.back(), Sym);
+  return Sym;
+}
+
+const std::string &StringInterner::name(Symbol Sym) const {
+  assert(Sym < Names.size() && "unknown symbol");
+  return Names[Sym];
+}
+
+Symbol StringInterner::lookup(std::string_view S) const {
+  auto It = Table.find(std::string(S));
+  return It == Table.end() ? ~0u : It->second;
+}
+
+StringInterner &StringInterner::global() {
+  static StringInterner G;
+  return G;
+}

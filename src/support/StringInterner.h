@@ -1,0 +1,65 @@
+//===- StringInterner.h - Global string interning ---------------*- C++ -*-===//
+//
+// Part of the xsa project: reproduction of "Efficient Static Analysis of XML
+// Paths and Types" (Genevès, Layaïda & Schmitt, PLDI 2007 / INRIA RR-6590).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings (element names, recursion-variable names) into small
+/// integer symbols so that the rest of the system can compare and hash labels
+/// in O(1). A single process-wide interner is used: labels flow between
+/// XPath expressions, DTDs, logic formulas and trees, and must agree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_SUPPORT_STRINGINTERNER_H
+#define XSA_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xsa {
+
+/// An interned string. Symbols are dense, starting at 0.
+using Symbol = uint32_t;
+
+/// Maps strings to dense integer symbols and back.
+class StringInterner {
+public:
+  /// Returns the symbol for \p S, interning it on first use.
+  Symbol intern(std::string_view S);
+
+  /// Returns the string for a previously interned symbol.
+  const std::string &name(Symbol Sym) const;
+
+  /// Returns the symbol for \p S if already interned, or ~0u otherwise.
+  Symbol lookup(std::string_view S) const;
+
+  /// Number of interned symbols.
+  size_t size() const { return Names.size(); }
+
+  /// The process-wide interner shared by all xsa components.
+  static StringInterner &global();
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, Symbol> Table;
+};
+
+/// Convenience: intern into the global interner.
+inline Symbol internSymbol(std::string_view S) {
+  return StringInterner::global().intern(S);
+}
+
+/// Convenience: resolve a symbol from the global interner.
+inline const std::string &symbolName(Symbol Sym) {
+  return StringInterner::global().name(Sym);
+}
+
+} // namespace xsa
+
+#endif // XSA_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,138 @@
+//===- FocusedTree.cpp - Zipper navigation (§3) ---------------------------===//
+
+#include "tree/FocusedTree.h"
+
+using namespace xsa;
+
+ContextRef xsa::makeTopContext(TreeListRef Left, TreeListRef Right) {
+  auto C = std::make_shared<Context>();
+  C->Left = std::move(Left);
+  C->Right = std::move(Right);
+  C->HasParent = false;
+  C->ParentLabel = 0;
+  C->ParentMarked = false;
+  return C;
+}
+
+ContextRef xsa::makeContext(TreeListRef Left, ContextRef Parent,
+                            Symbol ParentLabel, bool ParentMarked,
+                            TreeListRef Right) {
+  auto C = std::make_shared<Context>();
+  C->Left = std::move(Left);
+  C->Parent = std::move(Parent);
+  C->ParentLabel = ParentLabel;
+  C->ParentMarked = ParentMarked;
+  C->Right = std::move(Right);
+  C->HasParent = true;
+  return C;
+}
+
+FocusedTree FocusedTree::atRoot(TreeRef T) {
+  return FocusedTree(std::move(T), makeTopContext(nullptr, nullptr));
+}
+
+// (σ◦[t :: tl], c) ⟨1⟩ = (t, (ε, c[σ◦], tl))
+std::optional<FocusedTree> FocusedTree::down1() const {
+  if (!T->Children)
+    return std::nullopt;
+  return FocusedTree(T->Children->Head,
+                     makeContext(nullptr, C, T->Label, T->Marked,
+                                 T->Children->Tail));
+}
+
+// (t, (tll, c[σ◦], t′ :: tlr)) ⟨2⟩ = (t′, (t :: tll, c[σ◦], tlr))
+std::optional<FocusedTree> FocusedTree::down2() const {
+  if (!C->Right)
+    return std::nullopt;
+  ContextRef NewC;
+  if (C->isTop())
+    NewC = makeTopContext(cons(T, C->Left), C->Right->Tail);
+  else
+    NewC = makeContext(cons(T, C->Left), C->Parent, C->ParentLabel,
+                       C->ParentMarked, C->Right->Tail);
+  return FocusedTree(C->Right->Head, NewC);
+}
+
+// (t, (ε, c[σ◦], tl)) ⟨1̄⟩ = (σ◦[t :: tl], c)
+std::optional<FocusedTree> FocusedTree::up1() const {
+  if (C->Left || C->isTop())
+    return std::nullopt;
+  TreeRef Parent =
+      makeTree(C->ParentLabel, C->ParentMarked, cons(T, C->Right));
+  return FocusedTree(Parent, C->Parent);
+}
+
+// (t′, (t :: tll, c[σ◦], tlr)) ⟨2̄⟩ = (t, (tll, c[σ◦], t′ :: tlr))
+std::optional<FocusedTree> FocusedTree::up2() const {
+  if (!C->Left)
+    return std::nullopt;
+  ContextRef NewC;
+  if (C->isTop())
+    NewC = makeTopContext(C->Left->Tail, cons(T, C->Right));
+  else
+    NewC = makeContext(C->Left->Tail, C->Parent, C->ParentLabel,
+                       C->ParentMarked, cons(T, C->Right));
+  return FocusedTree(C->Left->Head, NewC);
+}
+
+std::optional<FocusedTree> FocusedTree::follow(int A) const {
+  switch (A) {
+  case 0:
+    return down1();
+  case 1:
+    return down2();
+  case 2:
+    return up1();
+  case 3:
+    return up2();
+  }
+  return std::nullopt;
+}
+
+bool xsa::treeEquals(const TreeRef &A, const TreeRef &B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  return A->Label == B->Label && A->Marked == B->Marked &&
+         treeListEquals(A->Children, B->Children);
+}
+
+bool xsa::treeListEquals(const TreeListRef &A, const TreeListRef &B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  return treeEquals(A->Head, B->Head) && treeListEquals(A->Tail, B->Tail);
+}
+
+bool xsa::contextEquals(const ContextRef &A, const ContextRef &B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->isTop() != B->isTop())
+    return false;
+  if (!treeListEquals(A->Left, B->Left) || !treeListEquals(A->Right, B->Right))
+    return false;
+  if (A->isTop())
+    return true;
+  return A->ParentLabel == B->ParentLabel &&
+         A->ParentMarked == B->ParentMarked &&
+         contextEquals(A->Parent, B->Parent);
+}
+
+bool FocusedTree::operator==(const FocusedTree &O) const {
+  return treeEquals(T, O.T) && contextEquals(C, O.C);
+}
+
+size_t xsa::treeSize(const TreeRef &T) {
+  return T ? 1 + treeListSize(T->Children) : 0;
+}
+
+size_t xsa::treeListSize(const TreeListRef &L) {
+  size_t N = 0;
+  for (const TreeList *P = L.get(); P; P = P->Tail.get())
+    N += treeSize(P->Head);
+  return N;
+}

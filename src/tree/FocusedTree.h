@@ -1,0 +1,146 @@
+//===- FocusedTree.h - Trees with focus (§3 of the paper) --------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Focused trees: the paper's data model (§3), a zipper à la Huet over
+/// finite unranked ordered labeled trees, with an optional *start mark* on
+/// exactly one node (the context node where XPath evaluation begins).
+///
+/// A focused tree is a pair (t, c) of the subtree in focus and its context:
+///
+///   t  ::= σ[tl]                      tree
+///   tl ::= ε | t :: tl                list of trees
+///   c  ::= (tl, Top, tl)              root of the tree
+///        | (tl, c[σ], tl)             context node
+///
+/// Navigation is in *binary style* with four modalities:
+///   ⟨1⟩ first child, ⟨2⟩ next sibling,
+///   ⟨1̄⟩ parent (only from a leftmost sibling), ⟨2̄⟩ previous sibling.
+///
+/// All structures are immutable and shared, so navigation is O(1) and a
+/// focused tree value can be freely copied.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_TREE_FOCUSEDTREE_H
+#define XSA_TREE_FOCUSEDTREE_H
+
+#include "support/StringInterner.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace xsa {
+
+struct Tree;
+struct TreeList;
+struct Context;
+
+using TreeRef = std::shared_ptr<const Tree>;
+using TreeListRef = std::shared_ptr<const TreeList>; // nullptr = ε
+using ContextRef = std::shared_ptr<const Context>;
+
+/// σ◦[tl]: a node label, an optional start mark, and the list of children.
+struct Tree {
+  Symbol Label;
+  bool Marked;
+  TreeListRef Children;
+
+  Tree(Symbol Label, bool Marked, TreeListRef Children)
+      : Label(Label), Marked(Marked), Children(std::move(Children)) {}
+};
+
+/// A cons cell of a list of trees (ε is the null pointer).
+struct TreeList {
+  TreeRef Head;
+  TreeListRef Tail;
+
+  TreeList(TreeRef Head, TreeListRef Tail)
+      : Head(std::move(Head)), Tail(std::move(Tail)) {}
+};
+
+/// Builds a cons cell.
+inline TreeListRef cons(TreeRef Head, TreeListRef Tail) {
+  return std::make_shared<const TreeList>(std::move(Head), std::move(Tail));
+}
+
+/// Builds a tree node.
+inline TreeRef makeTree(Symbol Label, bool Marked, TreeListRef Children) {
+  return std::make_shared<const Tree>(Label, Marked, std::move(Children));
+}
+
+/// (tl, Top, tl) or (tl, c[σ◦], tl): the left siblings in reverse order,
+/// the enclosing context (null for Top), and the right siblings.
+struct Context {
+  TreeListRef Left;
+  ContextRef Parent;     ///< null when this is the Top context
+  Symbol ParentLabel;    ///< meaningful only when Parent context exists
+  bool ParentMarked;     ///< start mark on the enclosing element
+  TreeListRef Right;
+
+  bool isTop() const { return !HasParent; }
+  bool HasParent = false;
+};
+
+/// Builds the Top context (tl_left, Top, tl_right).
+ContextRef makeTopContext(TreeListRef Left, TreeListRef Right);
+
+/// Builds a context node (tl_left, c[σ◦], tl_right).
+ContextRef makeContext(TreeListRef Left, ContextRef Parent, Symbol ParentLabel,
+                       bool ParentMarked, TreeListRef Right);
+
+/// A focused tree f = (t, c). Value type; copy is O(1).
+class FocusedTree {
+public:
+  FocusedTree(TreeRef T, ContextRef C) : T(std::move(T)), C(std::move(C)) {}
+
+  /// Convenience: focuses a whole tree at the root with an empty top
+  /// context (ε, Top, ε).
+  static FocusedTree atRoot(TreeRef T);
+
+  /// nm(f): the label of the node in focus.
+  Symbol name() const { return T->Label; }
+
+  /// Whether the node in focus carries the start mark.
+  bool marked() const { return T->Marked; }
+
+  const TreeRef &tree() const { return T; }
+  const ContextRef &context() const { return C; }
+
+  /// f⟨1⟩: focus on the first child.
+  std::optional<FocusedTree> down1() const;
+  /// f⟨2⟩: focus on the next sibling.
+  std::optional<FocusedTree> down2() const;
+  /// f⟨1̄⟩: focus on the parent; defined only from a leftmost sibling.
+  std::optional<FocusedTree> up1() const;
+  /// f⟨2̄⟩: focus on the previous sibling.
+  std::optional<FocusedTree> up2() const;
+
+  /// Follows modality \p A in {0:⟨1⟩, 1:⟨2⟩, 2:⟨1̄⟩, 3:⟨2̄⟩}.
+  std::optional<FocusedTree> follow(int A) const;
+
+  /// Structural equality of the whole focused tree (subtree and context).
+  bool operator==(const FocusedTree &O) const;
+  bool operator!=(const FocusedTree &O) const { return !(*this == O); }
+
+private:
+  TreeRef T;
+  ContextRef C;
+};
+
+/// Structural equality helpers (deep comparison).
+bool treeEquals(const TreeRef &A, const TreeRef &B);
+bool treeListEquals(const TreeListRef &A, const TreeListRef &B);
+bool contextEquals(const ContextRef &A, const ContextRef &B);
+
+/// Number of nodes in a tree / list of trees.
+size_t treeSize(const TreeRef &T);
+size_t treeListSize(const TreeListRef &L);
+
+} // namespace xsa
+
+#endif // XSA_TREE_FOCUSEDTREE_H

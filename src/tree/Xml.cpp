@@ -1,0 +1,200 @@
+//===- Xml.cpp - Minimal XML parsing and serialization ---------------------===//
+
+#include "tree/Xml.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace xsa;
+
+namespace {
+
+/// A tiny recursive-descent XML reader sufficient for structure-only
+/// documents (elements, optionally attributed, self-closing or not).
+class XmlReader {
+public:
+  XmlReader(std::string_view Input, Document &Doc, std::string &Error)
+      : In(Input), Doc(Doc), Error(Error) {}
+
+  bool run() {
+    skipMisc();
+    while (Pos < In.size() && In[Pos] == '<') {
+      if (!parseElement(InvalidNodeId))
+        return false;
+      skipMisc();
+    }
+    skipMisc();
+    if (Pos != In.size())
+      return fail("trailing content after document element");
+    if (Doc.empty())
+      return fail("no document element found");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Error = "xml parse error at offset " + std::to_string(Pos) + ": " + Msg;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < In.size() && std::isspace(static_cast<unsigned char>(In[Pos])))
+      ++Pos;
+  }
+
+  bool startsWith(std::string_view S) const {
+    return In.substr(Pos, S.size()) == S;
+  }
+
+  /// Skips whitespace, text content, comments, PIs and doctype.
+  void skipMisc() {
+    for (;;) {
+      // Text content (ignored: the model is structure-only).
+      while (Pos < In.size() && In[Pos] != '<')
+        ++Pos;
+      if (startsWith("<!--")) {
+        size_t End = In.find("-->", Pos + 4);
+        Pos = End == std::string_view::npos ? In.size() : End + 3;
+        continue;
+      }
+      if (startsWith("<?") || startsWith("<!")) {
+        size_t End = In.find('>', Pos);
+        Pos = End == std::string_view::npos ? In.size() : End + 1;
+        continue;
+      }
+      return;
+    }
+  }
+
+  static bool isNameChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '-' ||
+           C == '_' || C == '.' || C == ':';
+  }
+
+  std::string parseName() {
+    size_t Start = Pos;
+    while (Pos < In.size() && isNameChar(In[Pos]))
+      ++Pos;
+    return std::string(In.substr(Start, Pos - Start));
+  }
+
+  /// Parses attributes up to '>' or '/>'. Returns false on malformed
+  /// input; sets \p StartMark when xsa:start="true" is present.
+  bool parseAttributes(bool &StartMark, bool &SelfClosing) {
+    StartMark = false;
+    SelfClosing = false;
+    for (;;) {
+      skipWs();
+      if (Pos >= In.size())
+        return fail("unterminated start tag");
+      if (In[Pos] == '>') {
+        ++Pos;
+        return true;
+      }
+      if (startsWith("/>")) {
+        Pos += 2;
+        SelfClosing = true;
+        return true;
+      }
+      std::string AttrName = parseName();
+      if (AttrName.empty())
+        return fail("expected attribute name");
+      skipWs();
+      if (Pos >= In.size() || In[Pos] != '=')
+        return fail("expected '=' in attribute");
+      ++Pos;
+      skipWs();
+      if (Pos >= In.size() || (In[Pos] != '"' && In[Pos] != '\''))
+        return fail("expected quoted attribute value");
+      char Quote = In[Pos++];
+      size_t Start = Pos;
+      while (Pos < In.size() && In[Pos] != Quote)
+        ++Pos;
+      if (Pos >= In.size())
+        return fail("unterminated attribute value");
+      std::string Value(In.substr(Start, Pos - Start));
+      ++Pos;
+      if (AttrName == "xsa:start" && Value == "true")
+        StartMark = true;
+    }
+  }
+
+  bool parseElement(NodeId Parent) {
+    if (Pos >= In.size() || In[Pos] != '<')
+      return fail("expected '<'");
+    ++Pos;
+    std::string Name = parseName();
+    if (Name.empty())
+      return fail("expected element name");
+    bool StartMark, SelfClosing;
+    if (!parseAttributes(StartMark, SelfClosing))
+      return false;
+    NodeId N = Doc.addNode(Name, Parent);
+    if (StartMark) {
+      if (Doc.markedNode() != InvalidNodeId)
+        return fail("multiple xsa:start marks");
+      Doc.setMark(N);
+    }
+    if (SelfClosing)
+      return true;
+    // Children until the matching end tag.
+    for (;;) {
+      skipMisc();
+      if (Pos >= In.size())
+        return fail("unterminated element <" + Name + ">");
+      if (startsWith("</")) {
+        Pos += 2;
+        std::string End = parseName();
+        skipWs();
+        if (Pos >= In.size() || In[Pos] != '>')
+          return fail("malformed end tag");
+        ++Pos;
+        if (End != Name)
+          return fail("mismatched end tag </" + End + "> for <" + Name + ">");
+        return true;
+      }
+      if (!parseElement(N))
+        return false;
+    }
+  }
+
+  std::string_view In;
+  size_t Pos = 0;
+  Document &Doc;
+  std::string &Error;
+};
+
+void printNode(const Document &Doc, NodeId N, NodeId Target, int Indent,
+               std::ostringstream &OS) {
+  for (int I = 0; I < Indent; ++I)
+    OS << "  ";
+  OS << '<' << Doc.labelName(N);
+  if (Doc.isMarked(N))
+    OS << " xsa:start=\"true\"";
+  if (N == Target)
+    OS << " xsa:target=\"true\"";
+  if (Doc.firstChild(N) == InvalidNodeId) {
+    OS << "/>\n";
+    return;
+  }
+  OS << ">\n";
+  for (NodeId C = Doc.firstChild(N); C != InvalidNodeId; C = Doc.nextSibling(C))
+    printNode(Doc, C, Target, Indent + 1, OS);
+  for (int I = 0; I < Indent; ++I)
+    OS << "  ";
+  OS << "</" << Doc.labelName(N) << ">\n";
+}
+
+} // namespace
+
+bool xsa::parseXml(std::string_view Input, Document &Doc, std::string &Error) {
+  XmlReader Reader(Input, Doc, Error);
+  return Reader.run();
+}
+
+std::string xsa::printXml(const Document &Doc, NodeId Target) {
+  std::ostringstream OS;
+  for (NodeId R : Doc.roots())
+    printNode(Doc, R, Target, 0, OS);
+  return OS.str();
+}

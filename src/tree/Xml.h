@@ -1,0 +1,38 @@
+//===- Xml.h - Minimal XML parsing and serialization -------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// XML input/output for Documents. The paper's logic abstracts XML down to
+/// element structure (no data values, no attributes — the fragment under
+/// study excludes comparisons on them), so the parser recognizes elements,
+/// skips text/comments/processing instructions/doctype, and ignores
+/// attributes — except the reserved attribute `xsa:start="true"`, which
+/// round-trips the start mark of counterexample trees (§7.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_TREE_XML_H
+#define XSA_TREE_XML_H
+
+#include "tree/Document.h"
+
+#include <string>
+#include <string_view>
+
+namespace xsa {
+
+/// Parses \p Input into \p Doc. On error returns false and stores a
+/// human-readable message in \p Error.
+bool parseXml(std::string_view Input, Document &Doc, std::string &Error);
+
+/// Serializes the document as indented XML. The marked node (if any) gets
+/// the attribute xsa:start="true"; \p Target (if valid) gets
+/// xsa:target="true" — this mirrors the annotated counterexamples of §7.2.
+std::string printXml(const Document &Doc, NodeId Target = InvalidNodeId);
+
+} // namespace xsa
+
+#endif // XSA_TREE_XML_H

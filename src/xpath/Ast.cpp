@@ -1,0 +1,251 @@
+//===- Ast.cpp - XPath AST helpers and printing ----------------------------===//
+
+#include "xpath/Ast.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace xsa;
+
+Axis xsa::symmetricAxis(Axis A) {
+  switch (A) {
+  case Axis::Self:
+    return Axis::Self;
+  case Axis::Child:
+    return Axis::Parent;
+  case Axis::Parent:
+    return Axis::Child;
+  case Axis::Descendant:
+    return Axis::Ancestor;
+  case Axis::Ancestor:
+    return Axis::Descendant;
+  case Axis::DescOrSelf:
+    return Axis::AncOrSelf;
+  case Axis::AncOrSelf:
+    return Axis::DescOrSelf;
+  case Axis::FollSibling:
+    return Axis::PrecSibling;
+  case Axis::PrecSibling:
+    return Axis::FollSibling;
+  case Axis::Following:
+    return Axis::Preceding;
+  case Axis::Preceding:
+    return Axis::Following;
+  }
+  return Axis::Self;
+}
+
+const char *xsa::axisName(Axis A) {
+  switch (A) {
+  case Axis::Self:
+    return "self";
+  case Axis::Child:
+    return "child";
+  case Axis::Parent:
+    return "parent";
+  case Axis::Descendant:
+    return "descendant";
+  case Axis::DescOrSelf:
+    return "desc-or-self";
+  case Axis::Ancestor:
+    return "ancestor";
+  case Axis::AncOrSelf:
+    return "anc-or-self";
+  case Axis::FollSibling:
+    return "foll-sibling";
+  case Axis::PrecSibling:
+    return "prec-sibling";
+  case Axis::Following:
+    return "following";
+  case Axis::Preceding:
+    return "preceding";
+  }
+  return "?";
+}
+
+PathRef XPathPath::compose(PathRef A, PathRef B) {
+  auto P = std::make_shared<XPathPath>();
+  P->K = Compose;
+  P->P1 = std::move(A);
+  P->P2 = std::move(B);
+  return P;
+}
+
+PathRef XPathPath::qualified(PathRef Base, QualifRef Q) {
+  auto P = std::make_shared<XPathPath>();
+  P->K = Qualified;
+  P->P1 = std::move(Base);
+  P->Q = std::move(Q);
+  return P;
+}
+
+PathRef XPathPath::step(Axis A, std::optional<Symbol> Test) {
+  auto P = std::make_shared<XPathPath>();
+  P->K = Step;
+  P->A = A;
+  P->Test = Test;
+  return P;
+}
+
+PathRef XPathPath::alt(PathRef A, PathRef B) {
+  auto P = std::make_shared<XPathPath>();
+  P->K = Alt;
+  P->P1 = std::move(A);
+  P->P2 = std::move(B);
+  return P;
+}
+
+PathRef XPathPath::iterate(PathRef Inner) {
+  auto P = std::make_shared<XPathPath>();
+  P->K = Iterate;
+  P->P1 = std::move(Inner);
+  return P;
+}
+
+QualifRef XPathQualif::qand(QualifRef A, QualifRef B) {
+  auto Q = std::make_shared<XPathQualif>();
+  Q->K = And;
+  Q->Q1 = std::move(A);
+  Q->Q2 = std::move(B);
+  return Q;
+}
+
+QualifRef XPathQualif::qor(QualifRef A, QualifRef B) {
+  auto Q = std::make_shared<XPathQualif>();
+  Q->K = Or;
+  Q->Q1 = std::move(A);
+  Q->Q2 = std::move(B);
+  return Q;
+}
+
+QualifRef XPathQualif::qnot(QualifRef Inner) {
+  auto Q = std::make_shared<XPathQualif>();
+  Q->K = Not;
+  Q->Q1 = std::move(Inner);
+  return Q;
+}
+
+QualifRef XPathQualif::path(PathRef P) {
+  auto Q = std::make_shared<XPathQualif>();
+  Q->K = Path;
+  Q->P = std::move(P);
+  return Q;
+}
+
+ExprRef XPathExpr::absolute(PathRef P) {
+  auto E = std::make_shared<XPathExpr>();
+  E->K = Absolute;
+  E->P = std::move(P);
+  return E;
+}
+
+ExprRef XPathExpr::relative(PathRef P) {
+  auto E = std::make_shared<XPathExpr>();
+  E->K = Relative;
+  E->P = std::move(P);
+  return E;
+}
+
+ExprRef XPathExpr::unite(ExprRef A, ExprRef B) {
+  auto E = std::make_shared<XPathExpr>();
+  E->K = Union;
+  E->E1 = std::move(A);
+  E->E2 = std::move(B);
+  return E;
+}
+
+ExprRef XPathExpr::intersect(ExprRef A, ExprRef B) {
+  auto E = std::make_shared<XPathExpr>();
+  E->K = Intersect;
+  E->E1 = std::move(A);
+  E->E2 = std::move(B);
+  return E;
+}
+
+namespace {
+
+void printPath(const PathRef &P, std::ostringstream &OS) {
+  switch (P->K) {
+  case XPathPath::Compose:
+    printPath(P->P1, OS);
+    OS << "/";
+    printPath(P->P2, OS);
+    return;
+  case XPathPath::Qualified:
+    printPath(P->P1, OS);
+    OS << "[" << toString(P->Q) << "]";
+    return;
+  case XPathPath::Step:
+    OS << axisName(P->A) << "::";
+    if (P->Test)
+      OS << symbolName(*P->Test);
+    else
+      OS << "*";
+    return;
+  case XPathPath::Alt:
+    OS << "(";
+    printPath(P->P1, OS);
+    OS << " | ";
+    printPath(P->P2, OS);
+    OS << ")";
+    return;
+  case XPathPath::Iterate:
+    OS << "(";
+    printPath(P->P1, OS);
+    OS << ")+";
+    return;
+  }
+}
+
+void printQualif(const QualifRef &Q, std::ostringstream &OS) {
+  switch (Q->K) {
+  case XPathQualif::And:
+    OS << toString(Q->Q1) << " and " << toString(Q->Q2);
+    return;
+  case XPathQualif::Or:
+    OS << "(" << toString(Q->Q1) << " or " << toString(Q->Q2) << ")";
+    return;
+  case XPathQualif::Not:
+    OS << "not(" << toString(Q->Q1) << ")";
+    return;
+  case XPathQualif::Path:
+    printPath(Q->P, OS);
+    return;
+  }
+}
+
+} // namespace
+
+std::string xsa::toString(const PathRef &P) {
+  std::ostringstream OS;
+  printPath(P, OS);
+  return OS.str();
+}
+
+std::string xsa::toString(const QualifRef &Q) {
+  std::ostringstream OS;
+  printQualif(Q, OS);
+  return OS.str();
+}
+
+std::string xsa::toString(const ExprRef &E) {
+  std::ostringstream OS;
+  switch (E->K) {
+  case XPathExpr::Absolute:
+    OS << "/" << toString(E->P);
+    break;
+  case XPathExpr::Relative:
+    OS << toString(E->P);
+    break;
+  case XPathExpr::Union:
+    OS << toString(E->E1) << " | " << toString(E->E2);
+    break;
+  case XPathExpr::Intersect:
+    // '&' binds tighter than '|' in the concrete syntax; operands built
+    // by the parser are never unions, so no parentheses are needed (and
+    // the grammar has none for expressions).
+    OS << toString(E->E1) << " & " << toString(E->E2);
+    break;
+  }
+  return OS.str();
+}

@@ -1,0 +1,117 @@
+//===- Ast.h - XPath fragment abstract syntax (Fig. 4) -----------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The XPath fragment of Figure 4 — all major navigational features of
+/// XPath 1.0 except counting and data-value comparisons:
+///
+///   e ::= /p | p | e ∪ e | e ∩ e
+///   p ::= p/p | p[q] | a::σ | a::*
+///   q ::= q and q | q or q | not q | p
+///   a ::= child | self | parent | descendant | desc-or-self | ancestor
+///       | anc-or-self | foll-sibling | prec-sibling | following | preceding
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_XPATH_AST_H
+#define XSA_XPATH_AST_H
+
+#include "support/StringInterner.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace xsa {
+
+enum class Axis : uint8_t {
+  Self,
+  Child,
+  Parent,
+  Descendant,
+  DescOrSelf,
+  Ancestor,
+  AncOrSelf,
+  FollSibling,
+  PrecSibling,
+  Following,
+  Preceding,
+};
+
+/// symmetric(a) of Figure 10: the axis navigating backwards.
+Axis symmetricAxis(Axis A);
+
+/// Axis spelling as in the paper ("foll-sibling", ...).
+const char *axisName(Axis A);
+
+struct XPathExpr;
+struct XPathPath;
+struct XPathQualif;
+
+using ExprRef = std::shared_ptr<const XPathExpr>;
+using PathRef = std::shared_ptr<const XPathPath>;
+using QualifRef = std::shared_ptr<const XPathQualif>;
+
+/// A path: composition, qualified path, step, in-path alternative, or
+/// transitive iteration.
+///
+/// Alt is a small extension of Figure 4 needed by the paper's own
+/// benchmark query e10 = html/(head | body): a union nested inside a
+/// path. Iterate — written (p)+ — is the *conditional XPath* extension
+/// of Marx [34] that the paper's conclusion says the solver supports:
+/// one or more repetitions of p. Its translation is the least fixpoint
+/// µZ.P→⟦p⟧(χ ∨ Z); cycle-freeness of the result is checked by the
+/// solver (a non-progressing p such as (self::*)+ is rejected there).
+struct XPathPath {
+  enum Kind : uint8_t { Compose, Qualified, Step, Alt, Iterate } K;
+  // Compose: P1/P2. Alt: P1 | P2. Iterate: (P1)+.
+  PathRef P1, P2;
+  // Qualified: P1[Q].
+  QualifRef Q;
+  // Step: A::Test (nullopt = *).
+  Axis A = Axis::Child;
+  std::optional<Symbol> Test;
+
+  static PathRef compose(PathRef A, PathRef B);
+  static PathRef qualified(PathRef P, QualifRef Q);
+  static PathRef step(Axis A, std::optional<Symbol> Test);
+  static PathRef alt(PathRef A, PathRef B);
+  static PathRef iterate(PathRef P);
+};
+
+/// A qualifier (boolean filter).
+struct XPathQualif {
+  enum Kind : uint8_t { And, Or, Not, Path } K;
+  QualifRef Q1, Q2; // And/Or operands; Not operand in Q1
+  PathRef P;        // Path
+
+  static QualifRef qand(QualifRef A, QualifRef B);
+  static QualifRef qor(QualifRef A, QualifRef B);
+  static QualifRef qnot(QualifRef Q);
+  static QualifRef path(PathRef P);
+};
+
+/// A top-level expression.
+struct XPathExpr {
+  enum Kind : uint8_t { Absolute, Relative, Union, Intersect } K;
+  PathRef P;      // Absolute/Relative
+  ExprRef E1, E2; // Union/Intersect operands
+
+  static ExprRef absolute(PathRef P);
+  static ExprRef relative(PathRef P);
+  static ExprRef unite(ExprRef A, ExprRef B);
+  static ExprRef intersect(ExprRef A, ExprRef B);
+};
+
+/// Pretty-prints the expression in the concrete syntax accepted by
+/// parseXPath (round-trips).
+std::string toString(const ExprRef &E);
+std::string toString(const PathRef &P);
+std::string toString(const QualifRef &Q);
+
+} // namespace xsa
+
+#endif // XSA_XPATH_AST_H

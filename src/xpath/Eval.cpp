@@ -1,0 +1,186 @@
+//===- Eval.cpp - XPath set semantics (Figs. 5-6) ---------------------------===//
+
+#include "xpath/Eval.h"
+
+#include <cassert>
+
+using namespace xsa;
+
+namespace {
+
+NodeSet childrenOf(const Document &Doc, const NodeSet &From) {
+  NodeSet R;
+  for (NodeId N : From)
+    for (NodeId C = Doc.firstChild(N); C != InvalidNodeId;
+         C = Doc.nextSibling(C))
+      R.insert(C);
+  return R;
+}
+
+NodeSet parentsOf(const Document &Doc, const NodeSet &From) {
+  NodeSet R;
+  for (NodeId N : From)
+    if (Doc.parent(N) != InvalidNodeId)
+      R.insert(Doc.parent(N));
+  return R;
+}
+
+} // namespace
+
+NodeSet xsa::evalAxis(const Document &Doc, Axis A, const NodeSet &From) {
+  NodeSet R;
+  switch (A) {
+  case Axis::Self:
+    return From;
+  case Axis::Child:
+    return childrenOf(Doc, From);
+  case Axis::Parent:
+    return parentsOf(Doc, From);
+  case Axis::Descendant: {
+    NodeSet Frontier = childrenOf(Doc, From);
+    while (!Frontier.empty()) {
+      R.insert(Frontier.begin(), Frontier.end());
+      Frontier = childrenOf(Doc, Frontier);
+    }
+    return R;
+  }
+  case Axis::DescOrSelf: {
+    R = evalAxis(Doc, Axis::Descendant, From);
+    R.insert(From.begin(), From.end());
+    return R;
+  }
+  case Axis::Ancestor: {
+    for (NodeId N : From)
+      for (NodeId P = Doc.parent(N); P != InvalidNodeId; P = Doc.parent(P))
+        R.insert(P);
+    return R;
+  }
+  case Axis::AncOrSelf: {
+    R = evalAxis(Doc, Axis::Ancestor, From);
+    R.insert(From.begin(), From.end());
+    return R;
+  }
+  case Axis::FollSibling: {
+    for (NodeId N : From)
+      for (NodeId S = Doc.nextSibling(N); S != InvalidNodeId;
+           S = Doc.nextSibling(S))
+        R.insert(S);
+    return R;
+  }
+  case Axis::PrecSibling: {
+    for (NodeId N : From)
+      for (NodeId S = Doc.prevSibling(N); S != InvalidNodeId;
+           S = Doc.prevSibling(S))
+        R.insert(S);
+    return R;
+  }
+  case Axis::Following:
+    // desc-or-self(foll-sibling(anc-or-self(F))) (Fig. 5).
+    return evalAxis(Doc, Axis::DescOrSelf,
+                    evalAxis(Doc, Axis::FollSibling,
+                             evalAxis(Doc, Axis::AncOrSelf, From)));
+  case Axis::Preceding:
+    return evalAxis(Doc, Axis::DescOrSelf,
+                    evalAxis(Doc, Axis::PrecSibling,
+                             evalAxis(Doc, Axis::AncOrSelf, From)));
+  }
+  return R;
+}
+
+NodeSet xsa::evalPath(const Document &Doc, const PathRef &P,
+                      const NodeSet &From) {
+  switch (P->K) {
+  case XPathPath::Compose:
+    return evalPath(Doc, P->P2, evalPath(Doc, P->P1, From));
+  case XPathPath::Qualified: {
+    NodeSet Base = evalPath(Doc, P->P1, From);
+    NodeSet R;
+    for (NodeId N : Base)
+      if (evalQualif(Doc, P->Q, N))
+        R.insert(N);
+    return R;
+  }
+  case XPathPath::Step: {
+    NodeSet Base = evalAxis(Doc, P->A, From);
+    if (!P->Test)
+      return Base;
+    NodeSet R;
+    for (NodeId N : Base)
+      if (Doc.label(N) == *P->Test)
+        R.insert(N);
+    return R;
+  }
+  case XPathPath::Alt: {
+    NodeSet R = evalPath(Doc, P->P1, From);
+    NodeSet R2 = evalPath(Doc, P->P2, From);
+    R.insert(R2.begin(), R2.end());
+    return R;
+  }
+  case XPathPath::Iterate: {
+    // One or more repetitions: transitive closure of the step relation.
+    NodeSet Acc;
+    NodeSet Frontier = evalPath(Doc, P->P1, From);
+    while (!Frontier.empty()) {
+      NodeSet Next;
+      for (NodeId N : Frontier)
+        if (Acc.insert(N).second)
+          Next.insert(N);
+      Frontier = evalPath(Doc, P->P1, Next);
+    }
+    return Acc;
+  }
+  }
+  return {};
+}
+
+bool xsa::evalQualif(const Document &Doc, const QualifRef &Q, NodeId N) {
+  switch (Q->K) {
+  case XPathQualif::And:
+    return evalQualif(Doc, Q->Q1, N) && evalQualif(Doc, Q->Q2, N);
+  case XPathQualif::Or:
+    return evalQualif(Doc, Q->Q1, N) || evalQualif(Doc, Q->Q2, N);
+  case XPathQualif::Not:
+    return !evalQualif(Doc, Q->Q1, N);
+  case XPathQualif::Path:
+    return !evalPath(Doc, Q->P, {N}).empty();
+  }
+  return false;
+}
+
+NodeSet xsa::evalXPath(const Document &Doc, const ExprRef &E, NodeId Ctx) {
+  assert(Ctx != InvalidNodeId && "xpath evaluation needs a context node");
+  switch (E->K) {
+  case XPathExpr::Absolute: {
+    // root(F): the top-level ancestor-or-self of the context (Fig. 6).
+    NodeId Root = Ctx;
+    while (Doc.parent(Root) != InvalidNodeId)
+      Root = Doc.parent(Root);
+    return evalPath(Doc, E->P, {Root});
+  }
+  case XPathExpr::Relative:
+    return evalPath(Doc, E->P, {Ctx});
+  case XPathExpr::Union: {
+    NodeSet R = evalXPath(Doc, E->E1, Ctx);
+    NodeSet R2 = evalXPath(Doc, E->E2, Ctx);
+    R.insert(R2.begin(), R2.end());
+    return R;
+  }
+  case XPathExpr::Intersect: {
+    NodeSet A = evalXPath(Doc, E->E1, Ctx);
+    NodeSet B = evalXPath(Doc, E->E2, Ctx);
+    NodeSet R;
+    for (NodeId N : A)
+      if (B.count(N))
+        R.insert(N);
+    return R;
+  }
+  }
+  return {};
+}
+
+NodeSet xsa::evalXPath(const Document &Doc, const ExprRef &E) {
+  NodeId Ctx = Doc.markedNode();
+  if (Ctx == InvalidNodeId)
+    Ctx = Doc.firstRoot();
+  return evalXPath(Doc, E, Ctx);
+}

@@ -1,0 +1,46 @@
+//===- Eval.h - XPath set semantics (Figs. 5-6) ------------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The denotational semantics of the XPath fragment (Figures 5 and 6) as
+/// functions between sets of nodes of a concrete Document. Used as ground
+/// truth for the translation-correctness property (Prop 5.1) and to
+/// validate counterexamples produced by the solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_XPATH_EVAL_H
+#define XSA_XPATH_EVAL_H
+
+#include "tree/Document.h"
+#include "xpath/Ast.h"
+
+#include <set>
+
+namespace xsa {
+
+using NodeSet = std::set<NodeId>;
+
+/// S_a: nodes reachable from \p From through axis \p A.
+NodeSet evalAxis(const Document &Doc, Axis A, const NodeSet &From);
+
+/// S_p: nodes selected by path \p P from context set \p From.
+NodeSet evalPath(const Document &Doc, const PathRef &P, const NodeSet &From);
+
+/// S_q: does qualifier \p Q hold at node \p N?
+bool evalQualif(const Document &Doc, const QualifRef &Q, NodeId N);
+
+/// S_e: nodes selected by \p E when evaluation starts at context node
+/// \p Ctx (absolute paths restart from Ctx's top-level ancestor).
+NodeSet evalXPath(const Document &Doc, const ExprRef &E, NodeId Ctx);
+
+/// Same, using the document's start mark as the context (falls back to
+/// the first root if the document has no mark).
+NodeSet evalXPath(const Document &Doc, const ExprRef &E);
+
+} // namespace xsa
+
+#endif // XSA_XPATH_EVAL_H

@@ -1,0 +1,364 @@
+//===- Parser.cpp - XPath concrete syntax ----------------------------------===//
+
+#include "xpath/Parser.h"
+
+#include <cctype>
+#include <map>
+
+using namespace xsa;
+
+namespace {
+
+const std::map<std::string, Axis, std::less<>> AxisNames = {
+    {"self", Axis::Self},
+    {"child", Axis::Child},
+    {"parent", Axis::Parent},
+    {"descendant", Axis::Descendant},
+    {"desc-or-self", Axis::DescOrSelf},
+    {"descendant-or-self", Axis::DescOrSelf},
+    {"ancestor", Axis::Ancestor},
+    {"anc-or-self", Axis::AncOrSelf},
+    {"ancestor-or-self", Axis::AncOrSelf},
+    {"foll-sibling", Axis::FollSibling},
+    {"following-sibling", Axis::FollSibling},
+    {"prec-sibling", Axis::PrecSibling},
+    {"preceding-sibling", Axis::PrecSibling},
+    {"following", Axis::Following},
+    {"preceding", Axis::Preceding},
+};
+
+class XPathParser {
+public:
+  XPathParser(std::string_view In, std::string &Error) : In(In), Error(Error) {}
+
+  ExprRef run() {
+    ExprRef E = parseUnion();
+    if (!E)
+      return nullptr;
+    skipWs();
+    if (Pos != In.size()) {
+      fail("unexpected trailing input");
+      return nullptr;
+    }
+    return E;
+  }
+
+private:
+  ExprRef fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "xpath parse error at offset " + std::to_string(Pos) + ": " + Msg;
+    return nullptr;
+  }
+
+  void skipWs() {
+    while (Pos < In.size() && std::isspace(static_cast<unsigned char>(In[Pos])))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < In.size() && In[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char C) {
+    skipWs();
+    return Pos < In.size() && In[Pos] == C;
+  }
+
+  bool eatDoubleSlash() {
+    skipWs();
+    if (In.substr(Pos, 2) == "//") {
+      Pos += 2;
+      return true;
+    }
+    return false;
+  }
+
+  static bool isNameStart(char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+  }
+  static bool isNameChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '-' || C == '.';
+  }
+
+  std::string peekName() {
+    skipWs();
+    if (Pos >= In.size() || !isNameStart(In[Pos]))
+      return "";
+    size_t P = Pos + 1;
+    while (P < In.size() && isNameChar(In[P]))
+      ++P;
+    return std::string(In.substr(Pos, P - Pos));
+  }
+
+  std::string parseName() {
+    std::string N = peekName();
+    Pos += N.size();
+    return N;
+  }
+
+  bool peekWord(std::string_view W) { return peekName() == W; }
+
+  // expr := intersect ('|' intersect)*
+  ExprRef parseUnion() {
+    ExprRef L = parseIntersect();
+    if (!L)
+      return nullptr;
+    while (peek('|')) {
+      eat('|');
+      ExprRef R = parseIntersect();
+      if (!R)
+        return nullptr;
+      L = XPathExpr::unite(L, R);
+    }
+    return L;
+  }
+
+  // intersect := pathExpr ('&' pathExpr)*
+  ExprRef parseIntersect() {
+    ExprRef L = parsePathExpr();
+    if (!L)
+      return nullptr;
+    while (peek('&')) {
+      eat('&');
+      ExprRef R = parsePathExpr();
+      if (!R)
+        return nullptr;
+      L = XPathExpr::intersect(L, R);
+    }
+    return L;
+  }
+
+  static PathRef descOrSelfStar() {
+    return XPathPath::step(Axis::DescOrSelf, std::nullopt);
+  }
+
+  // pathExpr := '//' relpath | '/' relpath | relpath
+  ExprRef parsePathExpr() {
+    skipWs();
+    if (eatDoubleSlash()) {
+      PathRef P = parseRelPath();
+      if (!P)
+        return nullptr;
+      return XPathExpr::absolute(XPathPath::compose(descOrSelfStar(), P));
+    }
+    if (eat('/')) {
+      PathRef P = parseRelPath();
+      if (!P)
+        return nullptr;
+      return XPathExpr::absolute(P);
+    }
+    PathRef P = parseRelPath();
+    if (!P)
+      return nullptr;
+    return XPathExpr::relative(P);
+  }
+
+  // relpath := qualstep (('/'|'//') qualstep)*
+  PathRef parseRelPath() {
+    PathRef L = parseQualStep();
+    if (!L)
+      return nullptr;
+    for (;;) {
+      skipWs();
+      if (eatDoubleSlash()) {
+        PathRef R = parseQualStep();
+        if (!R)
+          return nullptr;
+        L = XPathPath::compose(XPathPath::compose(L, descOrSelfStar()), R);
+        continue;
+      }
+      if (peek('/')) {
+        eat('/');
+        PathRef R = parseQualStep();
+        if (!R)
+          return nullptr;
+        L = XPathPath::compose(L, R);
+        continue;
+      }
+      return L;
+    }
+  }
+
+  // qualstep := primary ('[' qualifier ']')*
+  PathRef parseQualStep() {
+    PathRef P = parsePrimaryStep();
+    if (!P)
+      return nullptr;
+    while (peek('[')) {
+      eat('[');
+      QualifRef Q = parseQualifOr();
+      if (!Q)
+        return nullptr;
+      if (!eat(']')) {
+        fail("expected ']' after qualifier");
+        return nullptr;
+      }
+      P = XPathPath::qualified(P, Q);
+    }
+    return P;
+  }
+
+  // primary := '(' relpath ('|' relpath)* ')' '+'? | step
+  PathRef parsePrimaryStep() {
+    skipWs();
+    if (peek('(')) {
+      eat('(');
+      PathRef L = parseRelPath();
+      if (!L)
+        return nullptr;
+      while (peek('|')) {
+        eat('|');
+        PathRef R = parseRelPath();
+        if (!R)
+          return nullptr;
+        L = XPathPath::alt(L, R);
+      }
+      if (!eat(')')) {
+        fail("expected ')' in parenthesized path");
+        return nullptr;
+      }
+      // Conditional-XPath iteration (Marx): (p)+.
+      if (peek('+')) {
+        eat('+');
+        return XPathPath::iterate(L);
+      }
+      return L;
+    }
+    return parseStep();
+  }
+
+  // step := '..' | '.' | '*' | (axis '::')? nodetest
+  PathRef parseStep() {
+    skipWs();
+    if (In.substr(Pos, 2) == "..") {
+      Pos += 2;
+      return XPathPath::step(Axis::Parent, std::nullopt);
+    }
+    if (Pos < In.size() && In[Pos] == '.') {
+      ++Pos;
+      return XPathPath::step(Axis::Self, std::nullopt);
+    }
+    if (eat('*'))
+      return XPathPath::step(Axis::Child, std::nullopt);
+    std::string Name = peekName();
+    if (Name.empty()) {
+      fail("expected a step");
+      return nullptr;
+    }
+    // Axis prefix?
+    Axis A = Axis::Child;
+    auto AxIt = AxisNames.find(Name);
+    skipWs();
+    size_t After = Pos + Name.size();
+    if (AxIt != AxisNames.end() && In.substr(After, 2) == "::") {
+      A = AxIt->second;
+      Pos = After + 2;
+      skipWs();
+      if (eat('*'))
+        return XPathPath::step(A, std::nullopt);
+      std::string Test = parseName();
+      if (Test.empty()) {
+        fail("expected node test after axis");
+        return nullptr;
+      }
+      return XPathPath::step(A, internSymbol(Test));
+    }
+    // Plain name: abbreviated child step.
+    Pos = After;
+    return XPathPath::step(Axis::Child, internSymbol(Name));
+  }
+
+  // qualifier := qand ('or' qand)*
+  QualifRef parseQualifOr() {
+    QualifRef L = parseQualifAnd();
+    if (!L)
+      return nullptr;
+    while (peekWord("or")) {
+      parseName();
+      QualifRef R = parseQualifAnd();
+      if (!R)
+        return nullptr;
+      L = XPathQualif::qor(L, R);
+    }
+    return L;
+  }
+
+  QualifRef parseQualifAnd() {
+    QualifRef L = parseQualifPrim();
+    if (!L)
+      return nullptr;
+    while (peekWord("and")) {
+      parseName();
+      QualifRef R = parseQualifPrim();
+      if (!R)
+        return nullptr;
+      L = XPathQualif::qand(L, R);
+    }
+    return L;
+  }
+
+  QualifRef parseQualifPrim() {
+    skipWs();
+    if (peekWord("not")) {
+      parseName();
+      skipWs();
+      bool Paren = eat('(');
+      QualifRef Q = Paren ? parseQualifOr() : parseQualifPrim();
+      if (!Q)
+        return nullptr;
+      if (Paren && !eat(')')) {
+        fail("expected ')' after not(...)");
+        return nullptr;
+      }
+      return XPathQualif::qnot(Q);
+    }
+    if (peek('(')) {
+      eat('(');
+      QualifRef Q = parseQualifOr();
+      if (!Q)
+        return nullptr;
+      if (!eat(')')) {
+        fail("expected ')'");
+        return nullptr;
+      }
+      return Q;
+    }
+    PathRef P = parseRelPathInQualif();
+    if (!P)
+      return nullptr;
+    return XPathQualif::path(P);
+  }
+
+  /// Paths inside qualifiers may start with '//' or './/' (e.g. the
+  /// paper's e1); a leading '//' is relative desc-or-self navigation from
+  /// the filtered node (XPath's absolute form is not in the fragment's
+  /// qualifier grammar, Fig. 4).
+  PathRef parseRelPathInQualif() {
+    skipWs();
+    if (eatDoubleSlash()) {
+      PathRef P = parseRelPath();
+      if (!P)
+        return nullptr;
+      return XPathPath::compose(descOrSelfStar(), P);
+    }
+    return parseRelPath();
+  }
+
+  std::string_view In;
+  size_t Pos = 0;
+  std::string &Error;
+};
+
+} // namespace
+
+ExprRef xsa::parseXPath(std::string_view Input, std::string &Error) {
+  Error.clear();
+  XPathParser P(Input, Error);
+  return P.run();
+}

@@ -1,0 +1,32 @@
+//===- Parser.h - XPath concrete syntax --------------------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the XPath fragment of Figure 4, with the usual abbreviations:
+/// implicit `child::`, `//` for `/desc-or-self::*/`, `.` for `self::*`,
+/// `..` for `parent::*`, parenthesized in-path unions `a/(b | c)` (used by
+/// the paper's query e10), `|` for union and `&` for intersection of
+/// expressions. Both the paper's axis spellings (`foll-sibling`, ...) and
+/// the W3C spellings (`following-sibling`, ...) are accepted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_XPATH_PARSER_H
+#define XSA_XPATH_PARSER_H
+
+#include "xpath/Ast.h"
+
+#include <string>
+#include <string_view>
+
+namespace xsa {
+
+/// Parses \p Input; returns nullptr and fills \p Error on failure.
+ExprRef parseXPath(std::string_view Input, std::string &Error);
+
+} // namespace xsa
+
+#endif // XSA_XPATH_PARSER_H

@@ -1,0 +1,39 @@
+//===- BuiltinDtds.h - DTDs used in the paper's experiments ------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three document types used in the paper:
+///
+///  * the Wikipedia DTD fragment of Figure 12 (verbatim);
+///  * SMIL 1.0 (19 element symbols — Table 1), transcribed from the W3C
+///    DTD with attribute declarations dropped;
+///  * XHTML 1.0 Strict (77 element symbols — Table 1), transcribed from
+///    the W3C DTD with parameter entities inlined as entities and
+///    attribute declarations dropped. Crucially for the paper's e8
+///    experiment, `a` excludes itself *directly* from its content but
+///    nested anchors remain reachable through other inline elements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_XTYPE_BUILTINDTDS_H
+#define XSA_XTYPE_BUILTINDTDS_H
+
+#include "xtype/Dtd.h"
+
+namespace xsa {
+
+/// Figure 12: the Wikipedia encyclopedia DTD fragment (root: article).
+const Dtd &wikipediaDtd();
+
+/// SMIL 1.0 structure (root: smil).
+const Dtd &smil10Dtd();
+
+/// XHTML 1.0 Strict structure (root: html).
+const Dtd &xhtml10StrictDtd();
+
+} // namespace xsa
+
+#endif // XSA_XTYPE_BUILTINDTDS_H

@@ -1,0 +1,44 @@
+//===- Compile.cpp - Regular tree types to Lµ (§5.2) ------------------------===//
+
+#include "xtype/Compile.h"
+
+#include <cassert>
+
+using namespace xsa;
+
+Formula xsa::compileType(FormulaFactory &FF, const BinaryTypeGrammar &G) {
+  if (G.Start == BinaryTypeGrammar::EpsilonVar || G.Vars.empty())
+    return FF.falseF(); // only the empty hedge: no focused tree satisfies it
+  // One recursion variable per grammar variable.
+  std::vector<Symbol> VarSyms;
+  VarSyms.reserve(G.Vars.size());
+  for (const BinaryTypeGrammar::Var &V : G.Vars)
+    VarSyms.push_back(FF.freshVar("T" + V.Name + "_"));
+
+  auto Succ = [&](Program Alpha, int X) -> Formula {
+    if (X == BinaryTypeGrammar::EpsilonVar)
+      return FF.negDiamondTop(Alpha);
+    Formula Step = FF.diamond(Alpha, FF.var(VarSyms[X]));
+    if (G.Vars[X].Nullable)
+      return FF.disj(FF.negDiamondTop(Alpha), Step);
+    return Step;
+  };
+
+  std::vector<MuBinding> Bindings;
+  Bindings.reserve(G.Vars.size());
+  for (size_t I = 0; I < G.Vars.size(); ++I) {
+    Formula Def = FF.falseF();
+    for (const BinaryTypeGrammar::Alt &A : G.Vars[I].Alts) {
+      Formula AltF = FF.conj(
+          FF.conj(FF.prop(A.Label), Succ(Program::Child, A.X1)),
+          Succ(Program::Sibling, A.X2));
+      Def = FF.disj(Def, AltF);
+    }
+    Bindings.push_back({VarSyms[I], Def});
+  }
+  return FF.mu(std::move(Bindings), FF.var(VarSyms[G.Start]));
+}
+
+Formula xsa::compileDtd(FormulaFactory &FF, const Dtd &D) {
+  return compileType(FF, binarize(D));
+}

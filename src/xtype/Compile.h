@@ -1,0 +1,43 @@
+//===- Compile.h - Regular tree types to Lµ (§5.2) ---------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linear translation of binary regular tree types into Lµ (§5.2):
+///
+///   ⟦σ(X1, X2)⟧ = σ ∧ succ1(X1) ∧ succ2(X2)
+///   ⟦T1 ∪ T2⟧  = ⟦T1⟧ ∨ ⟦T2⟧
+///   ⟦let X̄.T̄ in T⟧ = µ X̄ = ⟦T̄⟧ in ⟦T⟧
+///
+/// with the frontier function
+///
+///   succα(X) = ¬⟨α⟩⊤                 if X is bound to ε
+///            = ¬⟨α⟩⊤ ∨ ⟨α⟩X         if nullable(X)
+///            = ⟨α⟩X                  otherwise.
+///
+/// The resulting formula uses only downward modalities and is trivially
+/// cycle free; Figure 14 of the paper shows the output for the Wikipedia
+/// DTD.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_XTYPE_COMPILE_H
+#define XSA_XTYPE_COMPILE_H
+
+#include "logic/Formula.h"
+#include "xtype/Binarize.h"
+
+namespace xsa {
+
+/// Compiles a binary tree type grammar to the Lµ formula holding exactly
+/// at the roots of trees of the type.
+Formula compileType(FormulaFactory &FF, const BinaryTypeGrammar &G);
+
+/// Convenience: binarize + compile.
+Formula compileDtd(FormulaFactory &FF, const Dtd &D);
+
+} // namespace xsa
+
+#endif // XSA_XTYPE_COMPILE_H

@@ -1,0 +1,449 @@
+//===- TreeGrammar.cpp - General regular tree grammars ----------------------===//
+
+#include "xtype/TreeGrammar.h"
+
+#include <cassert>
+#include <cctype>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+using namespace xsa;
+
+Symbol TreeGrammar::nonterminalSymbol(int Index) {
+  return internSymbol("#nt" + std::to_string(Index));
+}
+
+int TreeGrammar::nonterminalIndex(Symbol S) {
+  const std::string &Name = symbolName(S);
+  if (Name.size() < 4 || Name.compare(0, 3, "#nt") != 0)
+    return -1;
+  return std::atoi(Name.c_str() + 3);
+}
+
+int TreeGrammar::addNonTerminal(std::string Name, Symbol Label,
+                                ContentRef Content) {
+  NonTerminals.push_back({std::move(Name), Label, std::move(Content)});
+  return static_cast<int>(NonTerminals.size() - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Membership (bottom-up set-based matching)
+//===----------------------------------------------------------------------===//
+
+bool TreeGrammar::accepts(const Document &Doc, std::string *Why) const {
+  auto Fail = [&](const std::string &Msg) {
+    if (Why)
+      *Why = Msg;
+    return false;
+  };
+  if (Doc.roots().size() != 1)
+    return Fail("document must have exactly one root element");
+  // One automaton per nonterminal.
+  std::vector<Glushkov> Automata;
+  Automata.reserve(NonTerminals.size());
+  for (const NonTerminal &N : NonTerminals)
+    Automata.push_back(buildGlushkov(N.Content));
+  // Postorder: children before parents.
+  std::vector<std::set<int>> Match(Doc.size());
+  std::vector<NodeId> Order;
+  Order.reserve(Doc.size());
+  {
+    std::vector<NodeId> Stack = Doc.roots();
+    std::vector<NodeId> Rev;
+    while (!Stack.empty()) {
+      NodeId N = Stack.back();
+      Stack.pop_back();
+      Rev.push_back(N);
+      for (NodeId C = Doc.firstChild(N); C != InvalidNodeId;
+           C = Doc.nextSibling(C))
+        Stack.push_back(C);
+    }
+    Order.assign(Rev.rbegin(), Rev.rend());
+  }
+  for (NodeId N : Order) {
+    for (size_t I = 0; I < NonTerminals.size(); ++I) {
+      if (NonTerminals[I].Label != Doc.label(N))
+        continue;
+      // Run the content automaton over the children, where position p
+      // (a nonterminal reference) matches child c iff c can be that
+      // nonterminal.
+      const Glushkov &A = Automata[I];
+      std::set<int> States{0};
+      bool Dead = false;
+      for (NodeId C = Doc.firstChild(N); C != InvalidNodeId;
+           C = Doc.nextSibling(C)) {
+        std::set<int> Next;
+        for (int Q : States)
+          for (int P : A.transitions(Q)) {
+            int Target = nonterminalIndex(A.symbolOf(P));
+            if (Target >= 0 && Match[C].count(Target))
+              Next.insert(P);
+          }
+        if (Next.empty()) {
+          Dead = true;
+          break;
+        }
+        States = std::move(Next);
+      }
+      if (Dead)
+        continue;
+      for (int Q : States)
+        if (A.accepting(Q)) {
+          Match[N].insert(static_cast<int>(I));
+          break;
+        }
+    }
+  }
+  NodeId Root = Doc.roots()[0];
+  if (Match[Root].count(Start))
+    return true;
+  return Fail("root does not match the start nonterminal " +
+              NonTerminals[Start].Name);
+}
+
+//===----------------------------------------------------------------------===//
+// Binarization (Fig. 13 generalized to tree grammars)
+//===----------------------------------------------------------------------===//
+
+BinaryTypeGrammar TreeGrammar::binarize(bool Minimize) const {
+  BinaryTypeGrammar G;
+  std::vector<Glushkov> Automata;
+  std::vector<int> Base(NonTerminals.size());
+  for (size_t I = 0; I < NonTerminals.size(); ++I) {
+    Automata.push_back(buildGlushkov(NonTerminals[I].Content));
+    Base[I] = static_cast<int>(G.Vars.size());
+    const Glushkov &A = Automata.back();
+    for (size_t Q = 0; Q < A.numStates(); ++Q) {
+      BinaryTypeGrammar::Var V;
+      V.Name = std::to_string(G.Vars.size() + 1);
+      V.Nullable = A.accepting(static_cast<int>(Q));
+      G.Vars.push_back(std::move(V));
+    }
+  }
+  for (size_t I = 0; I < NonTerminals.size(); ++I) {
+    const Glushkov &A = Automata[I];
+    for (size_t Q = 0; Q < A.numStates(); ++Q) {
+      BinaryTypeGrammar::Var &V = G.Vars[Base[I] + Q];
+      for (int P : A.transitions(static_cast<int>(Q))) {
+        int Target = nonterminalIndex(A.symbolOf(P));
+        assert(Target >= 0 && "content model must range over nonterminals");
+        V.Alts.push_back({NonTerminals[Target].Label, Base[Target],
+                          Base[I] + P});
+      }
+    }
+  }
+  BinaryTypeGrammar::Var StartVar;
+  StartVar.Name = std::to_string(G.Vars.size() + 1);
+  StartVar.Alts.push_back({NonTerminals[Start].Label, Base[Start],
+                           BinaryTypeGrammar::EpsilonVar});
+  G.Start = static_cast<int>(G.Vars.size());
+  G.Vars.push_back(std::move(StartVar));
+  optimizeBinaryGrammar(G, Minimize);
+  return G;
+}
+
+//===----------------------------------------------------------------------===//
+// Compact-syntax reader
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Pat {
+  enum Kind { Elem, Ref, Empty, Seq, Choice, Star, Plus, Opt } K;
+  std::string Name; // Elem label / Ref target
+  std::shared_ptr<Pat> A, B;
+};
+using PatRef = std::shared_ptr<Pat>;
+
+PatRef makePat(Pat::Kind K, std::string Name = "", PatRef A = nullptr,
+               PatRef B = nullptr) {
+  auto P = std::make_shared<Pat>();
+  P->K = K;
+  P->Name = std::move(Name);
+  P->A = std::move(A);
+  P->B = std::move(B);
+  return P;
+}
+
+class GrammarParser {
+public:
+  GrammarParser(std::string_view In, TreeGrammar &G, std::string &Error)
+      : In(In), G(G), Error(Error) {}
+
+  bool run() {
+    // Phase 1: parse all definitions.
+    for (;;) {
+      skipMisc();
+      if (Pos >= In.size())
+        break;
+      std::string Name = parseName();
+      if (Name.empty())
+        return fail("expected a definition name");
+      if (Defs.count(Name))
+        return fail("duplicate definition of " + Name);
+      if (!eat('='))
+        return fail("expected '=' after " + Name);
+      PatRef P = parseChoice();
+      if (!P)
+        return false;
+      Defs.emplace(Name, P);
+      DefOrder.push_back(Name);
+    }
+    if (DefOrder.empty())
+      return fail("empty grammar");
+    // Phase 2: normalize the start definition (which pulls in the rest),
+    // then drain the element worklist.
+    ContentRef StartContent = normalizeDef(DefOrder.front());
+    if (!StartContent)
+      return false;
+    while (!Worklist.empty()) {
+      auto [Index, Body] = Worklist.back();
+      Worklist.pop_back();
+      ContentRef C = normalize(Body);
+      if (!C)
+        return false;
+      G.setContent(Index, C);
+    }
+    // The start pattern must be a single element.
+    if (StartContent->K != ContentModel::Sym)
+      return fail("the start definition must be a single element");
+    int StartNt = TreeGrammar::nonterminalIndex(StartContent->S);
+    if (StartNt < 0)
+      return fail("the start definition must be a single element");
+    G.setStart(StartNt);
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error =
+          "grammar parse error at offset " + std::to_string(Pos) + ": " + Msg;
+    return false;
+  }
+
+  void skipMisc() {
+    for (;;) {
+      while (Pos < In.size() &&
+             std::isspace(static_cast<unsigned char>(In[Pos])))
+        ++Pos;
+      if (Pos < In.size() && In[Pos] == '#') { // line comment
+        while (Pos < In.size() && In[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool eat(char C) {
+    skipMisc();
+    if (Pos < In.size() && In[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char C) {
+    skipMisc();
+    return Pos < In.size() && In[Pos] == C;
+  }
+
+  static bool isNameChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '-' ||
+           C == '_' || C == '.';
+  }
+
+  std::string peekName() {
+    skipMisc();
+    size_t P = Pos;
+    while (P < In.size() && isNameChar(In[P]))
+      ++P;
+    return std::string(In.substr(Pos, P - Pos));
+  }
+
+  std::string parseName() {
+    std::string N = peekName();
+    Pos += N.size();
+    return N;
+  }
+
+  // choice := seq ('|' seq)*
+  PatRef parseChoice() {
+    PatRef L = parseSeq();
+    if (!L)
+      return nullptr;
+    while (peek('|')) {
+      eat('|');
+      PatRef R = parseSeq();
+      if (!R)
+        return nullptr;
+      L = makePat(Pat::Choice, "", L, R);
+    }
+    return L;
+  }
+
+  // seq := postfix (',' postfix)*
+  PatRef parseSeq() {
+    PatRef L = parsePostfix();
+    if (!L)
+      return nullptr;
+    while (peek(',')) {
+      eat(',');
+      PatRef R = parsePostfix();
+      if (!R)
+        return nullptr;
+      L = makePat(Pat::Seq, "", L, R);
+    }
+    return L;
+  }
+
+  PatRef parsePostfix() {
+    PatRef P = parsePrimary();
+    if (!P)
+      return nullptr;
+    skipMisc();
+    if (Pos < In.size()) {
+      if (In[Pos] == '*') {
+        ++Pos;
+        return makePat(Pat::Star, "", P);
+      }
+      if (In[Pos] == '+') {
+        ++Pos;
+        return makePat(Pat::Plus, "", P);
+      }
+      if (In[Pos] == '?') {
+        ++Pos;
+        return makePat(Pat::Opt, "", P);
+      }
+    }
+    return P;
+  }
+
+  PatRef parsePrimary() {
+    skipMisc();
+    if (peek('(')) {
+      eat('(');
+      PatRef P = parseChoice();
+      if (!P)
+        return nullptr;
+      if (!eat(')')) {
+        fail("expected ')'");
+        return nullptr;
+      }
+      return P;
+    }
+    std::string Name = parseName();
+    if (Name.empty()) {
+      fail("expected a pattern");
+      return nullptr;
+    }
+    if (Name == "empty" || Name == "text")
+      return makePat(Pat::Empty);
+    if (Name == "element") {
+      std::string Label = parseName();
+      if (Label.empty()) {
+        fail("expected element name");
+        return nullptr;
+      }
+      if (!eat('{')) {
+        fail("expected '{' after element " + Label);
+        return nullptr;
+      }
+      PatRef Body = parseChoice();
+      if (!Body)
+        return nullptr;
+      if (!eat('}')) {
+        fail("expected '}' closing element " + Label);
+        return nullptr;
+      }
+      return makePat(Pat::Elem, Label, Body);
+    }
+    return makePat(Pat::Ref, Name);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Normalization to nonterminal form
+  //===--------------------------------------------------------------------===//
+
+  ContentRef normalize(const PatRef &P) {
+    switch (P->K) {
+    case Pat::Empty:
+      return ContentModel::eps();
+    case Pat::Seq: {
+      ContentRef A = normalize(P->A), B = normalize(P->B);
+      return A && B ? ContentModel::seq(A, B) : nullptr;
+    }
+    case Pat::Choice: {
+      ContentRef A = normalize(P->A), B = normalize(P->B);
+      return A && B ? ContentModel::choice(A, B) : nullptr;
+    }
+    case Pat::Star: {
+      ContentRef A = normalize(P->A);
+      return A ? ContentModel::star(A) : nullptr;
+    }
+    case Pat::Plus: {
+      ContentRef A = normalize(P->A);
+      return A ? ContentModel::plus(A) : nullptr;
+    }
+    case Pat::Opt: {
+      ContentRef A = normalize(P->A);
+      return A ? ContentModel::opt(A) : nullptr;
+    }
+    case Pat::Elem: {
+      int Index = G.addNonTerminal(P->Name, internSymbol(P->Name),
+                                   ContentModel::eps());
+      Worklist.push_back({Index, P->A});
+      return ContentModel::sym(TreeGrammar::nonterminalSymbol(Index));
+    }
+    case Pat::Ref:
+      return normalizeDef(P->Name);
+    }
+    return nullptr;
+  }
+
+  ContentRef normalizeDef(const std::string &Name) {
+    auto It = Defs.find(Name);
+    if (It == Defs.end()) {
+      fail("undefined pattern " + Name);
+      return nullptr;
+    }
+    auto MIt = Memo.find(Name);
+    if (MIt != Memo.end())
+      return MIt->second;
+    if (!InProgress.insert(Name).second) {
+      // Recursion that does not cross an element (as in Relax NG, this
+      // is ill-formed: the expansion would not terminate).
+      fail("recursive reference to " + Name +
+           " does not cross an element");
+      return nullptr;
+    }
+    ContentRef R = normalize(It->second);
+    InProgress.erase(Name);
+    if (R)
+      Memo.emplace(Name, R);
+    return R;
+  }
+
+  std::string_view In;
+  size_t Pos = 0;
+  TreeGrammar &G;
+  std::string &Error;
+  std::map<std::string, PatRef> Defs;
+  std::vector<std::string> DefOrder;
+  std::map<std::string, ContentRef> Memo;
+  std::set<std::string> InProgress;
+  std::vector<std::pair<int, PatRef>> Worklist;
+};
+
+} // namespace
+
+bool xsa::parseTreeGrammar(std::string_view Input, TreeGrammar &G,
+                           std::string &Error) {
+  Error.clear();
+  GrammarParser P(Input, G, Error);
+  return P.run();
+}

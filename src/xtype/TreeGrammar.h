@@ -1,0 +1,94 @@
+//===- TreeGrammar.h - General regular tree grammars -------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unranked *regular tree grammars* in normal form: nonterminals
+/// N → σ(r) where σ is an element label and r a regular expression over
+/// nonterminals. This is the full class the paper's §5.2 embedding
+/// targets ("regular tree languages, which gather all of them [DTD, XML
+/// Schema, Relax NG]", after Murata et al.): unlike DTDs, the content of
+/// an element may depend on its *context* — two nonterminals can carry
+/// the same label with different contents (non-local types).
+///
+/// A grammar in this form binarizes with exactly the Fig. 13
+/// construction (one variable per Glushkov state per nonterminal) and is
+/// then compiled to Lµ by xtype/Compile.h unchanged.
+///
+/// A reader for a Relax-NG-compact-inspired syntax is provided:
+///
+///   start   = element doc { meta, entry* }
+///   meta    = element meta { empty }
+///   entry   = element entry { text | entry* }
+///
+/// with `pattern*`, `pattern+`, `pattern?`, `,` sequences, `|` choices,
+/// parentheses, inline `element name { ... }` patterns, named pattern
+/// references (recursion must cross an element, as in Relax NG), and
+/// `empty` / `text` (both structure-empty in the paper's model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_XTYPE_TREEGRAMMAR_H
+#define XSA_XTYPE_TREEGRAMMAR_H
+
+#include "tree/Document.h"
+#include "xtype/Binarize.h"
+#include "xtype/ContentModel.h"
+
+#include <string>
+#include <vector>
+
+namespace xsa {
+
+/// A normal-form regular tree grammar. Nonterminals are dense indices;
+/// content models range over nonterminal indices encoded as symbols via
+/// nonterminalSymbol().
+class TreeGrammar {
+public:
+  struct NonTerminal {
+    std::string Name;   ///< diagnostic name
+    Symbol Label;       ///< element label σ
+    ContentRef Content; ///< regexp over nonterminal reference symbols
+  };
+
+  /// The reference symbol standing for nonterminal \p Index inside
+  /// content models (an interned "#nt<index>" name, never a label).
+  static Symbol nonterminalSymbol(int Index);
+  /// Inverse of nonterminalSymbol; -1 if the symbol is not a reference.
+  static int nonterminalIndex(Symbol S);
+
+  int addNonTerminal(std::string Name, Symbol Label, ContentRef Content);
+  void setContent(int Index, ContentRef Content) {
+    NonTerminals[Index].Content = std::move(Content);
+  }
+
+  const std::vector<NonTerminal> &nonTerminals() const {
+    return NonTerminals;
+  }
+  int start() const { return Start; }
+  void setStart(int Index) { Start = Index; }
+
+  /// Membership test: does \p Doc (single-rooted) belong to the
+  /// grammar's language? Bottom-up set-based matching (non-local
+  /// grammars are nondeterministic in general).
+  bool accepts(const Document &Doc, std::string *Why = nullptr) const;
+
+  /// The Fig. 13 construction generalized from DTDs to tree grammars.
+  BinaryTypeGrammar binarize(bool Minimize = true) const;
+
+private:
+  std::vector<NonTerminal> NonTerminals;
+  int Start = 0;
+};
+
+/// Parses the compact grammar syntax described in the file header.
+/// The first definition is the start pattern and must be (or expand to)
+/// a single element. Returns false and fills \p Error on failure.
+bool parseTreeGrammar(std::string_view Input, TreeGrammar &G,
+                      std::string &Error);
+
+} // namespace xsa
+
+#endif // XSA_XTYPE_TREEGRAMMAR_H

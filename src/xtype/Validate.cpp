@@ -1,0 +1,47 @@
+//===- Validate.cpp - DTD validation of documents ---------------------------===//
+
+#include "xtype/Validate.h"
+
+#include <unordered_map>
+
+using namespace xsa;
+
+bool xsa::validate(const Document &Doc, const Dtd &D, std::string *Why,
+                   bool CheckRoot) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Why)
+      *Why = Msg;
+    return false;
+  };
+  if (Doc.empty())
+    return Fail("empty document");
+  if (CheckRoot) {
+    std::vector<NodeId> Roots = Doc.roots();
+    if (Roots.size() != 1)
+      return Fail("document must have exactly one root element");
+    if (Doc.label(Roots[0]) != D.root())
+      return Fail("root element is <" + Doc.labelName(Roots[0]) +
+                  ">, expected <" + symbolName(D.root()) + ">");
+  }
+  // Report undeclared elements first: that is the most actionable error.
+  for (NodeId N = 0; N < static_cast<NodeId>(Doc.size()); ++N)
+    if (!D.isDeclared(Doc.label(N)))
+      return Fail("undeclared element <" + Doc.labelName(N) + ">");
+  // Cache one automaton per element.
+  std::unordered_map<Symbol, Glushkov> Automata;
+  for (NodeId N = 0; N < static_cast<NodeId>(Doc.size()); ++N) {
+    Symbol L = Doc.label(N);
+    auto It = Automata.find(L);
+    if (It == Automata.end())
+      It = Automata.emplace(L, buildGlushkov(D.content(L))).first;
+    std::vector<Symbol> Children;
+    for (NodeId C = Doc.firstChild(N); C != InvalidNodeId;
+         C = Doc.nextSibling(C))
+      Children.push_back(Doc.label(C));
+    if (!glushkovMatches(It->second, Children))
+      return Fail("content of <" + symbolName(L) +
+                  "> does not match its content model " +
+                  toString(D.content(L)));
+  }
+  return true;
+}

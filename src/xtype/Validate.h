@@ -1,0 +1,34 @@
+//===- Validate.h - DTD validation of documents ------------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct membership test of a Document in the tree language of a DTD.
+/// Serves both as a library feature and as the semantic ground truth for
+/// the type-to-Lµ translation of §5.2 (a document is valid iff the
+/// compiled type formula holds at its root).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_XTYPE_VALIDATE_H
+#define XSA_XTYPE_VALIDATE_H
+
+#include "tree/Document.h"
+#include "xtype/Dtd.h"
+
+#include <string>
+
+namespace xsa {
+
+/// Checks that \p Doc has a single root labeled Dtd::root() (unless
+/// \p CheckRoot is false) and that every element's child sequence matches
+/// its declared content model. On failure returns false and, if \p Why is
+/// non-null, stores an explanation.
+bool validate(const Document &Doc, const Dtd &D, std::string *Why = nullptr,
+              bool CheckRoot = true);
+
+} // namespace xsa
+
+#endif // XSA_XTYPE_VALIDATE_H

@@ -1,0 +1,119 @@
+//===- axes_property_test.cpp - Algebraic laws of the XPath axes ----------===//
+//
+// Property sweeps on random documents checking the classic axis algebra
+// that the Fig. 5 semantics must satisfy, plus symmetry laws that the
+// qualifier translation (Fig. 10) relies on: A←⟦a⟧ = A→⟦symmetric(a)⟧ is
+// only sound if the symmetric axis inverts the original as a relation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tree/Document.h"
+#include "xpath/Eval.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace xsa;
+
+namespace {
+
+Document randomDoc(std::mt19937 &Rng, int MaxNodes) {
+  Document D;
+  const char *Labels[] = {"a", "b", "c"};
+  int N = 1 + static_cast<int>(Rng() % MaxNodes);
+  for (int I = 0; I < N; ++I) {
+    NodeId Parent =
+        D.empty() ? InvalidNodeId : static_cast<NodeId>(Rng() % D.size());
+    D.addNode(Labels[Rng() % 3], Parent);
+  }
+  return D;
+}
+
+class AxesPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AxesPropertyTest, PartitionOfTheDocument) {
+  // For any node x of a single-rooted document:
+  // {x} ⊎ ancestor(x) ⊎ descendant(x) ⊎ preceding(x) ⊎ following(x)
+  // = all nodes.
+  std::mt19937 Rng(GetParam());
+  Document D = randomDoc(Rng, 20);
+  for (NodeId X = 0; X < static_cast<NodeId>(D.size()); ++X) {
+    NodeSet Self{X};
+    NodeSet Anc = evalAxis(D, Axis::Ancestor, Self);
+    NodeSet Desc = evalAxis(D, Axis::Descendant, Self);
+    NodeSet Prec = evalAxis(D, Axis::Preceding, Self);
+    NodeSet Foll = evalAxis(D, Axis::Following, Self);
+    size_t Total = 1 + Anc.size() + Desc.size() + Prec.size() + Foll.size();
+    EXPECT_EQ(Total, D.size()) << "node " << X;
+    // Pairwise disjoint.
+    auto Disjoint = [](const NodeSet &A, const NodeSet &B) {
+      for (NodeId N : A)
+        if (B.count(N))
+          return false;
+      return true;
+    };
+    EXPECT_TRUE(Disjoint(Anc, Desc));
+    EXPECT_TRUE(Disjoint(Anc, Prec));
+    EXPECT_TRUE(Disjoint(Anc, Foll));
+    EXPECT_TRUE(Disjoint(Desc, Prec));
+    EXPECT_TRUE(Disjoint(Desc, Foll));
+    EXPECT_TRUE(Disjoint(Prec, Foll));
+    EXPECT_FALSE(Anc.count(X));
+    EXPECT_FALSE(Desc.count(X));
+  }
+}
+
+TEST_P(AxesPropertyTest, SymmetricAxesInvert) {
+  // y ∈ a(x) ⟺ x ∈ symmetric(a)(y), for every axis (Fig. 10's
+  // soundness condition).
+  std::mt19937 Rng(GetParam());
+  Document D = randomDoc(Rng, 16);
+  const Axis All[] = {Axis::Self,       Axis::Child,       Axis::Parent,
+                      Axis::Descendant, Axis::DescOrSelf,  Axis::Ancestor,
+                      Axis::AncOrSelf,  Axis::FollSibling, Axis::PrecSibling,
+                      Axis::Following,  Axis::Preceding};
+  for (Axis A : All) {
+    Axis S = symmetricAxis(A);
+    for (NodeId X = 0; X < static_cast<NodeId>(D.size()); ++X) {
+      NodeSet Forward = evalAxis(D, A, {X});
+      for (NodeId Y = 0; Y < static_cast<NodeId>(D.size()); ++Y) {
+        bool YInAX = Forward.count(Y) != 0;
+        bool XInSY = evalAxis(D, S, {Y}).count(X) != 0;
+        EXPECT_EQ(YInAX, XInSY)
+            << axisName(A) << " x=" << X << " y=" << Y;
+      }
+    }
+  }
+}
+
+TEST_P(AxesPropertyTest, CompositionLaws) {
+  std::mt19937 Rng(GetParam() + 1000);
+  Document D = randomDoc(Rng, 16);
+  NodeSet All;
+  for (NodeId N = 0; N < static_cast<NodeId>(D.size()); ++N)
+    All.insert(N);
+  // desc-or-self = self ∪ descendant; anc-or-self = self ∪ ancestor.
+  EXPECT_EQ(evalAxis(D, Axis::DescOrSelf, All).size(), All.size());
+  for (NodeId X = 0; X < static_cast<NodeId>(D.size()); ++X) {
+    NodeSet DoS = evalAxis(D, Axis::DescOrSelf, {X});
+    NodeSet Desc = evalAxis(D, Axis::Descendant, {X});
+    Desc.insert(X);
+    EXPECT_EQ(DoS, Desc);
+    // descendant = child ∪ child/descendant (Fig. 5's equation).
+    NodeSet Children = evalAxis(D, Axis::Child, {X});
+    NodeSet Expected = Children;
+    NodeSet Deeper = evalAxis(D, Axis::Descendant, Children);
+    Expected.insert(Deeper.begin(), Deeper.end());
+    EXPECT_EQ(evalAxis(D, Axis::Descendant, {X}), Expected);
+    // following = desc-or-self(foll-sibling(anc-or-self)).
+    NodeSet F = evalAxis(
+        D, Axis::DescOrSelf,
+        evalAxis(D, Axis::FollSibling, evalAxis(D, Axis::AncOrSelf, {X})));
+    EXPECT_EQ(evalAxis(D, Axis::Following, {X}), F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AxesPropertyTest, ::testing::Range(1, 13));
+
+} // namespace

@@ -1,0 +1,284 @@
+//===- bdd_test.cpp - Unit and property tests for the BDD package ---------===//
+//
+// The symbolic solver (§7 of the paper) is only as correct as this
+// substrate, so we test it exhaustively against truth tables on small
+// variable counts, plus targeted tests for quantification, relational
+// products, restriction, model counting, extraction and GC.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Bdd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+using namespace xsa;
+
+namespace {
+
+TEST(Bdd, Constants) {
+  BddManager M;
+  EXPECT_TRUE(M.one().isOne());
+  EXPECT_TRUE(M.zero().isZero());
+  EXPECT_NE(M.one(), M.zero());
+  EXPECT_EQ(!M.one(), M.zero());
+  EXPECT_EQ(!M.zero(), M.one());
+}
+
+TEST(Bdd, VarBasics) {
+  BddManager M(4);
+  Bdd X = M.var(0), Y = M.var(1);
+  EXPECT_EQ(X & X, X);
+  EXPECT_EQ(X | X, X);
+  EXPECT_EQ(X ^ X, M.zero());
+  EXPECT_EQ(X & !X, M.zero());
+  EXPECT_EQ(X | !X, M.one());
+  EXPECT_EQ(X & Y, Y & X);
+  EXPECT_EQ(X | Y, Y | X);
+  EXPECT_EQ(!(X & Y), (!X) | (!Y));
+  EXPECT_EQ(!(X | Y), (!X) & (!Y));
+  EXPECT_EQ(X.iff(Y), ((!X) | Y) & ((!Y) | X));
+  EXPECT_EQ(X.implies(Y), (!X) | Y);
+}
+
+TEST(Bdd, IteAgreesWithDefinition) {
+  BddManager M(3);
+  Bdd F = M.var(0), G = M.var(1), H = M.var(2);
+  EXPECT_EQ(M.ite(F, G, H), (F & G) | ((!F) & H));
+  EXPECT_EQ(M.ite(M.one(), G, H), G);
+  EXPECT_EQ(M.ite(M.zero(), G, H), H);
+  EXPECT_EQ(M.ite(F, M.one(), M.zero()), F);
+  EXPECT_EQ(M.ite(F, M.zero(), M.one()), !F);
+}
+
+TEST(Bdd, NegationIsInvolutive) {
+  BddManager M(3);
+  Bdd F = (M.var(0) & M.var(1)) | ((!M.var(2)) & M.var(0));
+  EXPECT_EQ(!(!F), F);
+}
+
+TEST(Bdd, ExistsAndForall) {
+  BddManager M(3);
+  Bdd X = M.var(0), Y = M.var(1), Z = M.var(2);
+  Bdd F = (X & Y) | (Z & !Y);
+  Bdd CY = M.cube({1});
+  // exists y. F = X | Z (y=1 gives X, y=0 gives Z)
+  EXPECT_EQ(M.exists(F, CY), X | Z);
+  // forall y. F = X & Z
+  EXPECT_EQ(M.forall(F, CY), X & Z);
+  // Quantifying a variable not in the support is the identity.
+  Bdd C3 = M.cube({3});
+  EXPECT_EQ(M.exists(F, C3), F);
+  // Quantifying everything collapses to a constant.
+  EXPECT_EQ(M.exists(F, M.cube({0, 1, 2})), M.one());
+  EXPECT_EQ(M.forall(F, M.cube({0, 1, 2})), M.zero());
+}
+
+TEST(Bdd, AndExistsMatchesComposition) {
+  BddManager M(4);
+  Bdd X = M.var(0), Y = M.var(1), Z = M.var(2), W = M.var(3);
+  Bdd F = X.iff(Y) & Z.implies(W);
+  Bdd G = (Y | W) & ((!Z) | X);
+  Bdd C = M.cube({1, 3});
+  EXPECT_EQ(M.andExists(F, G, C), M.exists(F & G, C));
+}
+
+TEST(Bdd, CofactorAndRestrict) {
+  BddManager M(3);
+  Bdd X = M.var(0), Y = M.var(1), Z = M.var(2);
+  Bdd F = (X & Y) | Z;
+  EXPECT_EQ(M.cofactor(F, 0, true), Y | Z);
+  EXPECT_EQ(M.cofactor(F, 0, false), Z);
+  EXPECT_EQ(M.restrict(F, {{0, true}, {1, true}}), M.one());
+  EXPECT_EQ(M.restrict(F, {{0, false}, {2, false}}), M.zero());
+}
+
+TEST(Bdd, SatOneFindsAModel) {
+  BddManager M(4);
+  Bdd F = (M.var(0) ^ M.var(1)) & M.var(3);
+  std::vector<bool> Values;
+  ASSERT_TRUE(M.satOne(F, Values));
+  EXPECT_NE(Values[0], Values[1]);
+  EXPECT_TRUE(Values[3]);
+  EXPECT_FALSE(M.satOne(M.zero(), Values));
+  ASSERT_TRUE(M.satOne(M.one(), Values));
+}
+
+TEST(Bdd, SatCount) {
+  BddManager M(3);
+  Bdd X = M.var(0), Y = M.var(1);
+  EXPECT_DOUBLE_EQ(M.satCount(M.one(), 3), 8.0);
+  EXPECT_DOUBLE_EQ(M.satCount(M.zero(), 3), 0.0);
+  EXPECT_DOUBLE_EQ(M.satCount(X, 3), 4.0);
+  EXPECT_DOUBLE_EQ(M.satCount(X & Y, 3), 2.0);
+  EXPECT_DOUBLE_EQ(M.satCount(X ^ Y, 3), 4.0);
+  EXPECT_DOUBLE_EQ(M.satCount(X, 1), 1.0); // only x=1 over domain {x}
+}
+
+TEST(Bdd, Support) {
+  BddManager M(5);
+  Bdd F = (M.var(1) & M.var(3)) | M.var(4);
+  EXPECT_EQ(M.support(F), (std::vector<unsigned>{1, 3, 4}));
+  EXPECT_TRUE(M.support(M.one()).empty());
+}
+
+TEST(Bdd, CubeIsSortedConjunction) {
+  BddManager M(5);
+  EXPECT_EQ(M.cube({3, 1, 4, 1}), M.var(1) & M.var(3) & M.var(4));
+  EXPECT_EQ(M.cube({}), M.one());
+}
+
+TEST(Bdd, GcKeepsLiveNodes) {
+  BddManager M(8);
+  Bdd Keep = M.var(0) & M.var(1);
+  {
+    // Create garbage.
+    Bdd Tmp = M.one();
+    for (unsigned I = 0; I < 8; ++I)
+      Tmp = Tmp ^ M.var(I);
+  }
+  size_t Before = M.numNodes();
+  M.gc();
+  EXPECT_LE(M.numNodes(), Before);
+  // The kept function still works after collection.
+  EXPECT_EQ(Keep & M.var(0), Keep);
+  EXPECT_EQ(M.cofactor(Keep, 0, true), M.var(1));
+}
+
+TEST(Bdd, RemapVarsShiftsMonotonically) {
+  BddManager M(8);
+  // F over even variables; shift each var to its odd neighbor.
+  Bdd F = (M.var(0) & M.var(2)) | (!M.var(4) & M.var(6));
+  std::vector<unsigned> Map(8);
+  for (unsigned I = 0; I < 8; ++I)
+    Map[I] = I | 1;
+  Bdd G = M.remapVars(F, Map);
+  Bdd Expected = (M.var(1) & M.var(3)) | (!M.var(5) & M.var(7));
+  EXPECT_EQ(G, Expected);
+  // Identity map is the identity.
+  std::vector<unsigned> Id(8);
+  for (unsigned I = 0; I < 8; ++I)
+    Id[I] = I;
+  EXPECT_EQ(M.remapVars(F, Id), F);
+  // Constants are unaffected.
+  EXPECT_EQ(M.remapVars(M.one(), Map), M.one());
+}
+
+TEST(Bdd, QuantifierDuality) {
+  BddManager M(4);
+  Bdd F = (M.var(0) & M.var(1)) ^ (M.var(2) | M.var(3));
+  Bdd C = M.cube({1, 3});
+  // ∀x.F = ¬∃x.¬F.
+  EXPECT_EQ(M.forall(F, C), !M.exists(!F, C));
+  // Quantification is idempotent.
+  EXPECT_EQ(M.exists(M.exists(F, C), C), M.exists(F, C));
+  // ∃ distributes over ∨, ∀ over ∧.
+  Bdd G = M.var(1).implies(M.var(2));
+  EXPECT_EQ(M.exists(F | G, C), M.exists(F, C) | M.exists(G, C));
+  EXPECT_EQ(M.forall(F & G, C), M.forall(F, C) & M.forall(G, C));
+}
+
+TEST(Bdd, AndExistsOnDisjointSupports) {
+  BddManager M(6);
+  Bdd F = M.var(0) & M.var(1);
+  Bdd G = M.var(4) | M.var(5);
+  // Quantifying variables absent from both is a plain conjunction.
+  EXPECT_EQ(M.andExists(F, G, M.cube({2, 3})), F & G);
+  // Quantifying G's support out of F∧G leaves F scaled by SAT(G).
+  EXPECT_EQ(M.andExists(F, G, M.cube({4, 5})), F);
+}
+
+TEST(Bdd, NodeCount) {
+  BddManager M(3);
+  EXPECT_EQ(M.one().nodeCount(), 1u);
+  EXPECT_EQ(M.var(0).nodeCount(), 2u);
+  EXPECT_GE((M.var(0) ^ M.var(1) ^ M.var(2)).nodeCount(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Exhaustive differential test: random expressions over <= 4 variables are
+// evaluated both as BDDs and against brute-force truth tables.
+//===----------------------------------------------------------------------===//
+
+/// A syntax tree over n variables paired with its 16-row truth table (bits
+/// of a uint16_t indexed by assignment).
+struct RandomFunc {
+  Bdd F;
+  uint16_t Table;
+};
+
+class BddRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandomTest, AgreesWithTruthTable) {
+  std::mt19937 Rng(GetParam());
+  BddManager M(4);
+  uint16_t VarTable[4];
+  for (unsigned V = 0; V < 4; ++V) {
+    uint16_t T = 0;
+    for (unsigned A = 0; A < 16; ++A)
+      if ((A >> V) & 1)
+        T |= uint16_t(1) << A;
+    VarTable[V] = T;
+  }
+  std::vector<RandomFunc> Pool;
+  for (unsigned V = 0; V < 4; ++V)
+    Pool.push_back({M.var(V), VarTable[V]});
+  Pool.push_back({M.one(), 0xffff});
+  Pool.push_back({M.zero(), 0});
+
+  auto Pick = [&]() -> RandomFunc & {
+    return Pool[Rng() % Pool.size()];
+  };
+  for (int Step = 0; Step < 300; ++Step) {
+    RandomFunc &A = Pick();
+    RandomFunc &B = Pick();
+    RandomFunc R;
+    switch (Rng() % 5) {
+    case 0:
+      R = {A.F & B.F, uint16_t(A.Table & B.Table)};
+      break;
+    case 1:
+      R = {A.F | B.F, uint16_t(A.Table | B.Table)};
+      break;
+    case 2:
+      R = {A.F ^ B.F, uint16_t(A.Table ^ B.Table)};
+      break;
+    case 3:
+      R = {!A.F, uint16_t(~A.Table)};
+      break;
+    default: {
+      unsigned V = Rng() % 4;
+      // exists v. A
+      Bdd Q = M.exists(A.F, M.cube({V}));
+      uint16_t T = 0;
+      for (unsigned Asg = 0; Asg < 16; ++Asg) {
+        unsigned A0 = Asg & ~(1u << V), A1 = Asg | (1u << V);
+        if ((A.Table >> A0) & 1 || (A.Table >> A1) & 1)
+          T |= uint16_t(1) << Asg;
+      }
+      R = {Q, T};
+      break;
+    }
+    }
+    // Verify against the truth table via restrict.
+    for (unsigned Asg = 0; Asg < 16; ++Asg) {
+      std::vector<std::pair<unsigned, bool>> Assignment;
+      for (unsigned V = 0; V < 4; ++V)
+        Assignment.push_back({V, ((Asg >> V) & 1) != 0});
+      bool Expected = (R.Table >> Asg) & 1;
+      Bdd Restricted = M.restrict(R.F, Assignment);
+      ASSERT_TRUE(Restricted.isConst());
+      ASSERT_EQ(Restricted.isOne(), Expected)
+          << "step " << Step << " assignment " << Asg;
+    }
+    Pool.push_back(R);
+    if (Pool.size() > 40)
+      Pool.erase(Pool.begin() + 6); // keep leaves
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomTest, ::testing::Range(1, 9));
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- cyclefree_test.cpp - Cycle-freeness checkers ------------------------===//
+//
+// Cross-checks the polynomial graph-based cycle-freeness decision against
+// the literal Figure 3 judgement on random formulas, and verifies the
+// paper's structural claims: every XPath translation and every type
+// translation is cycle free (Prop 5.1(2), §5.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/CycleFree.h"
+#include "logic/Parser.h"
+#include "xpath/Compile.h"
+#include "xpath/Parser.h"
+#include "xtype/BuiltinDtds.h"
+#include "xtype/Compile.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace xsa;
+
+namespace {
+
+TEST(CycleFree, AllXPathTranslationsAreCycleFree) {
+  // Prop 5.1(2) across the paper's whole query suite and more.
+  const char *Queries[] = {
+      "/a[.//b[c/*//d]/b[c//d]/b[c/d]]",
+      "/a[.//b[c/*//d]/b[c/d]]",
+      "a/b//c/foll-sibling::d/e",
+      "a/b//d[prec-sibling::c]/e",
+      "a//c/following::d/e",
+      "a/b[//c]/following::d/e & a/d[preceding::c]/e",
+      "*//switch[ancestor::head]//seq//audio[prec-sibling::video]",
+      "descendant::a[ancestor::a]",
+      "/descendant::*",
+      "html/(head | body)",
+      "ancestor::a/descendant::b/preceding::c",
+      "..//..//a",
+      "a[not(b[not(c[not(d)])])]",
+      "preceding::a/following::b & following::c/preceding::d",
+      "anc-or-self::*[foll-sibling::a]/desc-or-self::b",
+  };
+  FormulaFactory FF;
+  for (const char *Q : Queries) {
+    std::string Err;
+    ExprRef E = parseXPath(Q, Err);
+    ASSERT_NE(E, nullptr) << Q << ": " << Err;
+    Formula Psi = compileXPath(FF, E, FF.trueF());
+    EXPECT_TRUE(isCycleFree(Psi)) << Q;
+    // Negations used by containment are cycle free too.
+    EXPECT_TRUE(isCycleFree(FF.negate(Psi))) << "~" << Q;
+  }
+}
+
+TEST(CycleFree, AllTypeTranslationsAreCycleFree) {
+  FormulaFactory FF;
+  EXPECT_TRUE(isCycleFree(compileDtd(FF, wikipediaDtd())));
+  EXPECT_TRUE(isCycleFree(compileDtd(FF, smil10Dtd())));
+  // The XHTML formula is large; the polynomial checker must stay fast.
+  EXPECT_TRUE(isCycleFree(compileDtd(FF, xhtml10StrictDtd())));
+}
+
+TEST(CycleFree, Fig3AgreesOnSmallTypeFormulas) {
+  FormulaFactory FF;
+  EXPECT_TRUE(isCycleFreeFig3(compileDtd(FF, wikipediaDtd())));
+}
+
+//===----------------------------------------------------------------------===//
+// Random differential sweep between the two checkers.
+//===----------------------------------------------------------------------===//
+
+/// Builds a random guarded-or-not formula over at most two recursion
+/// variables, mixing directions so that both verdicts occur.
+Formula randomRecFormula(FormulaFactory &FF, std::mt19937 &Rng) {
+  Symbol X = internSymbol("X");
+  Symbol Y = internSymbol("Y");
+  auto RandomProgram = [&]() { return static_cast<Program>(Rng() % 4); };
+  auto Leaf = [&](Symbol V) -> Formula {
+    switch (Rng() % 3) {
+    case 0:
+      return FF.prop("a");
+    case 1:
+      return FF.var(V);
+    default:
+      return FF.conj(FF.prop("b"), FF.var(V));
+    }
+  };
+  auto Chain = [&](Symbol V) -> Formula {
+    Formula F = Leaf(V);
+    int Steps = 1 + Rng() % 3;
+    for (int I = 0; I < Steps; ++I)
+      F = FF.diamond(RandomProgram(), F);
+    return F;
+  };
+  Formula DefX = FF.disj(FF.prop("a"), Chain(X));
+  if (Rng() % 2)
+    DefX = FF.disj(DefX, Chain(Y));
+  Formula DefY = FF.disj(FF.prop("b"), Chain(Rng() % 2 ? X : Y));
+  return FF.mu({{X, DefX}, {Y, DefY}}, FF.var(X));
+}
+
+class CycleFreeDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CycleFreeDifferentialTest, GraphAgreesWithFig3) {
+  std::mt19937 Rng(GetParam());
+  FormulaFactory FF;
+  for (int Round = 0; Round < 40; ++Round) {
+    Formula F = randomRecFormula(FF, Rng);
+    EXPECT_EQ(isCycleFree(F), isCycleFreeFig3(F)) << FF.toString(F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CycleFreeDifferentialTest,
+                         ::testing::Range(1, 16));
+
+} // namespace
