@@ -8,6 +8,11 @@
 //   xsolve overlap '<e1>' '<e2>' [dtd]     XPath overlap
 //   xsolve compile '<xpath>'               print the Lµ translation
 //   xsolve validate <xml-file> <dtd-file>  DTD validation
+//   xsolve batch [file|-]                  JSON-lines batch mode
+//
+// All solver-backed commands run through an AnalysisSession, so repeated
+// (or α-equivalent) queries within one invocation — typical in batch
+// mode — are answered from the session's semantic result cache.
 //
 // DTD arguments may be a file path or one of the builtin names
 // `wikipedia`, `smil`, `xhtml`.
@@ -16,12 +21,13 @@
 
 #include "analysis/Problems.h"
 #include "logic/CycleFree.h"
+#include "service/Batch.h"
+#include "service/Session.h"
 #include "logic/Parser.h"
 #include "tree/Xml.h"
 #include "xpath/Compile.h"
 #include "xpath/Parser.h"
 #include "xtype/BuiltinDtds.h"
-#include "xtype/Compile.h"
 #include "xtype/Validate.h"
 
 #include <cstdio>
@@ -43,7 +49,12 @@ int usage() {
       "  xsolve contains '<e1>' '<e2>' [dtd]\n"
       "  xsolve overlap '<e1>' '<e2>' [dtd]\n"
       "  xsolve validate <xml-file> <dtd>\n"
-      "where [dtd] is a file path or one of: wikipedia, smil, xhtml\n");
+      "  xsolve batch [file|-]\n"
+      "where [dtd] is a file path or one of: wikipedia, smil, xhtml.\n"
+      "batch reads one JSON request per line, e.g.\n"
+      "  {\"id\":\"q1\",\"op\":\"contains\",\"e1\":\"/a//b\","
+      "\"e2\":\"//b\",\"dtd\":\"xhtml\"}\n"
+      "(ops: sat empty contains overlap cover equiv typecheck)\n");
   return 2;
 }
 
@@ -85,9 +96,9 @@ ExprRef parseQuery(const char *Src) {
 }
 
 void report(const AnalysisResult &R, const char *YesMsg, const char *NoMsg) {
-  std::printf("%s  (lean=%zu, %zu iterations, %.1f ms)\n",
+  std::printf("%s  (lean=%zu, %zu iterations, %.1f ms%s)\n",
               R.Holds ? YesMsg : NoMsg, R.Stats.LeanSize, R.Stats.Iterations,
-              R.Stats.TimeMs);
+              R.Stats.TimeMs, R.FromCache ? ", cached" : "");
   if (R.Tree) {
     std::printf("%s", printXml(*R.Tree, R.Target).c_str());
   }
@@ -96,10 +107,33 @@ void report(const AnalysisResult &R, const char *YesMsg, const char *NoMsg) {
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc < 3)
+  if (argc < 2)
     return usage();
   std::string Cmd = argv[1];
-  FormulaFactory FF;
+  AnalysisSession Session;
+  FormulaFactory &FF = Session.factory();
+
+  if (Cmd == "batch") {
+    std::string Path = argc > 2 ? argv[2] : "-";
+    size_t Failed = 0;
+    if (Path == "-") {
+      runBatchJsonLines(Session, std::cin, std::cout, &Failed);
+    } else {
+      std::ifstream In(Path);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+        return 1;
+      }
+      runBatchJsonLines(Session, In, std::cout, &Failed);
+    }
+    // Session-wide statistics go to stderr so stdout stays a clean
+    // JSON-lines response stream.
+    std::fprintf(stderr, "%s\n", statsToJson(Session.stats())->dump().c_str());
+    return Failed == 0 ? 0 : 1;
+  }
+
+  if (argc < 3)
+    return usage();
 
   if (Cmd == "sat") {
     std::string Error;
@@ -112,8 +146,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "error: formula is not cycle free\n");
       return 1;
     }
-    BddSolver Solver(FF);
-    SolverResult R = Solver.solve(F);
+    SolverResult R = Session.satisfiable(F);
     std::printf("%s  (lean=%zu, %zu iterations, %.1f ms)\n",
                 R.Satisfiable ? "satisfiable" : "unsatisfiable",
                 R.Stats.LeanSize, R.Stats.Iterations, R.Stats.TimeMs);
@@ -159,16 +192,18 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  // The remaining commands take queries and an optional DTD.
-  Analyzer An(FF);
+  // The remaining commands take queries and an optional DTD, resolved
+  // through the session's memoizing loader.
+  Analyzer &An = Session.analyzer();
   Formula Chi = FF.trueF();
-  Dtd Storage;
   int DtdArg = Cmd == "empty" ? 3 : 4;
   if (argc > DtdArg) {
-    const Dtd *D = loadDtd(argv[DtdArg], Storage);
-    if (!D)
+    std::string Error;
+    Chi = Session.typeContext(argv[DtdArg], Error);
+    if (!Chi) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
       return 1;
-    Chi = FF.conj(compileDtd(FF, *D), rootFormula(FF));
+    }
   }
 
   if (Cmd == "empty") {

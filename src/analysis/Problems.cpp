@@ -24,15 +24,31 @@ bool hasAbsoluteComponent(const ExprRef &E) {
   return false;
 }
 
-/// §5.2: when a type constrains an absolute query, anchor the type's
-/// root at the document root so the query cannot navigate above it.
-Formula contextFor(FormulaFactory &FF, const ExprRef &E, Formula Chi) {
-  if (Chi == FF.trueF() || !hasAbsoluteComponent(E))
-    return Chi;
-  return FF.conj(Chi, rootFormula(FF));
+} // namespace
+
+Formula Analyzer::root() {
+  if (!RootF)
+    RootF = rootFormula(FF);
+  return RootF;
 }
 
-} // namespace
+/// §5.2: when a type constrains an absolute query, anchor the type's
+/// root at the document root so the query cannot navigate above it.
+Formula Analyzer::contextFor(const ExprRef &E, Formula Chi) {
+  if (Chi == FF.trueF() || !hasAbsoluteComponent(E))
+    return Chi;
+  return FF.conj(Chi, root());
+}
+
+Formula Analyzer::compiled(const ExprRef &E, Formula Chi) {
+  CompileKey K{E, Chi};
+  auto It = CompileMemo.find(K);
+  if (It != CompileMemo.end())
+    return It->second;
+  Formula F = compileXPath(FF, E, contextFor(E, Chi));
+  CompileMemo.emplace(std::move(K), F);
+  return F;
+}
 
 SolverResult Analyzer::satisfiable(Formula Psi) {
   BddSolver Solver(FF, Opts);
@@ -44,6 +60,7 @@ AnalysisResult Analyzer::fromSolver(SolverResult R, bool HoldsWhenUnsat,
                                     const ExprRef *Excluded) {
   AnalysisResult A;
   A.Stats = R.Stats;
+  A.FromCache = R.FromCache;
   A.Holds = HoldsWhenUnsat ? !R.Satisfiable : R.Satisfiable;
   if (R.Model) {
     A.Tree = std::move(R.Model);
@@ -62,33 +79,30 @@ AnalysisResult Analyzer::fromSolver(SolverResult R, bool HoldsWhenUnsat,
 }
 
 AnalysisResult Analyzer::emptiness(const ExprRef &E, Formula Chi) {
-  Formula Psi = compileXPath(FF, E, contextFor(FF, E, Chi));
+  Formula Psi = compiled(E, Chi);
   return fromSolver(satisfiable(Psi), /*HoldsWhenUnsat=*/true, &E, nullptr);
 }
 
 AnalysisResult Analyzer::containment(const ExprRef &E1, Formula Chi1,
                                      const ExprRef &E2, Formula Chi2) {
-  Formula Psi = FF.conj(compileXPath(FF, E1, contextFor(FF, E1, Chi1)),
-                        FF.negate(compileXPath(FF, E2, contextFor(FF, E2, Chi2))));
+  Formula Psi =
+      FF.conj(compiled(E1, Chi1), FF.negate(compiled(E2, Chi2)));
   return fromSolver(satisfiable(Psi), /*HoldsWhenUnsat=*/true, &E1, &E2);
 }
 
 AnalysisResult Analyzer::overlap(const ExprRef &E1, Formula Chi1,
                                  const ExprRef &E2, Formula Chi2) {
-  Formula Psi = FF.conj(compileXPath(FF, E1, contextFor(FF, E1, Chi1)),
-                        compileXPath(FF, E2, contextFor(FF, E2, Chi2)));
+  Formula Psi = FF.conj(compiled(E1, Chi1), compiled(E2, Chi2));
   return fromSolver(satisfiable(Psi), /*HoldsWhenUnsat=*/false, &E1, nullptr);
 }
 
 AnalysisResult Analyzer::coverage(const ExprRef &E, Formula Chi,
                                   const std::vector<ExprRef> &Others,
                                   const std::vector<Formula> &OtherChis) {
-  Formula Psi = compileXPath(FF, E, contextFor(FF, E, Chi));
+  Formula Psi = compiled(E, Chi);
   for (size_t I = 0; I < Others.size(); ++I) {
     Formula ChiI = I < OtherChis.size() ? OtherChis[I] : FF.trueF();
-    Psi = FF.conj(
-        Psi, FF.negate(compileXPath(FF, Others[I],
-                                    contextFor(FF, Others[I], ChiI))));
+    Psi = FF.conj(Psi, FF.negate(compiled(Others[I], ChiI)));
   }
   return fromSolver(satisfiable(Psi), /*HoldsWhenUnsat=*/true, &E, nullptr);
 }
@@ -101,12 +115,12 @@ AnalysisResult Analyzer::equivalence(const ExprRef &E1, Formula Chi1,
   AnalysisResult Backward = containment(E2, Chi2, E1, Chi1);
   Backward.Stats.TimeMs += Forward.Stats.TimeMs;
   Backward.Stats.Iterations += Forward.Stats.Iterations;
+  Backward.FromCache = Backward.FromCache && Forward.FromCache;
   return Backward;
 }
 
 AnalysisResult Analyzer::staticTypeCheck(const ExprRef &E, Formula ChiIn,
                                          Formula OutType) {
-  Formula Psi = FF.conj(compileXPath(FF, E, contextFor(FF, E, ChiIn)),
-                        FF.negate(OutType));
+  Formula Psi = FF.conj(compiled(E, ChiIn), FF.negate(OutType));
   return fromSolver(satisfiable(Psi), /*HoldsWhenUnsat=*/true, &E, nullptr);
 }

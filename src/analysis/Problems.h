@@ -46,6 +46,9 @@ struct AnalysisResult {
   /// not by e2 for containment), or InvalidNodeId.
   NodeId Target = InvalidNodeId;
   SolverStats Stats;
+  /// True when the underlying satisfiability query (both directions, for
+  /// equivalence) was served from a ResultCache (see SolverOptions).
+  bool FromCache = false;
 };
 
 /// Front end to the solver for the decision problems of §8. A `Chi`
@@ -94,6 +97,31 @@ public:
 private:
   FormulaFactory &FF;
   SolverOptions Opts;
+  /// rootFormula() mints a fresh µ-variable per call; cache one copy so
+  /// repeated queries build pointer-identical contexts (which keeps the
+  /// compile memo below and the factory arena from growing per call).
+  Formula RootF = nullptr;
+  /// E→⟦e⟧χ memo keyed on (expression, original χ). Holding the ExprRef
+  /// pins the AST, so the pointer key cannot be reused while cached.
+  struct CompileKey {
+    ExprRef E;
+    Formula Chi;
+    bool operator==(const CompileKey &O) const {
+      return E == O.E && Chi == O.Chi;
+    }
+  };
+  struct CompileKeyHash {
+    size_t operator()(const CompileKey &K) const {
+      return std::hash<const void *>()(K.E.get()) * 31 ^
+             std::hash<const void *>()(K.Chi);
+    }
+  };
+  std::unordered_map<CompileKey, Formula, CompileKeyHash> CompileMemo;
+
+  Formula root();
+  Formula contextFor(const ExprRef &E, Formula Chi);
+  /// Memoized compileXPath(FF, E, contextFor(E, Chi)).
+  Formula compiled(const ExprRef &E, Formula Chi);
 
   AnalysisResult fromSolver(SolverResult R, bool HoldsWhenUnsat,
                             const ExprRef *Selected, const ExprRef *Excluded);

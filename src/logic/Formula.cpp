@@ -420,6 +420,89 @@ std::unordered_set<Symbol> FormulaFactory::freeVars(Formula F) {
 }
 
 //===----------------------------------------------------------------------===//
+// Canonicalization (α-renaming of bound variables)
+//===----------------------------------------------------------------------===//
+
+Formula FormulaFactory::canonicalize(Formula F) {
+  // The top-level entry always runs under the empty environment, so a
+  // factory-wide memo is sound here (free variables map to themselves).
+  auto It = CanonMemo.find(F);
+  if (It != CanonMemo.end())
+    return It->second;
+  std::unordered_map<Symbol, Symbol> Env;
+  std::unordered_map<Formula, Formula> Memo;
+  Formula R = canonRec(F, 0, Env, Memo);
+  CanonMemo.emplace(F, R);
+  return R;
+}
+
+Formula FormulaFactory::canonRec(
+    Formula F, unsigned Depth, const std::unordered_map<Symbol, Symbol> &Env,
+    std::unordered_map<Formula, Formula> &Memo) {
+  // Like substituteRec, the memo is only valid while the environment is
+  // unchanged; entering a µ switches to a fresh memo for its subtree.
+  auto It = Memo.find(F);
+  if (It != Memo.end())
+    return It->second;
+  Formula R = F;
+  switch (F->kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+  case FormulaKind::Prop:
+  case FormulaKind::NegProp:
+  case FormulaKind::Start:
+  case FormulaKind::NegStart:
+  case FormulaKind::NegExistTop:
+    break;
+  case FormulaKind::Var: {
+    auto MI = Env.find(F->sym());
+    if (MI != Env.end())
+      R = var(MI->second);
+    break;
+  }
+  case FormulaKind::And:
+    R = conj(canonRec(F->lhs(), Depth, Env, Memo),
+             canonRec(F->rhs(), Depth, Env, Memo));
+    break;
+  case FormulaKind::Or:
+    R = disj(canonRec(F->lhs(), Depth, Env, Memo),
+             canonRec(F->rhs(), Depth, Env, Memo));
+    break;
+  case FormulaKind::Exist:
+    R = diamond(F->program(), canonRec(F->lhs(), Depth, Env, Memo));
+    break;
+  case FormulaKind::Mu: {
+    // A binder's canonical name is a function of its position only: the
+    // nesting depth of enclosing µs and the index within this µ's
+    // binding vector. Nested binders differ in depth, sibling µs in
+    // disjoint scopes may share names harmlessly.
+    std::unordered_map<Symbol, Symbol> NewEnv(Env);
+    std::vector<Symbol> Canon;
+    Canon.reserve(F->bindings().size());
+    for (size_t I = 0; I < F->bindings().size(); ++I) {
+      // '%' cannot occur in a parsed identifier, so canonical names can
+      // never capture a free variable of the input.
+      Symbol C = internSymbol("%c" + std::to_string(Depth) + "_" +
+                              std::to_string(I));
+      Canon.push_back(C);
+      NewEnv[F->bindings()[I].Var] = C;
+    }
+    std::unordered_map<Formula, Formula> SubMemo;
+    std::vector<MuBinding> NewBindings;
+    NewBindings.reserve(F->bindings().size());
+    for (size_t I = 0; I < F->bindings().size(); ++I)
+      NewBindings.push_back(
+          {Canon[I], canonRec(F->bindings()[I].Def, Depth + 1, NewEnv, SubMemo)});
+    Formula NewBody = canonRec(F->body(), Depth + 1, NewEnv, SubMemo);
+    R = mu(std::move(NewBindings), NewBody);
+    break;
+  }
+  }
+  Memo.emplace(F, R);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
 // Printing
 //===----------------------------------------------------------------------===//
 

@@ -186,6 +186,24 @@ public:
   std::unordered_set<Symbol> freeVars(Formula F);
   bool isClosed(Formula F) { return freeVars(F).empty(); }
 
+  /// α-renames every bound recursion variable to a canonical name derived
+  /// from its binding position (depth of the enclosing µ and index within
+  /// its binding vector), so two formulas that differ only in the names
+  /// chosen by freshVar intern to the same node:
+  ///
+  ///   canonicalize(φ) == canonicalize(ψ)  ⇔  φ ≡α ψ
+  ///
+  /// (up to the semantics-preserving simplifications of the smart
+  /// constructors, which can only merge equivalent formulas). This is the
+  /// key for semantic result caching: repeated compilations of the same
+  /// XPath/type query produce α-variants (fresh µ-variables each time),
+  /// and all of them canonicalize to one representative.
+  Formula canonicalize(Formula F);
+
+  /// Hash of the canonical representative; equal for α-equivalent
+  /// formulas. Use canonicalize() itself as a map key for exactness.
+  size_t canonicalHash(Formula F) { return canonicalize(F)->hash(); }
+
   /// Pretty-prints in the textual syntax understood by parseFormula.
   std::string toString(Formula F);
 
@@ -200,6 +218,9 @@ private:
   Formula substituteRec(Formula F,
                         const std::unordered_map<Symbol, Formula> &Map,
                         std::unordered_map<Formula, Formula> &Memo);
+  Formula canonRec(Formula F, unsigned Depth,
+                   const std::unordered_map<Symbol, Symbol> &Env,
+                   std::unordered_map<Formula, Formula> &Memo);
 
   struct NodeHash {
     size_t operator()(const FormulaNode *N) const { return N->hash(); }
@@ -211,6 +232,7 @@ private:
   std::vector<std::unique_ptr<FormulaNode>> Arena;
   std::unordered_set<const FormulaNode *, NodeHash, NodeEq> Unique;
   std::unordered_map<Formula, Formula> UnfoldMemo;
+  std::unordered_map<Formula, Formula> CanonMemo;
   unsigned FreshCounter = 0;
 
   Formula TrueF = nullptr;

@@ -1,0 +1,327 @@
+//===- Batch.cpp - Batch request pipeline ----------------------------------===//
+
+#include "service/Batch.h"
+
+#include "logic/CycleFree.h"
+#include "logic/Parser.h"
+#include "tree/Xml.h"
+
+#include <istream>
+#include <ostream>
+
+using namespace xsa;
+
+bool xsa::parseRequestKind(const std::string &Name, RequestKind &Kind) {
+  if (Name == "sat")
+    Kind = RequestKind::Sat;
+  else if (Name == "empty")
+    Kind = RequestKind::Emptiness;
+  else if (Name == "contains")
+    Kind = RequestKind::Containment;
+  else if (Name == "overlap")
+    Kind = RequestKind::Overlap;
+  else if (Name == "cover")
+    Kind = RequestKind::Coverage;
+  else if (Name == "equiv")
+    Kind = RequestKind::Equivalence;
+  else if (Name == "typecheck")
+    Kind = RequestKind::TypeCheck;
+  else
+    return false;
+  return true;
+}
+
+const char *xsa::requestKindName(RequestKind K) {
+  switch (K) {
+  case RequestKind::Sat:
+    return "sat";
+  case RequestKind::Emptiness:
+    return "empty";
+  case RequestKind::Containment:
+    return "contains";
+  case RequestKind::Overlap:
+    return "overlap";
+  case RequestKind::Coverage:
+    return "cover";
+  case RequestKind::Equivalence:
+    return "equiv";
+  case RequestKind::TypeCheck:
+    return "typecheck";
+  }
+  return "?";
+}
+
+namespace {
+
+AnalysisResponse errorResponse(const AnalysisRequest &Req, std::string Msg) {
+  AnalysisResponse R;
+  R.Id = Req.Id;
+  R.Ok = false;
+  R.Error = std::move(Msg);
+  return R;
+}
+
+/// Resolves a query string through the session memo, or fails.
+bool resolveQuery(AnalysisSession &Session, const std::string &Src,
+                  const char *Which, ExprRef &E, std::string &Error) {
+  if (Src.empty()) {
+    Error = std::string("missing query ") + Which;
+    return false;
+  }
+  std::string ParseError;
+  E = Session.query(Src, ParseError);
+  if (!E) {
+    Error = std::string(Which) + ": " + ParseError;
+    return false;
+  }
+  return true;
+}
+
+bool resolveContext(AnalysisSession &Session, const std::string &Name,
+                    Formula &Chi, std::string &Error) {
+  std::string DtdError;
+  Chi = Session.typeContext(Name, DtdError);
+  if (!Chi) {
+    Error = DtdError;
+    return false;
+  }
+  return true;
+}
+
+/// \p HoldsWhenUnsat mirrors Analyzer::fromSolver: for the unsat-style
+/// problems the property holds when the underlying formula is
+/// unsatisfiable, for overlap when it is satisfiable.
+void fillFromAnalysis(AnalysisResponse &R, const AnalysisResult &A,
+                      bool HoldsWhenUnsat) {
+  R.Ok = true;
+  R.Holds = A.Holds;
+  R.Satisfiable = HoldsWhenUnsat ? !A.Holds : A.Holds;
+  R.FromCache = A.FromCache;
+  R.Stats = A.Stats;
+  if (A.Tree)
+    R.ModelXml = printXml(*A.Tree, A.Target);
+}
+
+} // namespace
+
+AnalysisResponse xsa::runRequest(AnalysisSession &Session,
+                                 const AnalysisRequest &Req) {
+  AnalysisResponse R;
+  R.Id = Req.Id;
+  std::string Error;
+
+  if (Req.Kind == RequestKind::Sat) {
+    Formula F = parseFormula(Session.factory(), Req.Formula, Error);
+    if (!F)
+      return errorResponse(Req, "formula: " + Error);
+    if (!isCycleFree(F))
+      return errorResponse(Req, "formula is not cycle free");
+    SolverResult SR = Session.satisfiable(F);
+    R.Ok = true;
+    R.Satisfiable = SR.Satisfiable;
+    R.Holds = SR.Satisfiable;
+    R.FromCache = SR.FromCache;
+    R.Stats = SR.Stats;
+    if (SR.Model)
+      R.ModelXml = printXml(*SR.Model);
+    return R;
+  }
+
+  ExprRef E1;
+  if (!resolveQuery(Session, Req.Query1, "e1", E1, Error))
+    return errorResponse(Req, Error);
+  Formula Chi1;
+  if (!resolveContext(Session, Req.Dtd1, Chi1, Error))
+    return errorResponse(Req, Error);
+  // An absent dtd2 inherits dtd1: the common "same schema on both sides"
+  // case.
+  const std::string &Dtd2 = Req.Dtd2.empty() ? Req.Dtd1 : Req.Dtd2;
+
+  switch (Req.Kind) {
+  case RequestKind::Sat:
+    break; // handled above
+  case RequestKind::Emptiness:
+    fillFromAnalysis(R, Session.emptiness(E1, Chi1), /*HoldsWhenUnsat=*/true);
+    break;
+  case RequestKind::Containment:
+  case RequestKind::Overlap:
+  case RequestKind::Equivalence: {
+    ExprRef E2;
+    if (!resolveQuery(Session, Req.Query2, "e2", E2, Error))
+      return errorResponse(Req, Error);
+    Formula Chi2;
+    if (!resolveContext(Session, Dtd2, Chi2, Error))
+      return errorResponse(Req, Error);
+    if (Req.Kind == RequestKind::Containment)
+      fillFromAnalysis(R, Session.containment(E1, Chi1, E2, Chi2),
+                       /*HoldsWhenUnsat=*/true);
+    else if (Req.Kind == RequestKind::Overlap)
+      fillFromAnalysis(R, Session.overlap(E1, Chi1, E2, Chi2),
+                       /*HoldsWhenUnsat=*/false);
+    else
+      fillFromAnalysis(R, Session.equivalence(E1, Chi1, E2, Chi2),
+                       /*HoldsWhenUnsat=*/true);
+    break;
+  }
+  case RequestKind::Coverage: {
+    if (Req.Others.empty())
+      return errorResponse(Req, "cover needs a non-empty 'others' array");
+    std::vector<ExprRef> Others;
+    std::vector<Formula> OtherChis;
+    for (size_t I = 0; I < Req.Others.size(); ++I) {
+      ExprRef E;
+      if (!resolveQuery(Session, Req.Others[I], "others", E, Error))
+        return errorResponse(Req, Error);
+      Others.push_back(E);
+      OtherChis.push_back(Chi1);
+    }
+    fillFromAnalysis(R, Session.coverage(E1, Chi1, Others, OtherChis),
+                     /*HoldsWhenUnsat=*/true);
+    break;
+  }
+  case RequestKind::TypeCheck: {
+    if (Req.OutDtd.empty())
+      return errorResponse(Req, "typecheck needs an output type 'out'");
+    std::string DtdError;
+    Formula OutType = Session.typeFormula(Req.OutDtd, DtdError);
+    if (!OutType)
+      return errorResponse(Req, DtdError);
+    fillFromAnalysis(R, Session.staticTypeCheck(E1, Chi1, OutType),
+                     /*HoldsWhenUnsat=*/true);
+    break;
+  }
+  }
+  return R;
+}
+
+std::vector<AnalysisResponse>
+xsa::runBatch(AnalysisSession &Session,
+              const std::vector<AnalysisRequest> &Reqs) {
+  std::vector<AnalysisResponse> Out;
+  Out.reserve(Reqs.size());
+  for (const AnalysisRequest &Req : Reqs)
+    Out.push_back(runRequest(Session, Req));
+  return Out;
+}
+
+bool xsa::requestFromJson(const JsonValue &Obj, AnalysisRequest &Req,
+                          std::string &Error) {
+  if (Obj.type() != JsonValue::Type::Object) {
+    Error = "request must be a JSON object";
+    return false;
+  }
+  Req = AnalysisRequest();
+  Req.Id = Obj.str("id");
+  std::string Op = Obj.str("op");
+  if (Op.empty()) {
+    Error = "missing 'op'";
+    return false;
+  }
+  if (!parseRequestKind(Op, Req.Kind)) {
+    Error = "unknown op '" + Op + "'";
+    return false;
+  }
+  Req.Formula = Obj.str("f");
+  Req.Query1 = Obj.str("e1", Obj.str("e"));
+  Req.Query2 = Obj.str("e2");
+  Req.Dtd1 = Obj.str("dtd1", Obj.str("dtd"));
+  Req.Dtd2 = Obj.str("dtd2");
+  Req.OutDtd = Obj.str("out");
+  JsonRef Others = Obj.get("others");
+  if (!Others->isNull()) {
+    if (Others->type() != JsonValue::Type::Array) {
+      Error = "'others' must be an array of XPath strings";
+      return false;
+    }
+    for (const JsonRef &V : Others->items()) {
+      if (V->type() != JsonValue::Type::String) {
+        Error = "'others' must be an array of XPath strings";
+        return false;
+      }
+      Req.Others.push_back(V->asString());
+    }
+  }
+  return true;
+}
+
+JsonRef xsa::responseToJson(const AnalysisResponse &Resp) {
+  JsonRef O = JsonValue::object();
+  if (!Resp.Id.empty())
+    O->set("id", JsonValue::string(Resp.Id));
+  O->set("ok", JsonValue::boolean(Resp.Ok));
+  if (!Resp.Ok) {
+    O->set("error", JsonValue::string(Resp.Error));
+    return O;
+  }
+  O->set("holds", JsonValue::boolean(Resp.Holds));
+  O->set("satisfiable", JsonValue::boolean(Resp.Satisfiable));
+  O->set("cache", JsonValue::string(Resp.FromCache ? "hit" : "miss"));
+  O->set("lean", JsonValue::number(static_cast<double>(Resp.Stats.LeanSize)));
+  O->set("iterations",
+         JsonValue::number(static_cast<double>(Resp.Stats.Iterations)));
+  O->set("time_ms", JsonValue::number(Resp.Stats.TimeMs));
+  if (!Resp.ModelXml.empty())
+    O->set("model", JsonValue::string(Resp.ModelXml));
+  return O;
+}
+
+JsonRef xsa::statsToJson(const SessionStats &S) {
+  JsonRef O = JsonValue::object();
+  JsonRef C = JsonValue::object();
+  C->set("hits", JsonValue::number(static_cast<double>(S.Cache.Hits)));
+  C->set("misses", JsonValue::number(static_cast<double>(S.Cache.Misses)));
+  C->set("insertions",
+         JsonValue::number(static_cast<double>(S.Cache.Insertions)));
+  C->set("evictions",
+         JsonValue::number(static_cast<double>(S.Cache.Evictions)));
+  C->set("size", JsonValue::number(static_cast<double>(S.Cache.Size)));
+  O->set("cache", C);
+  O->set("solves", JsonValue::number(static_cast<double>(S.Solves)));
+  O->set("solver_iterations",
+         JsonValue::number(static_cast<double>(S.SolverIterations)));
+  O->set("solver_time_ms", JsonValue::number(S.SolverTimeMs));
+  O->set("queries_parsed",
+         JsonValue::number(static_cast<double>(S.QueriesParsed)));
+  O->set("query_cache_hits",
+         JsonValue::number(static_cast<double>(S.QueryCacheHits)));
+  O->set("dtd_compilations",
+         JsonValue::number(static_cast<double>(S.DtdCompilations)));
+  O->set("dtd_cache_hits",
+         JsonValue::number(static_cast<double>(S.DtdCacheHits)));
+  return O;
+}
+
+size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
+                              std::ostream &Out, size_t *Failed) {
+  size_t Answered = 0, Errors = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    // Skip blank lines and #-comments so hand-written batch files can be
+    // annotated.
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string::npos || Line[First] == '#')
+      continue;
+    std::string Error;
+    JsonRef Obj = parseJson(Line, Error);
+    AnalysisRequest Req;
+    AnalysisResponse Resp;
+    if (!Obj) {
+      Resp.Ok = false;
+      Resp.Error = "bad JSON: " + Error;
+    } else if (!requestFromJson(*Obj, Req, Error)) {
+      Resp.Id = Obj->str("id");
+      Resp.Ok = false;
+      Resp.Error = Error;
+    } else {
+      Resp = runRequest(Session, Req);
+    }
+    if (Resp.Ok)
+      ++Answered;
+    else
+      ++Errors;
+    Out << responseToJson(Resp)->dump() << "\n";
+  }
+  if (Failed)
+    *Failed = Errors;
+  return Answered;
+}

@@ -1,0 +1,72 @@
+//===- Batch.h - Batch request pipeline --------------------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch entry points of the service layer. A batch is a sequence of
+/// AnalysisRequests answered against one AnalysisSession, so shared
+/// sub-work is paid once per batch (and per session):
+///
+///  * each distinct XPath source string is parsed once (session memo);
+///  * each distinct DTD is loaded and compiled to Lµ once, no matter how
+///    many requests name it as their context;
+///  * each semantically distinct satisfiability problem reaches the BDD
+///    fixpoint once — repeated or α-equivalent formulas (duplicate
+///    requests, shared containment operands, equivalence directions
+///    already asked separately) are answered from the LRU result cache.
+///
+/// The JSON-lines front end maps one request object per input line to
+/// one response object per output line; see README.md for the schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_SERVICE_BATCH_H
+#define XSA_SERVICE_BATCH_H
+
+#include "service/Json.h"
+#include "service/Request.h"
+#include "service/Session.h"
+
+#include <iosfwd>
+#include <vector>
+
+namespace xsa {
+
+/// Answers one request against the session. Never throws; malformed
+/// requests come back with Ok == false and an Error.
+AnalysisResponse runRequest(AnalysisSession &Session,
+                            const AnalysisRequest &Req);
+
+/// Answers a whole batch in order.
+std::vector<AnalysisResponse> runBatch(AnalysisSession &Session,
+                                       const std::vector<AnalysisRequest> &Reqs);
+
+/// Decodes a JSON request object:
+///   {"op":"contains","id":"q1","e1":"/a//b","e2":"//b","dtd":"xhtml"}
+/// Fields: op (sat|empty|contains|overlap|cover|equiv|typecheck),
+/// id, f (Lµ formula, sat), e1/e2 (XPath), others (array of XPath,
+/// cover), dtd/dtd1, dtd2, out (typecheck). Returns false and sets
+/// \p Error on an unusable request.
+bool requestFromJson(const JsonValue &Obj, AnalysisRequest &Req,
+                     std::string &Error);
+
+/// Encodes a response as a JSON object (id, ok, error, holds,
+/// satisfiable, cache, lean, iterations, time_ms, model).
+JsonRef responseToJson(const AnalysisResponse &Resp);
+
+/// Encodes cumulative session statistics.
+JsonRef statsToJson(const SessionStats &S);
+
+/// JSON-lines driver: reads one request object per non-empty line of
+/// \p In, writes one response object per line to \p Out. Unparseable
+/// lines produce an {"ok":false} response line, not a stop. Returns the
+/// number of requests answered successfully; \p Failed (when non-null)
+/// receives the number that were not (an empty batch is 0/0).
+size_t runBatchJsonLines(AnalysisSession &Session, std::istream &In,
+                         std::ostream &Out, size_t *Failed = nullptr);
+
+} // namespace xsa
+
+#endif // XSA_SERVICE_BATCH_H

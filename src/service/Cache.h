@@ -1,0 +1,75 @@
+//===- Cache.h - LRU semantic result cache -----------------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An LRU-bounded implementation of the solver's ResultCache interface.
+/// Entries are keyed on (canonical formula, solver-options fingerprint);
+/// because canonical formulas are interned in the session's
+/// FormulaFactory, key comparison is pointer equality and α-equivalent
+/// queries share one entry. The cache memoizes full SolverResults —
+/// satisfiability verdict, extracted model tree, and the stats of the run
+/// that produced the entry — and keeps hit/miss/eviction counters for
+/// SessionStats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_SERVICE_CACHE_H
+#define XSA_SERVICE_CACHE_H
+
+#include "solver/BddSolver.h"
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace xsa {
+
+struct CacheStats {
+  size_t Hits = 0;
+  size_t Misses = 0;
+  size_t Insertions = 0;
+  size_t Evictions = 0;
+  size_t Size = 0;
+};
+
+class LruResultCache : public ResultCache {
+public:
+  /// \p Capacity 0 disables caching entirely (every lookup misses and
+  /// nothing is stored).
+  explicit LruResultCache(size_t Capacity = 1024) : Capacity(Capacity) {}
+
+  const SolverResult *lookup(Formula Canonical, uint32_t OptsKey) override;
+  void store(Formula Canonical, uint32_t OptsKey,
+             const SolverResult &R) override;
+
+  const CacheStats &stats() const { return Stats; }
+  size_t capacity() const { return Capacity; }
+  size_t size() const { return Entries.size(); }
+  void clear();
+
+private:
+  using Key = std::pair<Formula, uint32_t>;
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      return K.first->hash() * 31 + K.second;
+    }
+  };
+  struct Entry {
+    Key K;
+    SolverResult Result;
+  };
+
+  size_t Capacity;
+  /// Most-recently-used first.
+  std::list<Entry> Lru;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> Entries;
+  CacheStats Stats;
+};
+
+} // namespace xsa
+
+#endif // XSA_SERVICE_CACHE_H

@@ -1,0 +1,69 @@
+//===- Request.h - Batch analysis request/response types ---------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain-data request and response types for the batch pipeline: one
+/// AnalysisRequest per decision problem of §8 (plus raw Lµ
+/// satisfiability), one AnalysisResponse carrying the verdict, the
+/// witness/counterexample tree (serialized), and per-request cache and
+/// solver statistics. Queries and type constraints are carried as source
+/// strings and resolved — memoized — by the AnalysisSession, which is
+/// what lets a batch share parsing, DTD compilation, and solver results
+/// across requests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_SERVICE_REQUEST_H
+#define XSA_SERVICE_REQUEST_H
+
+#include "solver/BddSolver.h"
+
+#include <string>
+#include <vector>
+
+namespace xsa {
+
+enum class RequestKind {
+  Sat,         ///< raw Lµ satisfiability of `Formula`
+  Emptiness,   ///< `Query1` selects no node under `Dtd1`
+  Containment, ///< `Query1`/`Dtd1` ⊆ `Query2`/`Dtd2`
+  Overlap,     ///< `Query1` and `Query2` share a selected node
+  Coverage,    ///< `Query1` ⊆ ∪ `Others` (each under `Dtd1`)
+  Equivalence, ///< containment both ways
+  TypeCheck,   ///< `Query1` under `Dtd1` selects only roots of `OutDtd`
+};
+
+/// Parses "sat", "empty", "contains", ... Returns false on an unknown
+/// name.
+bool parseRequestKind(const std::string &Name, RequestKind &Kind);
+const char *requestKindName(RequestKind K);
+
+struct AnalysisRequest {
+  std::string Id;        ///< echoed in the response; may be empty
+  RequestKind Kind = RequestKind::Sat;
+  std::string Formula;   ///< Lµ source, Sat only
+  std::string Query1;    ///< primary XPath
+  std::string Query2;    ///< secondary XPath (containment/overlap/equivalence)
+  std::vector<std::string> Others; ///< covering queries (coverage)
+  std::string Dtd1;      ///< context type of Query1 ("" = unconstrained)
+  std::string Dtd2;      ///< context type of Query2 ("" = Dtd1)
+  std::string OutDtd;    ///< output type (type check)
+};
+
+struct AnalysisResponse {
+  std::string Id;
+  bool Ok = false;          ///< false: malformed request / parse error
+  std::string Error;
+  bool Holds = false;       ///< the queried property (decision problems)
+  bool Satisfiable = false; ///< raw verdict (Sat requests)
+  bool FromCache = false;
+  std::string ModelXml;     ///< witness/counterexample, "" when none
+  SolverStats Stats;        ///< stats of the (possibly cached) solver run
+};
+
+} // namespace xsa
+
+#endif // XSA_SERVICE_REQUEST_H

@@ -1,0 +1,142 @@
+//===- Session.cpp - Long-lived analysis session ---------------------------===//
+
+#include "service/Session.h"
+
+#include "xpath/Compile.h"
+#include "xpath/Parser.h"
+#include "xtype/BuiltinDtds.h"
+#include "xtype/Compile.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace xsa;
+
+AnalysisSession::AnalysisSession(SolverOptions Opts, size_t CacheCapacity)
+    : Opts(Opts), Cache(CacheCapacity) {
+  this->Opts.Cache = &Cache;
+  this->Opts.StatsHook = [this](const SolverStats &S) {
+    ++Counters.Solves;
+    Counters.SolverIterations += S.Iterations;
+    Counters.SolverTimeMs += S.TimeMs;
+  };
+  // The Analyzer forces RequireSingleRoot for the XPath decision
+  // problems; the raw solver keeps the caller's setting. The two run
+  // under different option fingerprints, so cache entries never cross.
+  An = std::make_unique<Analyzer>(FF, this->Opts);
+  RawSolver = std::make_unique<BddSolver>(FF, this->Opts);
+}
+
+AnalysisResult AnalysisSession::emptiness(const ExprRef &E, Formula Chi) {
+  return An->emptiness(E, Chi);
+}
+
+AnalysisResult AnalysisSession::containment(const ExprRef &E1, Formula Chi1,
+                                            const ExprRef &E2, Formula Chi2) {
+  return An->containment(E1, Chi1, E2, Chi2);
+}
+
+AnalysisResult AnalysisSession::overlap(const ExprRef &E1, Formula Chi1,
+                                        const ExprRef &E2, Formula Chi2) {
+  return An->overlap(E1, Chi1, E2, Chi2);
+}
+
+AnalysisResult AnalysisSession::coverage(const ExprRef &E, Formula Chi,
+                                         const std::vector<ExprRef> &Others,
+                                         const std::vector<Formula> &OtherChis) {
+  return An->coverage(E, Chi, Others, OtherChis);
+}
+
+AnalysisResult AnalysisSession::equivalence(const ExprRef &E1, Formula Chi1,
+                                            const ExprRef &E2, Formula Chi2) {
+  return An->equivalence(E1, Chi1, E2, Chi2);
+}
+
+AnalysisResult AnalysisSession::staticTypeCheck(const ExprRef &E, Formula ChiIn,
+                                                Formula OutType) {
+  return An->staticTypeCheck(E, ChiIn, OutType);
+}
+
+SolverResult AnalysisSession::satisfiable(Formula Psi) {
+  return RawSolver->solve(Psi);
+}
+
+ExprRef AnalysisSession::query(const std::string &XPath, std::string &Error) {
+  auto It = QueryMemo.find(XPath);
+  if (It != QueryMemo.end()) {
+    ++Counters.QueryCacheHits;
+    Error = It->second.Error;
+    return It->second.E;
+  }
+  QueryEntry Entry;
+  Entry.E = parseXPath(XPath, Entry.Error);
+  ++Counters.QueriesParsed;
+  auto &Stored = QueryMemo.emplace(XPath, std::move(Entry)).first->second;
+  Error = Stored.Error;
+  return Stored.E;
+}
+
+AnalysisSession::DtdEntry &AnalysisSession::loadDtd(const std::string &Name) {
+  auto It = DtdMemo.find(Name);
+  if (It != DtdMemo.end()) {
+    ++Counters.DtdCacheHits;
+    return It->second;
+  }
+  DtdEntry Entry;
+  const Dtd *D = nullptr;
+  Dtd Parsed;
+  if (Name == "wikipedia") {
+    D = &wikipediaDtd();
+  } else if (Name == "smil") {
+    D = &smil10Dtd();
+  } else if (Name == "xhtml") {
+    D = &xhtml10StrictDtd();
+  } else {
+    std::ifstream In(Name);
+    if (!In) {
+      Entry.Error = "cannot read DTD " + Name;
+    } else {
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      if (!parseDtd(SS.str(), Parsed, Entry.Error))
+        Parsed = Dtd();
+      else
+        D = &Parsed;
+    }
+  }
+  if (D) {
+    Entry.Type = compileDtd(FF, *D);
+    ++Counters.DtdCompilations;
+  }
+  return DtdMemo.emplace(Name, std::move(Entry)).first->second;
+}
+
+Formula AnalysisSession::typeFormula(const std::string &Name,
+                                     std::string &Error) {
+  if (Name.empty())
+    return FF.trueF();
+  const DtdEntry &Entry = loadDtd(Name);
+  Error = Entry.Error;
+  return Entry.Type;
+}
+
+Formula AnalysisSession::typeContext(const std::string &Name,
+                                     std::string &Error) {
+  if (Name.empty())
+    return FF.trueF();
+  DtdEntry &Entry = loadDtd(Name);
+  Error = Entry.Error;
+  if (!Entry.Type)
+    return nullptr;
+  // Memoized: rootFormula mints a fresh µ-variable per call, so building
+  // the conjunction anew each time would defeat pointer-stable reuse.
+  if (!Entry.Context)
+    Entry.Context = FF.conj(Entry.Type, rootFormula(FF));
+  return Entry.Context;
+}
+
+SessionStats AnalysisSession::stats() const {
+  SessionStats S = Counters;
+  S.Cache = Cache.stats();
+  return S;
+}

@@ -1,0 +1,128 @@
+//===- Session.h - Long-lived analysis session -------------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-lived front end to the decision procedures: an AnalysisSession
+/// owns the FormulaFactory, the solver options, an LRU semantic result
+/// cache (see Cache.h) and an Analyzer wired through it. Repeated or
+/// α-equivalent queries — the common case in query-optimizer and
+/// schema-audit workloads — are answered from the cache instead of
+/// re-running the exponential fixpoint, and shared sub-work (XPath
+/// parsing, DTD loading and compilation) is memoized per session.
+/// SessionStats aggregates cache counters and cumulative solver work.
+///
+/// The session exposes the same §8 decision problems as Analyzer; one-off
+/// callers can keep constructing Analyzer directly (they simply run
+/// uncached).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_SERVICE_SESSION_H
+#define XSA_SERVICE_SESSION_H
+
+#include "analysis/Problems.h"
+#include "service/Cache.h"
+#include "xtype/Dtd.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace xsa {
+
+struct SessionStats {
+  /// Semantic result cache counters (shared by Analyzer queries and raw
+  /// satisfiable() calls).
+  CacheStats Cache;
+  /// Number of actual solver runs (cache misses that went to the BDD
+  /// fixpoint) and their cumulative cost.
+  size_t Solves = 0;
+  size_t SolverIterations = 0;
+  double SolverTimeMs = 0;
+  /// Memoized front-end work.
+  size_t QueriesParsed = 0;
+  size_t QueryCacheHits = 0;
+  size_t DtdCompilations = 0;
+  size_t DtdCacheHits = 0;
+};
+
+class AnalysisSession {
+public:
+  explicit AnalysisSession(SolverOptions Opts = {},
+                           size_t CacheCapacity = 1024);
+  AnalysisSession(const AnalysisSession &) = delete;
+  AnalysisSession &operator=(const AnalysisSession &) = delete;
+
+  FormulaFactory &factory() { return FF; }
+
+  /// The session's Analyzer: every decision problem routed through it
+  /// consults the session cache. Callers may use it directly for the
+  /// full §8 interface.
+  Analyzer &analyzer() { return *An; }
+
+  /// §8 decision problems (thin forwards to analyzer(), kept here so the
+  /// batch pipeline and CLI depend only on the session).
+  AnalysisResult emptiness(const ExprRef &E, Formula Chi);
+  AnalysisResult containment(const ExprRef &E1, Formula Chi1,
+                             const ExprRef &E2, Formula Chi2);
+  AnalysisResult overlap(const ExprRef &E1, Formula Chi1, const ExprRef &E2,
+                         Formula Chi2);
+  AnalysisResult coverage(const ExprRef &E, Formula Chi,
+                          const std::vector<ExprRef> &Others,
+                          const std::vector<Formula> &OtherChis);
+  AnalysisResult equivalence(const ExprRef &E1, Formula Chi1,
+                             const ExprRef &E2, Formula Chi2);
+  AnalysisResult staticTypeCheck(const ExprRef &E, Formula ChiIn,
+                                 Formula OutType);
+
+  /// Cached raw satisfiability under the session options (no single-root
+  /// restriction, matching a bare BddSolver).
+  SolverResult satisfiable(Formula Psi);
+
+  /// Parses an XPath query, memoized on the source string. Returns null
+  /// and sets \p Error on a parse failure (failures are memoized too).
+  ExprRef query(const std::string &XPath, std::string &Error);
+
+  /// Loads and compiles a DTD to the Lµ formula holding at the roots of
+  /// valid documents, memoized on \p Name — a builtin name (wikipedia,
+  /// smil, xhtml), a file path, or "" for no constraint (⊤). Compilation
+  /// per distinct DTD happens once per session regardless of how many
+  /// queries share the constraint.
+  Formula typeFormula(const std::string &Name, std::string &Error);
+
+  /// typeFormula conjoined with the root restriction of §5.2 — the form
+  /// used as the context χ of a query constrained by a schema. "" → ⊤.
+  Formula typeContext(const std::string &Name, std::string &Error);
+
+  SessionStats stats() const;
+
+private:
+  FormulaFactory FF;
+  SolverOptions Opts;
+  LruResultCache Cache;
+  std::unique_ptr<Analyzer> An;
+  std::unique_ptr<BddSolver> RawSolver;
+
+  struct QueryEntry {
+    ExprRef E;
+    std::string Error;
+  };
+  std::unordered_map<std::string, QueryEntry> QueryMemo;
+  struct DtdEntry {
+    Formula Type = nullptr;    ///< null when loading failed
+    Formula Context = nullptr; ///< Type ∧ root restriction, lazily built
+    std::string Error;
+  };
+  std::unordered_map<std::string, DtdEntry> DtdMemo;
+
+  SessionStats Counters;
+
+  DtdEntry &loadDtd(const std::string &Name);
+};
+
+} // namespace xsa
+
+#endif // XSA_SERVICE_SESSION_H

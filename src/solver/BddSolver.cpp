@@ -432,10 +432,30 @@ Document SymbolicRun::modelToDocument(const ModelNode &Root) {
 
 } // namespace
 
+uint32_t xsa::solverOptionsKey(const SolverOptions &Opts) {
+  uint32_t K = static_cast<uint32_t>(Opts.Order);
+  K = (K << 1) | Opts.EarlyQuantification;
+  K = (K << 1) | Opts.EnforceSingleMark;
+  K = (K << 1) | Opts.ExtractModel;
+  K = (K << 1) | Opts.EarlyTermination;
+  K = (K << 1) | Opts.RequireSingleRoot;
+  return K;
+}
+
 SolverResult BddSolver::solve(Formula Psi) {
   auto Start = std::chrono::steady_clock::now();
   assert(FF.isClosed(Psi) && "solver input must be closed");
   assert(isCycleFree(Psi) && "solver input must be cycle free");
+  Formula Canonical = nullptr;
+  if (Opts.Cache) {
+    Canonical = FF.canonicalize(Psi);
+    if (const SolverResult *Hit =
+            Opts.Cache->lookup(Canonical, solverOptionsKey(Opts))) {
+      SolverResult R = *Hit;
+      R.FromCache = true;
+      return R;
+    }
+  }
   Formula Phi = plungeFormula(FF, Psi);
   if (Opts.EnforceSingleMark)
     Phi = FF.conj(singleMarkFormula(FF), Phi);
@@ -445,5 +465,9 @@ SolverResult BddSolver::solve(Formula Psi) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - Start)
           .count();
+  if (Opts.StatsHook)
+    Opts.StatsHook(R.Stats);
+  if (Opts.Cache)
+    Opts.Cache->store(Canonical, solverOptionsKey(Opts), R);
   return R;
 }

@@ -43,9 +43,30 @@
 #include "logic/Lean.h"
 #include "tree/Document.h"
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 
 namespace xsa {
+
+struct SolverResult;
+struct SolverStats;
+
+/// Semantic result cache consulted by BddSolver::solve when installed in
+/// SolverOptions. Keys are canonical formulas (FormulaFactory::
+/// canonicalize), so α-equivalent queries share an entry, plus the
+/// fingerprint of the solver options the entry was produced under
+/// (different options can change both the result and the model).
+/// Implementations live above the solver (see src/service/Cache.h).
+class ResultCache {
+public:
+  virtual ~ResultCache() = default;
+  /// The cached result for \p Canonical under options \p OptsKey, or
+  /// nullptr on a miss. The pointer is only valid until the next call.
+  virtual const SolverResult *lookup(Formula Canonical, uint32_t OptsKey) = 0;
+  virtual void store(Formula Canonical, uint32_t OptsKey,
+                     const SolverResult &R) = 0;
+};
 
 struct SolverOptions {
   /// Lean member / BDD variable order (§7.4). BreadthFirst is the paper's
@@ -70,7 +91,19 @@ struct SolverOptions {
   /// (Fig. 8) lets a top-level node to the left of the mark pose as
   /// "the root". The Analyzer turns this on.
   bool RequireSingleRoot = false;
+  /// Optional semantic result cache, not owned. When set, solve()
+  /// canonicalizes its input, returns a stored result on a hit (with
+  /// FromCache set) and stores the result of every actual run.
+  ResultCache *Cache = nullptr;
+  /// Optional observer invoked with the stats of every *actual* solver
+  /// run (cache hits do not fire it). Lets a long-lived session
+  /// aggregate cumulative solver work without wrapping every call site.
+  std::function<void(const SolverStats &)> StatsHook;
 };
+
+/// Fingerprint of the semantically relevant option bits, used to key
+/// cached results. Cache and StatsHook are deliberately excluded.
+uint32_t solverOptionsKey(const SolverOptions &Opts);
 
 struct SolverStats {
   size_t LeanSize = 0;
@@ -84,6 +117,9 @@ struct SolverResult {
   /// A satisfying tree (hedge) with the start mark set, when requested.
   std::optional<Document> Model;
   SolverStats Stats;
+  /// True when this result was served from a ResultCache; Stats then
+  /// describe the original run that produced the entry.
+  bool FromCache = false;
 };
 
 /// Decides the satisfiability of closed cycle-free Lµ formulas over

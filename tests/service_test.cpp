@@ -1,0 +1,432 @@
+//===- service_test.cpp - Analysis service subsystem ----------------------===//
+//
+// Tests the session layer: canonical (α-invariant) formula hashing, the
+// LRU semantic result cache (hits on structurally identical queries,
+// misses after eviction), batch deduplication of repeated operands and
+// shared DTD contexts, the stats counters, and the JSON-lines batch
+// protocol — including the acceptance scenario that a repeated-query
+// batch reports cache hits with results identical to a cold run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Batch.h"
+#include "service/Cache.h"
+#include "service/Session.h"
+
+#include "logic/Parser.h"
+#include "xpath/Compile.h"
+#include "xpath/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace xsa;
+
+namespace {
+
+Formula parse(FormulaFactory &FF, const std::string &S) {
+  std::string Err;
+  Formula F = parseFormula(FF, S, Err);
+  EXPECT_NE(F, nullptr) << Err << " in: " << S;
+  return F;
+}
+
+ExprRef xp(const std::string &S) {
+  std::string Err;
+  ExprRef E = parseXPath(S, Err);
+  EXPECT_NE(E, nullptr) << Err << " in: " << S;
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalization
+//===----------------------------------------------------------------------===//
+
+TEST(Canonicalize, AlphaEquivalentFormulasShareOneNode) {
+  FormulaFactory FF;
+  Formula A = parse(FF, "let $X = a | <1>$X in $X");
+  Formula B = parse(FF, "let $Y = a | <1>$Y in $Y");
+  EXPECT_NE(A, B) << "distinct binder names intern differently";
+  EXPECT_EQ(FF.canonicalize(A), FF.canonicalize(B));
+  EXPECT_EQ(FF.canonicalHash(A), FF.canonicalHash(B));
+}
+
+TEST(Canonicalize, DistinctFormulasStayDistinct) {
+  FormulaFactory FF;
+  Formula A = parse(FF, "let $X = a | <1>$X in $X");
+  Formula C = parse(FF, "let $X = b | <1>$X in $X");
+  EXPECT_NE(FF.canonicalize(A), FF.canonicalize(C));
+}
+
+TEST(Canonicalize, NestedBindersAndFreeVariables) {
+  FormulaFactory FF;
+  Formula A = parse(FF, "let $X = <1>(let $Y = a | <2>$Y in $Y) in $X");
+  Formula B = parse(FF, "let $U = <1>(let $V = a | <2>$V in $V) in $U");
+  EXPECT_EQ(FF.canonicalize(A), FF.canonicalize(B));
+  // A free variable is left untouched.
+  Formula Free = FF.var("Z");
+  EXPECT_EQ(FF.canonicalize(Free), Free);
+}
+
+TEST(Canonicalize, RepeatedXPathCompilationsCanonicalizeEqual) {
+  // compileXPath draws fresh µ-variables each time, so two compilations
+  // of the same query are α-variants — exactly what the semantic cache
+  // must identify.
+  FormulaFactory FF;
+  Formula F1 = compileXPath(FF, xp("/a//b[c]"), FF.trueF());
+  Formula F2 = compileXPath(FF, xp("/a//b[c]"), FF.trueF());
+  EXPECT_EQ(FF.canonicalize(F1), FF.canonicalize(F2));
+  Formula Other = compileXPath(FF, xp("/a//b[d]"), FF.trueF());
+  EXPECT_NE(FF.canonicalize(F1), FF.canonicalize(Other));
+}
+
+//===----------------------------------------------------------------------===//
+// LRU cache
+//===----------------------------------------------------------------------===//
+
+TEST(LruResultCache, HitMissEvictAndCounters) {
+  FormulaFactory FF;
+  Formula A = FF.prop("a");
+  Formula B = FF.prop("b");
+  Formula C = FF.prop("c");
+  SolverResult R;
+  R.Satisfiable = true;
+
+  LruResultCache Cache(/*Capacity=*/2);
+  EXPECT_EQ(Cache.lookup(A, 0), nullptr);
+  Cache.store(A, 0, R);
+  Cache.store(B, 0, R);
+  ASSERT_NE(Cache.lookup(A, 0), nullptr); // A is now most recent
+  Cache.store(C, 0, R);                   // evicts B (least recent)
+  EXPECT_EQ(Cache.lookup(B, 0), nullptr);
+  EXPECT_NE(Cache.lookup(A, 0), nullptr);
+  EXPECT_NE(Cache.lookup(C, 0), nullptr);
+
+  const CacheStats &S = Cache.stats();
+  EXPECT_EQ(S.Hits, 3u);
+  EXPECT_EQ(S.Misses, 2u);
+  EXPECT_EQ(S.Insertions, 3u);
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
+TEST(LruResultCache, OptionsFingerprintSeparatesEntries) {
+  FormulaFactory FF;
+  Formula A = FF.prop("a");
+  SolverResult Yes, No;
+  Yes.Satisfiable = true;
+  No.Satisfiable = false;
+  LruResultCache Cache(8);
+  Cache.store(A, 1, Yes);
+  Cache.store(A, 2, No);
+  ASSERT_NE(Cache.lookup(A, 1), nullptr);
+  EXPECT_TRUE(Cache.lookup(A, 1)->Satisfiable);
+  ASSERT_NE(Cache.lookup(A, 2), nullptr);
+  EXPECT_FALSE(Cache.lookup(A, 2)->Satisfiable);
+}
+
+//===----------------------------------------------------------------------===//
+// Session cache behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisSession, CacheHitOnStructurallyIdenticalQueries) {
+  AnalysisSession Session;
+  ExprRef E1 = xp("/a/b");
+  ExprRef E2 = xp("//b");
+  Formula Top = Session.factory().trueF();
+
+  AnalysisResult Cold = Session.containment(E1, Top, E2, Top);
+  EXPECT_TRUE(Cold.Holds);
+  EXPECT_FALSE(Cold.FromCache);
+
+  // Same operands again — even via freshly parsed (structurally
+  // identical) expressions.
+  AnalysisResult Warm = Session.containment(xp("/a/b"), Top, xp("//b"), Top);
+  EXPECT_TRUE(Warm.FromCache);
+  EXPECT_EQ(Warm.Holds, Cold.Holds);
+
+  SessionStats S = Session.stats();
+  EXPECT_EQ(S.Cache.Hits, 1u);
+  EXPECT_EQ(S.Cache.Misses, 1u);
+  EXPECT_EQ(S.Solves, 1u);
+}
+
+TEST(AnalysisSession, MissAfterEviction) {
+  // Capacity 1: solving A, then B, then A again must re-solve A.
+  AnalysisSession Session(SolverOptions{}, /*CacheCapacity=*/1);
+  Formula A = parse(Session.factory(), "<1>a");
+  Formula B = parse(Session.factory(), "<1>b");
+
+  EXPECT_FALSE(Session.satisfiable(A).FromCache);
+  EXPECT_TRUE(Session.satisfiable(A).FromCache);
+  EXPECT_FALSE(Session.satisfiable(B).FromCache); // evicts A
+  EXPECT_FALSE(Session.satisfiable(A).FromCache); // miss again
+
+  SessionStats S = Session.stats();
+  EXPECT_GE(S.Cache.Evictions, 1u);
+  EXPECT_EQ(S.Cache.Hits, 1u);
+  EXPECT_EQ(S.Solves, 3u);
+}
+
+TEST(AnalysisSession, RawAndAnalyzerOptionsDoNotCrossContaminate) {
+  // The same formula solved raw (hedge models allowed) and through the
+  // Analyzer (single-rooted models) must not share cache entries: the
+  // options fingerprint differs.
+  SolverOptions Raw;
+  SolverOptions Single = Raw;
+  Single.RequireSingleRoot = true;
+  EXPECT_NE(solverOptionsKey(Raw), solverOptionsKey(Single));
+}
+
+TEST(AnalysisSession, QueryAndDtdMemoization) {
+  AnalysisSession Session;
+  std::string Err;
+  ExprRef E1 = Session.query("//b", Err);
+  ASSERT_NE(E1, nullptr);
+  ExprRef E2 = Session.query("//b", Err);
+  EXPECT_EQ(E1.get(), E2.get()) << "memoized parse returns the same AST";
+
+  Formula T1 = Session.typeContext("wikipedia", Err);
+  ASSERT_NE(T1, nullptr);
+  Formula T2 = Session.typeContext("wikipedia", Err);
+  EXPECT_EQ(T1, T2);
+
+  SessionStats S = Session.stats();
+  EXPECT_EQ(S.QueriesParsed, 1u);
+  EXPECT_EQ(S.QueryCacheHits, 1u);
+  EXPECT_EQ(S.DtdCompilations, 1u);
+  EXPECT_EQ(S.DtdCacheHits, 1u);
+
+  // Parse failures are memoized too, with the error preserved.
+  EXPECT_EQ(Session.query("///", Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+  std::string Err2;
+  EXPECT_EQ(Session.query("///", Err2), nullptr);
+  EXPECT_EQ(Err, Err2);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch pipeline
+//===----------------------------------------------------------------------===//
+
+AnalysisRequest containsReq(const std::string &Id, const std::string &E1,
+                            const std::string &E2) {
+  AnalysisRequest R;
+  R.Id = Id;
+  R.Kind = RequestKind::Containment;
+  R.Query1 = E1;
+  R.Query2 = E2;
+  return R;
+}
+
+TEST(Batch, DedupsRepeatedContainmentOperands) {
+  AnalysisSession Session;
+  // Four requests over two distinct problems; the duplicates must be
+  // answered from the cache with identical verdicts.
+  std::vector<AnalysisRequest> Reqs = {
+      containsReq("a", "/a/b", "//b"),
+      containsReq("b", "//b", "/a/b"),
+      containsReq("a2", "/a/b", "//b"),
+      containsReq("b2", "//b", "/a/b"),
+  };
+  std::vector<AnalysisResponse> Resps = runBatch(Session, Reqs);
+  ASSERT_EQ(Resps.size(), 4u);
+  for (const AnalysisResponse &R : Resps)
+    EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(Resps[0].FromCache);
+  EXPECT_FALSE(Resps[1].FromCache);
+  EXPECT_TRUE(Resps[2].FromCache);
+  EXPECT_TRUE(Resps[3].FromCache);
+  EXPECT_EQ(Resps[2].Holds, Resps[0].Holds);
+  EXPECT_EQ(Resps[3].Holds, Resps[1].Holds);
+
+  SessionStats S = Session.stats();
+  EXPECT_EQ(S.Solves, 2u) << "two distinct problems, two solver runs";
+  EXPECT_EQ(S.Cache.Hits, 2u);
+  // The operand strings were parsed once each.
+  EXPECT_EQ(S.QueriesParsed, 2u);
+  EXPECT_GE(S.QueryCacheHits, 6u);
+}
+
+TEST(Batch, WarmRequestsDoNotGrowTheFormulaArena) {
+  // A fully-warm repeated request must be allocation-stable: the query
+  // memo returns the same AST, the Analyzer's compile memo the same
+  // formula, and the canonical memo the same cache key — so the factory
+  // arena stops growing no matter how often the request repeats.
+  AnalysisSession Session;
+  std::vector<AnalysisRequest> Reqs = {containsReq("a", "/a/b", "//b")};
+  runBatch(Session, Reqs);
+  runBatch(Session, Reqs); // warm once, so every memo is populated
+  size_t Nodes = Session.factory().numNodes();
+  for (int I = 0; I < 5; ++I)
+    runBatch(Session, Reqs);
+  EXPECT_EQ(Session.factory().numNodes(), Nodes);
+}
+
+TEST(Batch, SharedDtdCompiledOnce) {
+  AnalysisSession Session;
+  std::vector<AnalysisRequest> Reqs;
+  for (int I = 0; I < 3; ++I) {
+    AnalysisRequest R;
+    R.Id = "e" + std::to_string(I);
+    R.Kind = RequestKind::Emptiness;
+    R.Query1 = "//unknown" + std::to_string(I);
+    R.Dtd1 = "wikipedia";
+    Reqs.push_back(R);
+  }
+  std::vector<AnalysisResponse> Resps = runBatch(Session, Reqs);
+  for (const AnalysisResponse &R : Resps)
+    EXPECT_TRUE(R.Ok) << R.Error;
+  SessionStats S = Session.stats();
+  EXPECT_EQ(S.DtdCompilations, 1u);
+  EXPECT_EQ(S.DtdCacheHits, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+TEST(Json, ParseAndDumpRoundTrip) {
+  std::string Err;
+  JsonRef V = parseJson(
+      R"({"op":"cover","id":"qA","others":["//a","//b"],"n":3,"t":true})",
+      Err);
+  ASSERT_NE(V, nullptr) << Err;
+  EXPECT_EQ(V->str("op"), "cover");
+  EXPECT_EQ(V->str("id"), "qA");
+  EXPECT_EQ(V->get("others")->items().size(), 2u);
+  EXPECT_EQ(V->get("n")->asNumber(), 3);
+  EXPECT_TRUE(V->get("t")->asBool());
+  EXPECT_TRUE(V->get("missing")->isNull());
+
+  // dump() emits valid JSON that re-parses to the same shape.
+  JsonRef Again = parseJson(V->dump(), Err);
+  ASSERT_NE(Again, nullptr) << Err;
+  EXPECT_EQ(Again->dump(), V->dump());
+}
+
+TEST(Json, Errors) {
+  std::string Err;
+  EXPECT_EQ(parseJson("{\"a\":}", Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(parseJson("{} trailing", Err), nullptr);
+  EXPECT_EQ(parseJson("\"unterminated", Err), nullptr);
+  EXPECT_EQ(parseJson("", Err), nullptr);
+}
+
+TEST(Json, RequestDecoding) {
+  std::string Err;
+  JsonRef Obj = parseJson(
+      R"({"id":"t1","op":"typecheck","e1":"//p","dtd":"xhtml","out":"smil"})",
+      Err);
+  ASSERT_NE(Obj, nullptr);
+  AnalysisRequest Req;
+  ASSERT_TRUE(requestFromJson(*Obj, Req, Err)) << Err;
+  EXPECT_EQ(Req.Kind, RequestKind::TypeCheck);
+  EXPECT_EQ(Req.Id, "t1");
+  EXPECT_EQ(Req.Query1, "//p");
+  EXPECT_EQ(Req.Dtd1, "xhtml");
+  EXPECT_EQ(Req.OutDtd, "smil");
+
+  JsonRef Bad = parseJson(R"({"id":"x","op":"nope"})", Err);
+  ASSERT_NE(Bad, nullptr);
+  EXPECT_FALSE(requestFromJson(*Bad, Req, Err));
+}
+
+//===----------------------------------------------------------------------===//
+// JSON-lines end-to-end (the acceptance scenario)
+//===----------------------------------------------------------------------===//
+
+/// Runs the JSON-lines batch and returns one parsed response per line.
+std::vector<JsonRef> runLines(AnalysisSession &Session,
+                              const std::string &Input) {
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  runBatchJsonLines(Session, In, Out);
+  std::vector<JsonRef> Resps;
+  std::istringstream Parse(Out.str());
+  std::string Line;
+  while (std::getline(Parse, Line)) {
+    std::string Err;
+    JsonRef V = parseJson(Line, Err);
+    EXPECT_NE(V, nullptr) << Err << " in: " << Line;
+    Resps.push_back(V);
+  }
+  return Resps;
+}
+
+TEST(BatchJsonLines, AnswersDistinctDecisionProblems) {
+  // ≥3 distinct decision problems in one batch.
+  const std::string Input =
+      R"({"id":"q1","op":"contains","e1":"/a/b","e2":"//b"})" "\n"
+      R"({"id":"q2","op":"overlap","e1":"//a","e2":"//b"})" "\n"
+      R"({"id":"q3","op":"empty","e1":"a/b[parent::c]"})" "\n"
+      R"({"id":"q4","op":"cover","e1":"/a/b","others":["//b","//c"]})" "\n"
+      R"({"id":"q5","op":"sat","f":"<1>a & ~<1>T"})" "\n";
+  AnalysisSession Session;
+  std::vector<JsonRef> Resps = runLines(Session, Input);
+  ASSERT_EQ(Resps.size(), 5u);
+  for (const JsonRef &R : Resps)
+    EXPECT_TRUE(R->get("ok")->asBool()) << R->dump();
+
+  EXPECT_TRUE(Resps[0]->get("holds")->asBool());   // /a/b ⊆ //b
+  EXPECT_FALSE(Resps[1]->get("holds")->asBool());  // //a ∩ //b = ∅
+  EXPECT_TRUE(Resps[2]->get("holds")->asBool());   // b below a-root with c parent
+  EXPECT_TRUE(Resps[3]->get("holds")->asBool());   // /a/b ⊆ //b ∪ //c
+  EXPECT_FALSE(Resps[4]->get("holds")->asBool());  // contradiction unsat
+}
+
+TEST(BatchJsonLines, RepeatedBatchHitsCacheWithIdenticalResults) {
+  const std::string Input =
+      R"({"id":"q1","op":"contains","e1":"/a/b","e2":"//b"})" "\n"
+      R"({"id":"q2","op":"overlap","e1":"//a","e2":"//b"})" "\n"
+      R"({"id":"q3","op":"empty","e1":"a/b[parent::c]"})" "\n";
+
+  // Cold run: fresh session, no hits.
+  AnalysisSession ColdSession;
+  std::vector<JsonRef> Cold = runLines(ColdSession, Input);
+  ASSERT_EQ(Cold.size(), 3u);
+  EXPECT_EQ(ColdSession.stats().Cache.Hits, 0u);
+
+  // Warm run: same session answers the same batch again, entirely from
+  // the cache, with identical verdicts.
+  std::vector<JsonRef> Warm = runLines(ColdSession, Input);
+  ASSERT_EQ(Warm.size(), 3u);
+  SessionStats S = ColdSession.stats();
+  EXPECT_GT(S.Cache.Hits, 0u);
+  EXPECT_EQ(S.Cache.Hits, 3u);
+  EXPECT_EQ(S.Solves, 3u) << "no new solver runs in the warm batch";
+  for (size_t I = 0; I < 3; ++I) {
+    EXPECT_EQ(Warm[I]->get("holds")->asBool(), Cold[I]->get("holds")->asBool());
+    EXPECT_EQ(Warm[I]->get("satisfiable")->asBool(),
+              Cold[I]->get("satisfiable")->asBool());
+    EXPECT_EQ(Warm[I]->str("cache"), "hit");
+    EXPECT_EQ(Cold[I]->str("cache"), "miss");
+    // The model (when present) is byte-identical too.
+    EXPECT_EQ(Warm[I]->str("model"), Cold[I]->str("model"));
+  }
+
+  // And a second cold session agrees with the cached answers.
+  AnalysisSession Fresh;
+  std::vector<JsonRef> Fresh2 = runLines(Fresh, Input);
+  for (size_t I = 0; I < 3; ++I)
+    EXPECT_EQ(Fresh2[I]->get("holds")->asBool(),
+              Cold[I]->get("holds")->asBool());
+}
+
+TEST(BatchJsonLines, MalformedLinesDoNotAbortTheBatch) {
+  const std::string Input =
+      "this is not json\n"
+      R"({"id":"ok1","op":"empty","e1":"//b"})" "\n"
+      R"({"id":"bad","op":"contains","e1":"//b"})" "\n"; // missing e2
+  AnalysisSession Session;
+  std::vector<JsonRef> Resps = runLines(Session, Input);
+  ASSERT_EQ(Resps.size(), 3u);
+  EXPECT_FALSE(Resps[0]->get("ok")->asBool());
+  EXPECT_TRUE(Resps[1]->get("ok")->asBool());
+  EXPECT_FALSE(Resps[2]->get("ok")->asBool());
+  EXPECT_EQ(Resps[2]->str("id"), "bad");
+}
+
+} // namespace
