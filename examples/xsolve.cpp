@@ -8,11 +8,16 @@
 //   xsolve overlap '<e1>' '<e2>' [dtd]     XPath overlap
 //   xsolve compile '<xpath>'               print the Lµ translation
 //   xsolve validate <xml-file> <dtd-file>  DTD validation
-//   xsolve batch [file|-]                  JSON-lines batch mode
+//   xsolve batch [file|-] [--jobs N] [--cache-file F] [--stable]
 //
 // All solver-backed commands run through an AnalysisSession, so repeated
 // (or α-equivalent) queries within one invocation — typical in batch
-// mode — are answered from the session's semantic result cache.
+// mode — are answered from the session's semantic result cache. Batch
+// mode additionally dispatches independent requests across --jobs worker
+// threads (responses stay in input order), persists the result cache to
+// --cache-file across invocations, and with --stable omits the
+// execution-dependent response fields (cache, time_ms) so output is
+// byte-identical at any job count.
 //
 // DTD arguments may be a file path or one of the builtin names
 // `wikipedia`, `smil`, `xhtml`.
@@ -31,6 +36,7 @@
 #include "xtype/Validate.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -49,12 +55,19 @@ int usage() {
       "  xsolve contains '<e1>' '<e2>' [dtd]\n"
       "  xsolve overlap '<e1>' '<e2>' [dtd]\n"
       "  xsolve validate <xml-file> <dtd>\n"
-      "  xsolve batch [file|-]\n"
+      "  xsolve batch [file|-] [--jobs N] [--cache-file F] [--stable]\n"
       "where [dtd] is a file path or one of: wikipedia, smil, xhtml.\n"
       "batch reads one JSON request per line, e.g.\n"
       "  {\"id\":\"q1\",\"op\":\"contains\",\"e1\":\"/a//b\","
       "\"e2\":\"//b\",\"dtd\":\"xhtml\"}\n"
-      "(ops: sat empty contains overlap cover equiv typecheck)\n");
+      "(ops: sat empty contains overlap cover equiv typecheck;\n"
+      " {\"op\":\"config\",\"jobs\":N} switches workers mid-stream)\n"
+      "batch flags:\n"
+      "  --jobs N        dispatch across N worker threads (0 = all cores)\n"
+      "  --cache-file F  load the result cache from F on start (if it\n"
+      "                  exists) and save it back on exit\n"
+      "  --stable        omit execution-dependent fields (cache, time_ms)\n"
+      "                  so output is byte-identical at any job count\n");
   return 2;
 }
 
@@ -114,17 +127,58 @@ int main(int argc, char **argv) {
   FormulaFactory &FF = Session.factory();
 
   if (Cmd == "batch") {
-    std::string Path = argc > 2 ? argv[2] : "-";
+    std::string Path = "-";
+    std::string CacheFile;
+    bool Stable = false;
+    bool HaveJobs = false;
+    size_t Jobs = 1;
+    for (int I = 2; I < argc; ++I) {
+      std::string Arg = argv[I];
+      if (Arg == "--jobs" && I + 1 < argc) {
+        char *End = nullptr;
+        long N = std::strtol(argv[++I], &End, 10);
+        if (N < 0 || End == argv[I] || *End != '\0') {
+          std::fprintf(stderr, "error: --jobs needs a non-negative integer\n");
+          return usage();
+        }
+        Jobs = static_cast<size_t>(N);
+        HaveJobs = true;
+      } else if (Arg == "--cache-file" && I + 1 < argc) {
+        CacheFile = argv[++I];
+      } else if (Arg == "--stable") {
+        Stable = true;
+      } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+        std::fprintf(stderr, "error: unknown batch flag %s\n", Arg.c_str());
+        return usage();
+      } else {
+        Path = Arg;
+      }
+    }
+    if (HaveJobs)
+      Session.setJobs(Jobs);
+    if (!CacheFile.empty()) {
+      std::string Error;
+      // A missing cache file just means a cold start; any other load
+      // problem is worth a warning but not a refusal to serve.
+      std::ifstream Probe(CacheFile);
+      if (Probe && !Session.loadCache(CacheFile, Error))
+        std::fprintf(stderr, "warning: %s\n", Error.c_str());
+    }
     size_t Failed = 0;
     if (Path == "-") {
-      runBatchJsonLines(Session, std::cin, std::cout, &Failed);
+      runBatchJsonLines(Session, std::cin, std::cout, &Failed, Stable);
     } else {
       std::ifstream In(Path);
       if (!In) {
         std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
         return 1;
       }
-      runBatchJsonLines(Session, In, std::cout, &Failed);
+      runBatchJsonLines(Session, In, std::cout, &Failed, Stable);
+    }
+    if (!CacheFile.empty()) {
+      std::string Error;
+      if (!Session.saveCache(CacheFile, Error))
+        std::fprintf(stderr, "warning: %s\n", Error.c_str());
     }
     // Session-wide statistics go to stderr so stdout stays a clean
     // JSON-lines response stream.

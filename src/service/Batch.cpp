@@ -8,6 +8,7 @@
 
 #include <istream>
 #include <ostream>
+#include <unordered_map>
 
 using namespace xsa;
 
@@ -61,15 +62,15 @@ AnalysisResponse errorResponse(const AnalysisRequest &Req, std::string Msg) {
   return R;
 }
 
-/// Resolves a query string through the session memo, or fails.
-bool resolveQuery(AnalysisSession &Session, const std::string &Src,
+/// Resolves a query string through the context memo, or fails.
+bool resolveQuery(AnalysisContext &Ctx, const std::string &Src,
                   const char *Which, ExprRef &E, std::string &Error) {
   if (Src.empty()) {
     Error = std::string("missing query ") + Which;
     return false;
   }
   std::string ParseError;
-  E = Session.query(Src, ParseError);
+  E = Ctx.query(Src, ParseError);
   if (!E) {
     Error = std::string(Which) + ": " + ParseError;
     return false;
@@ -77,10 +78,10 @@ bool resolveQuery(AnalysisSession &Session, const std::string &Src,
   return true;
 }
 
-bool resolveContext(AnalysisSession &Session, const std::string &Name,
+bool resolveContext(AnalysisContext &Ctx, const std::string &Name,
                     Formula &Chi, std::string &Error) {
   std::string DtdError;
-  Chi = Session.typeContext(Name, DtdError);
+  Chi = Ctx.typeContext(Name, DtdError);
   if (!Chi) {
     Error = DtdError;
     return false;
@@ -102,21 +103,49 @@ void fillFromAnalysis(AnalysisResponse &R, const AnalysisResult &A,
     R.ModelXml = printXml(*A.Tree, A.Target);
 }
 
+/// Identity of a request up to textual equality of every field that can
+/// influence the answer (everything but Id). Textually identical
+/// requests are solved once per batch and the rest reported as cache
+/// hits — exactly what a serial run through the semantic cache does.
+std::string requestSignature(const AnalysisRequest &Req) {
+  // \x1f (unit separator) cannot occur in well-formed XPath, Lµ or DTD
+  // names, so the concatenation is injective on meaningful requests.
+  std::string S;
+  S += static_cast<char>('0' + static_cast<int>(Req.Kind));
+  S += '\x1f';
+  S += Req.Formula;
+  S += '\x1f';
+  S += Req.Query1;
+  S += '\x1f';
+  S += Req.Query2;
+  S += '\x1f';
+  S += Req.Dtd1;
+  S += '\x1f';
+  S += Req.Dtd2;
+  S += '\x1f';
+  S += Req.OutDtd;
+  for (const std::string &O : Req.Others) {
+    S += '\x1f';
+    S += O;
+  }
+  return S;
+}
+
 } // namespace
 
-AnalysisResponse xsa::runRequest(AnalysisSession &Session,
+AnalysisResponse xsa::runRequest(AnalysisContext &Ctx,
                                  const AnalysisRequest &Req) {
   AnalysisResponse R;
   R.Id = Req.Id;
   std::string Error;
 
   if (Req.Kind == RequestKind::Sat) {
-    Formula F = parseFormula(Session.factory(), Req.Formula, Error);
+    Formula F = parseFormula(Ctx.factory(), Req.Formula, Error);
     if (!F)
       return errorResponse(Req, "formula: " + Error);
     if (!isCycleFree(F))
       return errorResponse(Req, "formula is not cycle free");
-    SolverResult SR = Session.satisfiable(F);
+    SolverResult SR = Ctx.satisfiable(F);
     R.Ok = true;
     R.Satisfiable = SR.Satisfiable;
     R.Holds = SR.Satisfiable;
@@ -128,38 +157,39 @@ AnalysisResponse xsa::runRequest(AnalysisSession &Session,
   }
 
   ExprRef E1;
-  if (!resolveQuery(Session, Req.Query1, "e1", E1, Error))
+  if (!resolveQuery(Ctx, Req.Query1, "e1", E1, Error))
     return errorResponse(Req, Error);
   Formula Chi1;
-  if (!resolveContext(Session, Req.Dtd1, Chi1, Error))
+  if (!resolveContext(Ctx, Req.Dtd1, Chi1, Error))
     return errorResponse(Req, Error);
   // An absent dtd2 inherits dtd1: the common "same schema on both sides"
   // case.
   const std::string &Dtd2 = Req.Dtd2.empty() ? Req.Dtd1 : Req.Dtd2;
 
+  Analyzer &An = Ctx.analyzer();
   switch (Req.Kind) {
   case RequestKind::Sat:
     break; // handled above
   case RequestKind::Emptiness:
-    fillFromAnalysis(R, Session.emptiness(E1, Chi1), /*HoldsWhenUnsat=*/true);
+    fillFromAnalysis(R, An.emptiness(E1, Chi1), /*HoldsWhenUnsat=*/true);
     break;
   case RequestKind::Containment:
   case RequestKind::Overlap:
   case RequestKind::Equivalence: {
     ExprRef E2;
-    if (!resolveQuery(Session, Req.Query2, "e2", E2, Error))
+    if (!resolveQuery(Ctx, Req.Query2, "e2", E2, Error))
       return errorResponse(Req, Error);
     Formula Chi2;
-    if (!resolveContext(Session, Dtd2, Chi2, Error))
+    if (!resolveContext(Ctx, Dtd2, Chi2, Error))
       return errorResponse(Req, Error);
     if (Req.Kind == RequestKind::Containment)
-      fillFromAnalysis(R, Session.containment(E1, Chi1, E2, Chi2),
+      fillFromAnalysis(R, An.containment(E1, Chi1, E2, Chi2),
                        /*HoldsWhenUnsat=*/true);
     else if (Req.Kind == RequestKind::Overlap)
-      fillFromAnalysis(R, Session.overlap(E1, Chi1, E2, Chi2),
+      fillFromAnalysis(R, An.overlap(E1, Chi1, E2, Chi2),
                        /*HoldsWhenUnsat=*/false);
     else
-      fillFromAnalysis(R, Session.equivalence(E1, Chi1, E2, Chi2),
+      fillFromAnalysis(R, An.equivalence(E1, Chi1, E2, Chi2),
                        /*HoldsWhenUnsat=*/true);
     break;
   }
@@ -170,12 +200,12 @@ AnalysisResponse xsa::runRequest(AnalysisSession &Session,
     std::vector<Formula> OtherChis;
     for (size_t I = 0; I < Req.Others.size(); ++I) {
       ExprRef E;
-      if (!resolveQuery(Session, Req.Others[I], "others", E, Error))
+      if (!resolveQuery(Ctx, Req.Others[I], "others", E, Error))
         return errorResponse(Req, Error);
       Others.push_back(E);
       OtherChis.push_back(Chi1);
     }
-    fillFromAnalysis(R, Session.coverage(E1, Chi1, Others, OtherChis),
+    fillFromAnalysis(R, An.coverage(E1, Chi1, Others, OtherChis),
                      /*HoldsWhenUnsat=*/true);
     break;
   }
@@ -183,10 +213,10 @@ AnalysisResponse xsa::runRequest(AnalysisSession &Session,
     if (Req.OutDtd.empty())
       return errorResponse(Req, "typecheck needs an output type 'out'");
     std::string DtdError;
-    Formula OutType = Session.typeFormula(Req.OutDtd, DtdError);
+    Formula OutType = Ctx.typeFormula(Req.OutDtd, DtdError);
     if (!OutType)
       return errorResponse(Req, DtdError);
-    fillFromAnalysis(R, Session.staticTypeCheck(E1, Chi1, OutType),
+    fillFromAnalysis(R, An.staticTypeCheck(E1, Chi1, OutType),
                      /*HoldsWhenUnsat=*/true);
     break;
   }
@@ -194,13 +224,55 @@ AnalysisResponse xsa::runRequest(AnalysisSession &Session,
   return R;
 }
 
+AnalysisResponse xsa::runRequest(AnalysisSession &Session,
+                                 const AnalysisRequest &Req) {
+  return runRequest(Session.mainContext(), Req);
+}
+
 std::vector<AnalysisResponse>
 xsa::runBatch(AnalysisSession &Session,
               const std::vector<AnalysisRequest> &Reqs) {
-  std::vector<AnalysisResponse> Out;
-  Out.reserve(Reqs.size());
-  for (const AnalysisRequest &Req : Reqs)
-    Out.push_back(runRequest(Session, Req));
+  std::vector<AnalysisResponse> Out(Reqs.size());
+  if (Session.jobs() <= 1 || Reqs.size() < 2) {
+    for (size_t I = 0; I < Reqs.size(); ++I)
+      Out[I] = runRequest(Session, Reqs[I]);
+    return Out;
+  }
+
+  // Textual dedup before dispatch: later copies of an identical request
+  // become cache-hit replies of the first, which both avoids redundant
+  // concurrent solves of the same problem and keeps the reported
+  // hit/miss pattern identical to a serial run.
+  constexpr size_t NotDup = ~size_t(0);
+  std::unordered_map<std::string, size_t> FirstOf;
+  std::vector<size_t> Unique;
+  std::vector<size_t> DupOf(Reqs.size(), NotDup);
+  Unique.reserve(Reqs.size());
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    auto [It, Inserted] = FirstOf.emplace(requestSignature(Reqs[I]), I);
+    if (Inserted)
+      Unique.push_back(I);
+    else
+      DupOf[I] = It->second;
+  }
+
+  // Self-scheduling dispatch: each worker pulls the next unclaimed
+  // request and answers it on its own context. Input order of the
+  // responses is preserved by construction (slot I belongs to request I).
+  WorkerPool &Pool = Session.pool();
+  Pool.parallelFor(Unique.size(), [&](size_t U, size_t Worker) {
+    size_t I = Unique[U];
+    Out[I] = runRequest(Session.workerContext(Worker), Reqs[I]);
+  });
+
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    if (DupOf[I] == NotDup)
+      continue;
+    Out[I] = Out[DupOf[I]];
+    Out[I].Id = Reqs[I].Id;
+    if (Out[I].Ok)
+      Out[I].FromCache = true;
+  }
   return Out;
 }
 
@@ -244,7 +316,8 @@ bool xsa::requestFromJson(const JsonValue &Obj, AnalysisRequest &Req,
   return true;
 }
 
-JsonRef xsa::responseToJson(const AnalysisResponse &Resp) {
+JsonRef xsa::responseToJson(const AnalysisResponse &Resp,
+                            bool IncludeVolatile) {
   JsonRef O = JsonValue::object();
   if (!Resp.Id.empty())
     O->set("id", JsonValue::string(Resp.Id));
@@ -255,11 +328,13 @@ JsonRef xsa::responseToJson(const AnalysisResponse &Resp) {
   }
   O->set("holds", JsonValue::boolean(Resp.Holds));
   O->set("satisfiable", JsonValue::boolean(Resp.Satisfiable));
-  O->set("cache", JsonValue::string(Resp.FromCache ? "hit" : "miss"));
+  if (IncludeVolatile)
+    O->set("cache", JsonValue::string(Resp.FromCache ? "hit" : "miss"));
   O->set("lean", JsonValue::number(static_cast<double>(Resp.Stats.LeanSize)));
   O->set("iterations",
          JsonValue::number(static_cast<double>(Resp.Stats.Iterations)));
-  O->set("time_ms", JsonValue::number(Resp.Stats.TimeMs));
+  if (IncludeVolatile)
+    O->set("time_ms", JsonValue::number(Resp.Stats.TimeMs));
   if (!Resp.ModelXml.empty())
     O->set("model", JsonValue::string(Resp.ModelXml));
   return O;
@@ -292,8 +367,46 @@ JsonRef xsa::statsToJson(const SessionStats &S) {
 }
 
 size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
-                              std::ostream &Out, size_t *Failed) {
+                              std::ostream &Out, size_t *Failed,
+                              bool StableOutput) {
   size_t Answered = 0, Errors = 0;
+
+  // One buffered segment between config lines. With jobs == 1 the
+  // segment is flushed after every line, preserving the historical
+  // stream-as-you-go behaviour; with jobs > 1 requests accumulate so a
+  // whole segment can be dispatched across the pool at once — bounded
+  // by MaxSegment so an arbitrarily large input never buffers
+  // unboundedly. Pipelined clients that need a response per request
+  // should run jobs == 1 (or send a config line to force a flush).
+  constexpr size_t MaxSegment = 4096;
+  struct Item {
+    size_t ReqIdx = ~size_t(0); ///< index into SegReqs, or none
+    AnalysisResponse Resp;      ///< pre-made response when ReqIdx is none
+  };
+  std::vector<AnalysisRequest> SegReqs;
+  std::vector<Item> SegItems;
+
+  auto Emit = [&](const AnalysisResponse &Resp) {
+    if (Resp.Ok)
+      ++Answered;
+    else
+      ++Errors;
+    Out << responseToJson(Resp, /*IncludeVolatile=*/!StableOutput)->dump()
+        << "\n";
+  };
+  auto Flush = [&] {
+    if (!SegReqs.empty()) {
+      std::vector<AnalysisResponse> Resps = runBatch(Session, SegReqs);
+      for (Item &It : SegItems)
+        if (It.ReqIdx != ~size_t(0))
+          It.Resp = std::move(Resps[It.ReqIdx]);
+    }
+    for (const Item &It : SegItems)
+      Emit(It.Resp);
+    SegReqs.clear();
+    SegItems.clear();
+  };
+
   std::string Line;
   while (std::getline(In, Line)) {
     // Skip blank lines and #-comments so hand-written batch files can be
@@ -303,24 +416,52 @@ size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
       continue;
     std::string Error;
     JsonRef Obj = parseJson(Line, Error);
-    AnalysisRequest Req;
-    AnalysisResponse Resp;
     if (!Obj) {
-      Resp.Ok = false;
-      Resp.Error = "bad JSON: " + Error;
-    } else if (!requestFromJson(*Obj, Req, Error)) {
+      Item It;
+      It.Resp.Ok = false;
+      It.Resp.Error = "bad JSON: " + Error;
+      SegItems.push_back(std::move(It));
+    } else if (Obj->str("op") == "config") {
+      // Control line: answer in order, apply to everything after it.
+      Flush();
+      AnalysisResponse Resp;
       Resp.Id = Obj->str("id");
-      Resp.Ok = false;
-      Resp.Error = Error;
+      JsonRef Jobs = Obj->get("jobs");
+      if (Jobs->type() != JsonValue::Type::Number ||
+          Jobs->asNumber() < 0 ||
+          Jobs->asNumber() !=
+              static_cast<double>(static_cast<size_t>(Jobs->asNumber()))) {
+        Resp.Ok = false;
+        Resp.Error = "config needs 'jobs': a non-negative integer";
+        Emit(Resp);
+      } else {
+        Session.setJobs(static_cast<size_t>(Jobs->asNumber()));
+        JsonRef O = JsonValue::object();
+        if (!Resp.Id.empty())
+          O->set("id", JsonValue::string(Resp.Id));
+        O->set("ok", JsonValue::boolean(true));
+        O->set("jobs", JsonValue::number(static_cast<double>(Session.jobs())));
+        ++Answered;
+        Out << O->dump() << "\n";
+      }
+      continue;
     } else {
-      Resp = runRequest(Session, Req);
+      AnalysisRequest Req;
+      Item It;
+      if (!requestFromJson(*Obj, Req, Error)) {
+        It.Resp.Id = Obj->str("id");
+        It.Resp.Ok = false;
+        It.Resp.Error = Error;
+      } else {
+        It.ReqIdx = SegReqs.size();
+        SegReqs.push_back(std::move(Req));
+      }
+      SegItems.push_back(std::move(It));
     }
-    if (Resp.Ok)
-      ++Answered;
-    else
-      ++Errors;
-    Out << responseToJson(Resp)->dump() << "\n";
+    if (Session.jobs() <= 1 || SegItems.size() >= MaxSegment)
+      Flush();
   }
+  Flush();
   if (Failed)
     *Failed = Errors;
   return Answered;

@@ -9,16 +9,33 @@
 /// AnalysisRequests answered against one AnalysisSession, so shared
 /// sub-work is paid once per batch (and per session):
 ///
-///  * each distinct XPath source string is parsed once (session memo);
-///  * each distinct DTD is loaded and compiled to Lµ once, no matter how
-///    many requests name it as their context;
+///  * each distinct XPath source string is parsed once per context;
+///  * each distinct DTD is loaded and compiled to Lµ once per context,
+///    no matter how many requests name it;
 ///  * each semantically distinct satisfiability problem reaches the BDD
-///    fixpoint once — repeated or α-equivalent formulas (duplicate
-///    requests, shared containment operands, equivalence directions
-///    already asked separately) are answered from the LRU result cache.
+///    fixpoint once *per session* — repeated or α-equivalent formulas
+///    (duplicate requests, shared containment operands, equivalence
+///    directions already asked separately) are answered from the shared
+///    sharded result cache, across all workers.
+///
+/// When the session is configured with jobs > 1, runBatch dispatches
+/// requests over the session's WorkerPool, one AnalysisContext per
+/// worker. Responses always come back in input order, and the semantic
+/// payload of every response (verdict, model, lean size, iteration
+/// count) is deterministic — independent of the worker count and of the
+/// dispatch interleaving — because every context derives the same
+/// canonical problems and the solver itself is deterministic. The
+/// `cache` and `time_ms` fields describe *execution* (who hit the shared
+/// cache, how long the winning run took) and may differ between a
+/// parallel and a serial cold run; textually identical requests are
+/// deduplicated before dispatch and reported exactly as a serial run
+/// would (first one solves, the rest are cache hits). On a warm session
+/// every field, timing included, is byte-identical at any job count.
 ///
 /// The JSON-lines front end maps one request object per input line to
-/// one response object per output line; see README.md for the schema.
+/// one response object per output line; see README.md for the schema. A
+/// control line {"op":"config","jobs":N} switches the worker count
+/// mid-stream.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,12 +51,18 @@
 
 namespace xsa {
 
-/// Answers one request against the session. Never throws; malformed
+/// Answers one request against a solver context. Never throws; malformed
 /// requests come back with Ok == false and an Error.
+AnalysisResponse runRequest(AnalysisContext &Ctx, const AnalysisRequest &Req);
+
+/// Convenience: answers against the session's main (serial) context.
 AnalysisResponse runRequest(AnalysisSession &Session,
                             const AnalysisRequest &Req);
 
-/// Answers a whole batch in order.
+/// Answers a whole batch, in input order. With Session.jobs() > 1 the
+/// independent requests are dispatched across the session's worker pool
+/// (see the file comment for the determinism guarantee); with jobs() == 1
+/// they run serially on the main context.
 std::vector<AnalysisResponse> runBatch(AnalysisSession &Session,
                                        const std::vector<AnalysisRequest> &Reqs);
 
@@ -53,19 +76,33 @@ bool requestFromJson(const JsonValue &Obj, AnalysisRequest &Req,
                      std::string &Error);
 
 /// Encodes a response as a JSON object (id, ok, error, holds,
-/// satisfiable, cache, lean, iterations, time_ms, model).
-JsonRef responseToJson(const AnalysisResponse &Resp);
+/// satisfiable, cache, lean, iterations, time_ms, model). With
+/// \p IncludeVolatile false the execution-dependent fields (cache,
+/// time_ms) are omitted — the remaining payload is deterministic, which
+/// is what `xsolve batch --stable` uses to make output byte-comparable
+/// across job counts and runs.
+JsonRef responseToJson(const AnalysisResponse &Resp,
+                       bool IncludeVolatile = true);
 
 /// Encodes cumulative session statistics.
 JsonRef statsToJson(const SessionStats &S);
 
 /// JSON-lines driver: reads one request object per non-empty line of
-/// \p In, writes one response object per line to \p Out. Unparseable
-/// lines produce an {"ok":false} response line, not a stop. Returns the
-/// number of requests answered successfully; \p Failed (when non-null)
-/// receives the number that were not (an empty batch is 0/0).
+/// \p In, writes one response object per line to \p Out (in input
+/// order). Unparseable lines produce an {"ok":false} response line, not
+/// a stop. A {"op":"config","jobs":N} line answers {"ok":true,"jobs":N}
+/// and applies to all subsequent requests. With jobs == 1 each response
+/// is written as soon as its line is read; with jobs > 1 responses are
+/// emitted per dispatched segment (at EOF, at a config line, or every
+/// 4096 requests), so a pipelined client that needs a response per
+/// request should stay at jobs == 1. Returns the number of requests
+/// answered successfully; \p Failed (when non-null) receives the number
+/// that were not (an empty batch is 0/0; config lines count as
+/// answered). \p StableOutput selects the deterministic response
+/// encoding (see responseToJson).
 size_t runBatchJsonLines(AnalysisSession &Session, std::istream &In,
-                         std::ostream &Out, size_t *Failed = nullptr);
+                         std::ostream &Out, size_t *Failed = nullptr,
+                         bool StableOutput = false);
 
 } // namespace xsa
 

@@ -1,0 +1,148 @@
+//===- Context.cpp - Per-worker analysis context ---------------------------===//
+
+#include "service/Context.h"
+
+#include "xpath/Compile.h"
+#include "xpath/Parser.h"
+#include "xtype/BuiltinDtds.h"
+#include "xtype/Compile.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace xsa;
+
+const std::string &
+AnalysisContext::SharedCacheAdapter::textFor(Formula Canonical) {
+  auto It = TextMemo.find(Canonical);
+  if (It != TextMemo.end())
+    return It->second;
+  if (TextMemo.size() >= MaxTextMemo)
+    TextMemo.clear();
+  return TextMemo.emplace(Canonical, FF.toString(Canonical)).first->second;
+}
+
+const SolverResult *
+AnalysisContext::SharedCacheAdapter::lookup(Formula Canonical,
+                                            uint32_t OptsKey) {
+  if (!Shared.lookup(textFor(Canonical), OptsKey, Hit))
+    return nullptr;
+  return &Hit;
+}
+
+void AnalysisContext::SharedCacheAdapter::store(Formula Canonical,
+                                                uint32_t OptsKey,
+                                                const SolverResult &R) {
+  Shared.store(textFor(Canonical), OptsKey, R);
+}
+
+AnalysisContext::AnalysisContext(const SolverOptions &BaseOpts,
+                                 ShardedResultCache *SharedCache,
+                                 AtomicSessionStats *SharedStats)
+    : Opts(BaseOpts), Stats(SharedStats) {
+  if (SharedCache) {
+    CacheAdapter = std::make_unique<SharedCacheAdapter>(FF, *SharedCache);
+    Opts.Cache = CacheAdapter.get();
+  } else {
+    Opts.Cache = nullptr;
+  }
+  if (Stats) {
+    Opts.StatsHook = [this](const SolverStats &S) {
+      // Relaxed tallies; see the memory-order note in the header.
+      Stats->Solves.fetch_add(1, std::memory_order_relaxed);
+      Stats->SolverIterations.fetch_add(S.Iterations,
+                                        std::memory_order_relaxed);
+      Stats->SolverTimeUs.fetch_add(static_cast<size_t>(S.TimeMs * 1000.0),
+                                    std::memory_order_relaxed);
+    };
+  } else {
+    Opts.StatsHook = nullptr;
+  }
+  // The Analyzer forces RequireSingleRoot for the XPath decision
+  // problems; the raw solver keeps the caller's setting. The two run
+  // under different option fingerprints, so cache entries never cross.
+  An = std::make_unique<Analyzer>(FF, Opts);
+  RawSolver = std::make_unique<BddSolver>(FF, Opts);
+}
+
+SolverResult AnalysisContext::satisfiable(Formula Psi) {
+  return RawSolver->solve(Psi);
+}
+
+ExprRef AnalysisContext::query(const std::string &XPath, std::string &Error) {
+  auto It = QueryMemo.find(XPath);
+  if (It != QueryMemo.end()) {
+    if (Stats)
+      Stats->QueryCacheHits.fetch_add(1, std::memory_order_relaxed);
+    Error = It->second.Error;
+    return It->second.E;
+  }
+  QueryEntry Entry;
+  Entry.E = parseXPath(XPath, Entry.Error);
+  if (Stats)
+    Stats->QueriesParsed.fetch_add(1, std::memory_order_relaxed);
+  auto &Stored = QueryMemo.emplace(XPath, std::move(Entry)).first->second;
+  Error = Stored.Error;
+  return Stored.E;
+}
+
+AnalysisContext::DtdEntry &AnalysisContext::loadDtd(const std::string &Name) {
+  auto It = DtdMemo.find(Name);
+  if (It != DtdMemo.end()) {
+    if (Stats)
+      Stats->DtdCacheHits.fetch_add(1, std::memory_order_relaxed);
+    return It->second;
+  }
+  DtdEntry Entry;
+  const Dtd *D = nullptr;
+  Dtd Parsed;
+  if (Name == "wikipedia") {
+    D = &wikipediaDtd();
+  } else if (Name == "smil") {
+    D = &smil10Dtd();
+  } else if (Name == "xhtml") {
+    D = &xhtml10StrictDtd();
+  } else {
+    std::ifstream In(Name);
+    if (!In) {
+      Entry.Error = "cannot read DTD " + Name;
+    } else {
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      if (!parseDtd(SS.str(), Parsed, Entry.Error))
+        Parsed = Dtd();
+      else
+        D = &Parsed;
+    }
+  }
+  if (D) {
+    Entry.Type = compileDtd(FF, *D);
+    if (Stats)
+      Stats->DtdCompilations.fetch_add(1, std::memory_order_relaxed);
+  }
+  return DtdMemo.emplace(Name, std::move(Entry)).first->second;
+}
+
+Formula AnalysisContext::typeFormula(const std::string &Name,
+                                     std::string &Error) {
+  if (Name.empty())
+    return FF.trueF();
+  const DtdEntry &Entry = loadDtd(Name);
+  Error = Entry.Error;
+  return Entry.Type;
+}
+
+Formula AnalysisContext::typeContext(const std::string &Name,
+                                     std::string &Error) {
+  if (Name.empty())
+    return FF.trueF();
+  DtdEntry &Entry = loadDtd(Name);
+  Error = Entry.Error;
+  if (!Entry.Type)
+    return nullptr;
+  // Memoized: rootFormula mints a fresh µ-variable per call, so building
+  // the conjunction anew each time would defeat pointer-stable reuse.
+  if (!Entry.Context)
+    Entry.Context = FF.conj(Entry.Type, rootFormula(FF));
+  return Entry.Context;
+}

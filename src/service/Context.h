@@ -1,0 +1,164 @@
+//===- Context.h - Per-worker analysis context -------------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One worker's half of the parallel analysis engine. The BDD machinery
+/// is inherently single-threaded — a FormulaFactory's hash-consing arena
+/// and a BddManager's node table are free of locks by design — so the
+/// session parallelizes *across* solver instances, not inside one: every
+/// worker thread owns a full AnalysisContext with its own FormulaFactory,
+/// XPath parser memo, DTD compilation memo, Analyzer and raw BddSolver.
+/// Nothing inside a context is shared, so a context may only ever be used
+/// by one thread at a time.
+///
+/// What *is* shared sits behind two thread-safe fronts wired in at
+/// construction:
+///
+///  * a ShardedResultCache of solver results, keyed on canonical formula
+///    text (factory-independent, see Cache.h) — this is how a worker
+///    benefits from fixpoints another worker already ran;
+///  * an AtomicSessionStats bundle that all contexts tally into.
+///
+/// Memory order: every AtomicSessionStats member is a relaxed atomic.
+/// The counters are independent monotonic tallies — nothing reads one to
+/// decide control flow, and no other data is published through them —
+/// so the only requirement is freedom from lost updates, which relaxed
+/// fetch_add provides. Readers that need a *consistent* snapshot (e.g.
+/// asserting exact totals after a batch) get it from the happens-before
+/// edge of the dispatcher's barrier (WorkerPool::parallelFor returns
+/// only after joining all workers under a mutex), not from the counters
+/// themselves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_SERVICE_CONTEXT_H
+#define XSA_SERVICE_CONTEXT_H
+
+#include "analysis/Problems.h"
+#include "service/Cache.h"
+#include "xtype/Dtd.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace xsa {
+
+/// Cumulative session counters shared by all contexts of one session.
+/// All members are relaxed atomics; see the file comment for the
+/// reasoning behind the memory-order choice.
+struct AtomicSessionStats {
+  /// Number of actual solver runs (cache misses that went to the BDD
+  /// fixpoint) and their cumulative cost. Time is tallied in integer
+  /// microseconds because atomic floating-point accumulation is not
+  /// universally available; SessionStats converts back to milliseconds.
+  std::atomic<size_t> Solves{0};
+  std::atomic<size_t> SolverIterations{0};
+  std::atomic<size_t> SolverTimeUs{0};
+  /// Memoized front-end work. Parser and DTD memos are per-context, so
+  /// under parallel dispatch these count the sum over all workers (a DTD
+  /// may legitimately compile once per worker that needs it).
+  std::atomic<size_t> QueriesParsed{0};
+  std::atomic<size_t> QueryCacheHits{0};
+  std::atomic<size_t> DtdCompilations{0};
+  std::atomic<size_t> DtdCacheHits{0};
+};
+
+/// A single-threaded solver context: factory, parser/DTD memos, Analyzer
+/// and raw solver, wired through the session's shared cache and stats.
+/// AnalysisSession owns one context per worker (plus one for the serial
+/// API); it is also usable standalone with both shared fronts null.
+class AnalysisContext {
+public:
+  /// \p SharedCache and \p SharedStats may be null (uncached / untallied
+  /// standalone use); when set they must outlive the context.
+  explicit AnalysisContext(const SolverOptions &BaseOpts,
+                           ShardedResultCache *SharedCache = nullptr,
+                           AtomicSessionStats *SharedStats = nullptr);
+  AnalysisContext(const AnalysisContext &) = delete;
+  AnalysisContext &operator=(const AnalysisContext &) = delete;
+
+  FormulaFactory &factory() { return FF; }
+
+  /// The context's Analyzer: every decision problem routed through it
+  /// consults the shared session cache. Callers may use it directly for
+  /// the full §8 interface.
+  Analyzer &analyzer() { return *An; }
+
+  /// Cached raw satisfiability under the context options (no single-root
+  /// restriction, matching a bare BddSolver).
+  SolverResult satisfiable(Formula Psi);
+
+  /// Parses an XPath query, memoized on the source string. Returns null
+  /// and sets \p Error on a parse failure (failures are memoized too).
+  ExprRef query(const std::string &XPath, std::string &Error);
+
+  /// Loads and compiles a DTD to the Lµ formula holding at the roots of
+  /// valid documents, memoized on \p Name — a builtin name (wikipedia,
+  /// smil, xhtml), a file path, or "" for no constraint (⊤).
+  Formula typeFormula(const std::string &Name, std::string &Error);
+
+  /// typeFormula conjoined with the root restriction of §5.2 — the form
+  /// used as the context χ of a query constrained by a schema. "" → ⊤.
+  Formula typeContext(const std::string &Name, std::string &Error);
+
+private:
+  /// Bridges the solver's pointer-keyed ResultCache interface to the
+  /// session's text-keyed ShardedResultCache. The canonical text of each
+  /// canonical formula is memoized (the solver canonicalizes before every
+  /// lookup, so warm requests would otherwise re-print per call). Holds
+  /// the copied-out result of the latest hit, satisfying the interface's
+  /// "valid until the next call" contract; one adapter exists per
+  /// context, so the buffer is single-threaded like everything else here.
+  class SharedCacheAdapter : public ResultCache {
+  public:
+    SharedCacheAdapter(FormulaFactory &FF, ShardedResultCache &Shared)
+        : FF(FF), Shared(Shared) {}
+    const SolverResult *lookup(Formula Canonical, uint32_t OptsKey) override;
+    void store(Formula Canonical, uint32_t OptsKey,
+               const SolverResult &R) override;
+
+  private:
+    const std::string &textFor(Formula Canonical);
+
+    /// Canonical texts are KBs for DTD-constrained formulas; an
+    /// unbounded memo would outlive the LRU-bounded entries it keys.
+    /// Past this many entries the memo is dropped wholesale (the next
+    /// warm request just re-prints once) rather than LRU-tracked.
+    static constexpr size_t MaxTextMemo = 4096;
+
+    FormulaFactory &FF;
+    ShardedResultCache &Shared;
+    std::unordered_map<Formula, std::string> TextMemo;
+    SolverResult Hit;
+  };
+
+  FormulaFactory FF;
+  SolverOptions Opts;
+  AtomicSessionStats *Stats; ///< may be null
+  std::unique_ptr<SharedCacheAdapter> CacheAdapter;
+  std::unique_ptr<Analyzer> An;
+  std::unique_ptr<BddSolver> RawSolver;
+
+  struct QueryEntry {
+    ExprRef E;
+    std::string Error;
+  };
+  std::unordered_map<std::string, QueryEntry> QueryMemo;
+  struct DtdEntry {
+    Formula Type = nullptr;    ///< null when loading failed
+    Formula Context = nullptr; ///< Type ∧ root restriction, lazily built
+    std::string Error;
+  };
+  std::unordered_map<std::string, DtdEntry> DtdMemo;
+
+  DtdEntry &loadDtd(const std::string &Name);
+};
+
+} // namespace xsa
+
+#endif // XSA_SERVICE_CONTEXT_H

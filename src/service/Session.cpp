@@ -2,141 +2,217 @@
 
 #include "service/Session.h"
 
-#include "xpath/Compile.h"
-#include "xpath/Parser.h"
-#include "xtype/BuiltinDtds.h"
-#include "xtype/Compile.h"
+#include "service/Json.h"
+#include "tree/Xml.h"
 
+#include <algorithm>
 #include <fstream>
-#include <sstream>
+#include <thread>
 
 using namespace xsa;
 
-AnalysisSession::AnalysisSession(SolverOptions Opts, size_t CacheCapacity)
-    : Opts(Opts), Cache(CacheCapacity) {
-  this->Opts.Cache = &Cache;
-  this->Opts.StatsHook = [this](const SolverStats &S) {
-    ++Counters.Solves;
-    Counters.SolverIterations += S.Iterations;
-    Counters.SolverTimeMs += S.TimeMs;
-  };
-  // The Analyzer forces RequireSingleRoot for the XPath decision
-  // problems; the raw solver keeps the caller's setting. The two run
-  // under different option fingerprints, so cache entries never cross.
-  An = std::make_unique<Analyzer>(FF, this->Opts);
-  RawSolver = std::make_unique<BddSolver>(FF, this->Opts);
+namespace {
+
+size_t resolveJobs(size_t Jobs) {
+  if (Jobs == 0) {
+    Jobs = std::thread::hardware_concurrency();
+    if (Jobs == 0)
+      Jobs = 1;
+  }
+  // Each job is a thread plus a full solver context; a nonsense value
+  // (wrapped negative, typo'd protocol field) must not translate into
+  // unbounded thread/arena allocation.
+  return std::min(Jobs, AnalysisSession::MaxJobs);
 }
 
+} // namespace
+
+AnalysisSession::AnalysisSession(SessionOptions SOpts)
+    : Opts(SOpts), Cache(SOpts.CacheCapacity, SOpts.CacheShards),
+      Main(SOpts.Solver, &Cache, &Counters) {
+  Opts.Jobs = resolveJobs(Opts.Jobs);
+}
+
+AnalysisSession::AnalysisSession(SolverOptions Opts, size_t CacheCapacity)
+    : AnalysisSession(SessionOptions{Opts, CacheCapacity,
+                                     /*CacheShards=*/8, /*Jobs=*/1}) {}
+
 AnalysisResult AnalysisSession::emptiness(const ExprRef &E, Formula Chi) {
-  return An->emptiness(E, Chi);
+  return analyzer().emptiness(E, Chi);
 }
 
 AnalysisResult AnalysisSession::containment(const ExprRef &E1, Formula Chi1,
                                             const ExprRef &E2, Formula Chi2) {
-  return An->containment(E1, Chi1, E2, Chi2);
+  return analyzer().containment(E1, Chi1, E2, Chi2);
 }
 
 AnalysisResult AnalysisSession::overlap(const ExprRef &E1, Formula Chi1,
                                         const ExprRef &E2, Formula Chi2) {
-  return An->overlap(E1, Chi1, E2, Chi2);
+  return analyzer().overlap(E1, Chi1, E2, Chi2);
 }
 
 AnalysisResult AnalysisSession::coverage(const ExprRef &E, Formula Chi,
                                          const std::vector<ExprRef> &Others,
                                          const std::vector<Formula> &OtherChis) {
-  return An->coverage(E, Chi, Others, OtherChis);
+  return analyzer().coverage(E, Chi, Others, OtherChis);
 }
 
 AnalysisResult AnalysisSession::equivalence(const ExprRef &E1, Formula Chi1,
                                             const ExprRef &E2, Formula Chi2) {
-  return An->equivalence(E1, Chi1, E2, Chi2);
+  return analyzer().equivalence(E1, Chi1, E2, Chi2);
 }
 
 AnalysisResult AnalysisSession::staticTypeCheck(const ExprRef &E, Formula ChiIn,
                                                 Formula OutType) {
-  return An->staticTypeCheck(E, ChiIn, OutType);
+  return analyzer().staticTypeCheck(E, ChiIn, OutType);
 }
 
 SolverResult AnalysisSession::satisfiable(Formula Psi) {
-  return RawSolver->solve(Psi);
+  return Main.satisfiable(Psi);
 }
 
 ExprRef AnalysisSession::query(const std::string &XPath, std::string &Error) {
-  auto It = QueryMemo.find(XPath);
-  if (It != QueryMemo.end()) {
-    ++Counters.QueryCacheHits;
-    Error = It->second.Error;
-    return It->second.E;
-  }
-  QueryEntry Entry;
-  Entry.E = parseXPath(XPath, Entry.Error);
-  ++Counters.QueriesParsed;
-  auto &Stored = QueryMemo.emplace(XPath, std::move(Entry)).first->second;
-  Error = Stored.Error;
-  return Stored.E;
-}
-
-AnalysisSession::DtdEntry &AnalysisSession::loadDtd(const std::string &Name) {
-  auto It = DtdMemo.find(Name);
-  if (It != DtdMemo.end()) {
-    ++Counters.DtdCacheHits;
-    return It->second;
-  }
-  DtdEntry Entry;
-  const Dtd *D = nullptr;
-  Dtd Parsed;
-  if (Name == "wikipedia") {
-    D = &wikipediaDtd();
-  } else if (Name == "smil") {
-    D = &smil10Dtd();
-  } else if (Name == "xhtml") {
-    D = &xhtml10StrictDtd();
-  } else {
-    std::ifstream In(Name);
-    if (!In) {
-      Entry.Error = "cannot read DTD " + Name;
-    } else {
-      std::ostringstream SS;
-      SS << In.rdbuf();
-      if (!parseDtd(SS.str(), Parsed, Entry.Error))
-        Parsed = Dtd();
-      else
-        D = &Parsed;
-    }
-  }
-  if (D) {
-    Entry.Type = compileDtd(FF, *D);
-    ++Counters.DtdCompilations;
-  }
-  return DtdMemo.emplace(Name, std::move(Entry)).first->second;
+  return Main.query(XPath, Error);
 }
 
 Formula AnalysisSession::typeFormula(const std::string &Name,
                                      std::string &Error) {
-  if (Name.empty())
-    return FF.trueF();
-  const DtdEntry &Entry = loadDtd(Name);
-  Error = Entry.Error;
-  return Entry.Type;
+  return Main.typeFormula(Name, Error);
 }
 
 Formula AnalysisSession::typeContext(const std::string &Name,
                                      std::string &Error) {
-  if (Name.empty())
-    return FF.trueF();
-  DtdEntry &Entry = loadDtd(Name);
-  Error = Entry.Error;
-  if (!Entry.Type)
-    return nullptr;
-  // Memoized: rootFormula mints a fresh µ-variable per call, so building
-  // the conjunction anew each time would defeat pointer-stable reuse.
-  if (!Entry.Context)
-    Entry.Context = FF.conj(Entry.Type, rootFormula(FF));
-  return Entry.Context;
+  return Main.typeContext(Name, Error);
+}
+
+void AnalysisSession::setJobs(size_t Jobs) {
+  Jobs = resolveJobs(Jobs);
+  if (Jobs == Opts.Jobs)
+    return;
+  Opts.Jobs = Jobs;
+  // Resize lazily: the pool is rebuilt by the next pool() call. Worker
+  // contexts are retained — shrinking and re-growing keeps them warm.
+  if (Pool && Pool->threads() != Jobs)
+    Pool.reset();
+}
+
+WorkerPool &AnalysisSession::pool() {
+  if (!Pool)
+    Pool = std::make_unique<WorkerPool>(Opts.Jobs);
+  while (Workers.size() < Opts.Jobs)
+    Workers.push_back(
+        std::make_unique<AnalysisContext>(Opts.Solver, &Cache, &Counters));
+  return *Pool;
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent cache
+//===----------------------------------------------------------------------===//
+
+bool AnalysisSession::saveCache(const std::string &Path,
+                                std::string &Error) const {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    Error = "cannot write cache file " + Path;
+    return false;
+  }
+  JsonRef Header = JsonValue::object();
+  Header->set("xsa_cache", JsonValue::number(1));
+  Out << Header->dump() << "\n";
+  // Collect, then emit least-recently-used first, so loading in file
+  // order reproduces each shard's recency order.
+  std::vector<JsonRef> Lines;
+  Cache.forEachEntry([&](const std::string &Key, uint32_t OptsKey,
+                         const SolverResult &R) {
+    JsonRef O = JsonValue::object();
+    O->set("k", JsonValue::string(Key));
+    O->set("o", JsonValue::number(static_cast<double>(OptsKey)));
+    O->set("sat", JsonValue::boolean(R.Satisfiable));
+    O->set("lean", JsonValue::number(static_cast<double>(R.Stats.LeanSize)));
+    O->set("iter", JsonValue::number(static_cast<double>(R.Stats.Iterations)));
+    O->set("bdd",
+           JsonValue::number(static_cast<double>(R.Stats.PeakBddNodes)));
+    O->set("time_ms", JsonValue::number(R.Stats.TimeMs));
+    if (R.Model)
+      O->set("model", JsonValue::string(printXml(*R.Model)));
+    Lines.push_back(O);
+  });
+  for (auto It = Lines.rbegin(); It != Lines.rend(); ++It)
+    Out << (*It)->dump() << "\n";
+  if (!Out) {
+    Error = "write error on cache file " + Path;
+    return false;
+  }
+  return true;
+}
+
+bool AnalysisSession::loadCache(const std::string &Path, std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot read cache file " + Path;
+    return false;
+  }
+  std::string Line;
+  bool SawHeader = false;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::string ParseError;
+    JsonRef Obj = parseJson(Line, ParseError);
+    if (!Obj || Obj->type() != JsonValue::Type::Object) {
+      if (!SawHeader) {
+        Error = Path + " is not an xsa cache file";
+        return false;
+      }
+      continue; // skip one corrupt entry, keep the rest
+    }
+    if (!SawHeader) {
+      if (Obj->get("xsa_cache")->asNumber() != 1) {
+        Error = Path + " is not an xsa cache file";
+        return false;
+      }
+      SawHeader = true;
+      continue;
+    }
+    std::string Key = Obj->str("k");
+    if (Key.empty())
+      continue;
+    SolverResult R;
+    R.Satisfiable = Obj->get("sat")->asBool();
+    R.Stats.LeanSize = static_cast<size_t>(Obj->get("lean")->asNumber());
+    R.Stats.Iterations = static_cast<size_t>(Obj->get("iter")->asNumber());
+    R.Stats.PeakBddNodes = static_cast<size_t>(Obj->get("bdd")->asNumber());
+    R.Stats.TimeMs = Obj->get("time_ms")->asNumber();
+    std::string ModelXml = Obj->str("model");
+    if (!ModelXml.empty()) {
+      Document Doc;
+      std::string XmlError;
+      if (!parseXml(ModelXml, Doc, XmlError))
+        continue; // corrupt model: drop the entry rather than lie
+      R.Model = std::move(Doc);
+    }
+    Cache.store(Key, static_cast<uint32_t>(Obj->get("o")->asNumber()), R);
+  }
+  if (!SawHeader) {
+    Error = Path + " is not an xsa cache file";
+    return false;
+  }
+  return true;
 }
 
 SessionStats AnalysisSession::stats() const {
-  SessionStats S = Counters;
+  SessionStats S;
   S.Cache = Cache.stats();
+  S.Solves = Counters.Solves.load(std::memory_order_relaxed);
+  S.SolverIterations =
+      Counters.SolverIterations.load(std::memory_order_relaxed);
+  S.SolverTimeMs =
+      static_cast<double>(Counters.SolverTimeUs.load(
+          std::memory_order_relaxed)) /
+      1000.0;
+  S.QueriesParsed = Counters.QueriesParsed.load(std::memory_order_relaxed);
+  S.QueryCacheHits = Counters.QueryCacheHits.load(std::memory_order_relaxed);
+  S.DtdCompilations = Counters.DtdCompilations.load(std::memory_order_relaxed);
+  S.DtdCacheHits = Counters.DtdCacheHits.load(std::memory_order_relaxed);
   return S;
 }

@@ -5,18 +5,30 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A long-lived front end to the decision procedures: an AnalysisSession
-/// owns the FormulaFactory, the solver options, an LRU semantic result
-/// cache (see Cache.h) and an Analyzer wired through it. Repeated or
-/// α-equivalent queries — the common case in query-optimizer and
-/// schema-audit workloads — are answered from the cache instead of
-/// re-running the exponential fixpoint, and shared sub-work (XPath
-/// parsing, DTD loading and compilation) is memoized per session.
-/// SessionStats aggregates cache counters and cumulative solver work.
+/// A long-lived front end to the decision procedures, split for parallel
+/// dispatch into a thread-safe shared front and per-worker solver
+/// contexts:
 ///
-/// The session exposes the same §8 decision problems as Analyzer; one-off
-/// callers can keep constructing Analyzer directly (they simply run
-/// uncached).
+///  * the shared front (this class) owns a ShardedResultCache of solver
+///    results keyed on canonical formula text + options fingerprint, an
+///    AtomicSessionStats bundle, and the WorkerPool used by the batch
+///    dispatcher;
+///  * each worker owns an AnalysisContext (see Context.h) — its own
+///    FormulaFactory, parser memo, DTD memo, Analyzer and BddSolver —
+///    because the BDD machinery is single-threaded by design: we
+///    parallelize across solver instances, never inside one.
+///
+/// Repeated or α-equivalent queries — the common case in query-optimizer
+/// and schema-audit workloads — are answered from the shared cache
+/// instead of re-running the exponential fixpoint, no matter which
+/// worker (or which earlier process: see loadCache) first solved them.
+///
+/// The serial convenience API below (§8 decision problems, query/DTD
+/// resolution) routes everything through one distinguished "main"
+/// context and is NOT thread-safe; concurrency is obtained by handing
+/// whole batches to runBatch (service/Batch.h), which dispatches across
+/// the worker contexts. One-off callers can keep constructing Analyzer
+/// directly (they simply run uncached).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,46 +37,67 @@
 
 #include "analysis/Problems.h"
 #include "service/Cache.h"
+#include "service/Context.h"
+#include "support/WorkerPool.h"
 #include "xtype/Dtd.h"
 
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 namespace xsa {
 
 struct SessionStats {
   /// Semantic result cache counters (shared by Analyzer queries and raw
-  /// satisfiable() calls).
+  /// satisfiable() calls, across every worker context).
   CacheStats Cache;
   /// Number of actual solver runs (cache misses that went to the BDD
   /// fixpoint) and their cumulative cost.
   size_t Solves = 0;
   size_t SolverIterations = 0;
   double SolverTimeMs = 0;
-  /// Memoized front-end work.
+  /// Memoized front-end work, summed over all contexts.
   size_t QueriesParsed = 0;
   size_t QueryCacheHits = 0;
   size_t DtdCompilations = 0;
   size_t DtdCacheHits = 0;
 };
 
+/// Knobs of an AnalysisSession. Solver options are the per-context
+/// baseline; the rest configure the shared front.
+struct SessionOptions {
+  SolverOptions Solver;
+  /// Total result-cache capacity (0 disables caching).
+  size_t CacheCapacity = 1024;
+  /// Requested shard count (rounded to a power of two, clamped; see
+  /// ShardedResultCache).
+  size_t CacheShards = 8;
+  /// Worker threads used by runBatch. 1 = serial dispatch on the main
+  /// context; 0 = hardware concurrency.
+  size_t Jobs = 1;
+};
+
 class AnalysisSession {
 public:
+  explicit AnalysisSession(SessionOptions Opts);
+  /// Back-compatible convenience form.
   explicit AnalysisSession(SolverOptions Opts = {},
                            size_t CacheCapacity = 1024);
   AnalysisSession(const AnalysisSession &) = delete;
   AnalysisSession &operator=(const AnalysisSession &) = delete;
 
-  FormulaFactory &factory() { return FF; }
+  FormulaFactory &factory() { return Main.factory(); }
 
-  /// The session's Analyzer: every decision problem routed through it
-  /// consults the session cache. Callers may use it directly for the
-  /// full §8 interface.
-  Analyzer &analyzer() { return *An; }
+  /// The main context's Analyzer: every decision problem routed through
+  /// it consults the session cache. Callers may use it directly for the
+  /// full §8 interface. Serial API — see the file comment.
+  Analyzer &analyzer() { return Main.analyzer(); }
 
-  /// §8 decision problems (thin forwards to analyzer(), kept here so the
-  /// batch pipeline and CLI depend only on the session).
+  /// The distinguished serial context behind the convenience API.
+  AnalysisContext &mainContext() { return Main; }
+
+  /// §8 decision problems (thin forwards to analyzer(), kept here so
+  /// serial callers and the CLI depend only on the session).
   AnalysisResult emptiness(const ExprRef &E, Formula Chi);
   AnalysisResult containment(const ExprRef &E1, Formula Chi1,
                              const ExprRef &E2, Formula Chi2);
@@ -82,45 +115,69 @@ public:
   /// restriction, matching a bare BddSolver).
   SolverResult satisfiable(Formula Psi);
 
-  /// Parses an XPath query, memoized on the source string. Returns null
-  /// and sets \p Error on a parse failure (failures are memoized too).
+  /// Parses an XPath query, memoized on the source string (main
+  /// context). Returns null and sets \p Error on a parse failure.
   ExprRef query(const std::string &XPath, std::string &Error);
 
-  /// Loads and compiles a DTD to the Lµ formula holding at the roots of
-  /// valid documents, memoized on \p Name — a builtin name (wikipedia,
-  /// smil, xhtml), a file path, or "" for no constraint (⊤). Compilation
-  /// per distinct DTD happens once per session regardless of how many
-  /// queries share the constraint.
+  /// Loads and compiles a DTD (main context); see
+  /// AnalysisContext::typeFormula.
   Formula typeFormula(const std::string &Name, std::string &Error);
-
-  /// typeFormula conjoined with the root restriction of §5.2 — the form
-  /// used as the context χ of a query constrained by a schema. "" → ⊤.
   Formula typeContext(const std::string &Name, std::string &Error);
+
+  //===--------------------------------------------------------------------===//
+  // Parallel dispatch (used by runBatch)
+  //===--------------------------------------------------------------------===//
+
+  /// Upper bound on jobs: each job costs a thread plus a full solver
+  /// context, so requests beyond this are clamped rather than honoured.
+  static constexpr size_t MaxJobs = 256;
+
+  /// Effective worker count for batch dispatch (≥ 1, ≤ MaxJobs).
+  size_t jobs() const { return Opts.Jobs; }
+  /// Changes the worker count (0 = hardware concurrency; clamped to
+  /// MaxJobs). Takes effect on the next batch; existing worker contexts
+  /// are kept warm, the pool is resized lazily. Not thread-safe against
+  /// a running batch.
+  void setJobs(size_t Jobs);
+
+  /// The dispatcher's pool, sized to jobs() threads, with one warm
+  /// AnalysisContext per worker. Lazily constructed on first use so
+  /// jobs=1 sessions never spawn a thread.
+  WorkerPool &pool();
+  /// Worker \p Worker's context. Only valid after pool(); each context
+  /// must be used by one thread at a time (the pool's worker-id
+  /// discipline guarantees this during parallelFor).
+  AnalysisContext &workerContext(size_t Worker) { return *Workers[Worker]; }
+
+  //===--------------------------------------------------------------------===//
+  // Persistent cache (warm-up across processes)
+  //===--------------------------------------------------------------------===//
+
+  /// Serializes every cached result to \p Path as JSON lines (one header
+  /// line, then one entry per line: canonical-text key, options
+  /// fingerprint, verdict, stats, model XML). Returns false and sets
+  /// \p Error on I/O failure.
+  bool saveCache(const std::string &Path, std::string &Error) const;
+
+  /// Loads entries saved by saveCache into the shared cache (counted as
+  /// insertions, not hits). Entries that fail to parse are skipped;
+  /// returns false and sets \p Error only when the file is unreadable or
+  /// not a cache file. Safe to call on a warm session; existing entries
+  /// are refreshed.
+  bool loadCache(const std::string &Path, std::string &Error);
+
+  /// The shared result cache (exposed for tests and tooling).
+  ShardedResultCache &resultCache() { return Cache; }
 
   SessionStats stats() const;
 
 private:
-  FormulaFactory FF;
-  SolverOptions Opts;
-  LruResultCache Cache;
-  std::unique_ptr<Analyzer> An;
-  std::unique_ptr<BddSolver> RawSolver;
-
-  struct QueryEntry {
-    ExprRef E;
-    std::string Error;
-  };
-  std::unordered_map<std::string, QueryEntry> QueryMemo;
-  struct DtdEntry {
-    Formula Type = nullptr;    ///< null when loading failed
-    Formula Context = nullptr; ///< Type ∧ root restriction, lazily built
-    std::string Error;
-  };
-  std::unordered_map<std::string, DtdEntry> DtdMemo;
-
-  SessionStats Counters;
-
-  DtdEntry &loadDtd(const std::string &Name);
+  SessionOptions Opts;
+  ShardedResultCache Cache;
+  AtomicSessionStats Counters;
+  AnalysisContext Main;
+  std::vector<std::unique_ptr<AnalysisContext>> Workers;
+  std::unique_ptr<WorkerPool> Pool;
 };
 
 } // namespace xsa

@@ -93,11 +93,19 @@ struct SolverOptions {
   bool RequireSingleRoot = false;
   /// Optional semantic result cache, not owned. When set, solve()
   /// canonicalizes its input, returns a stored result on a hit (with
-  /// FromCache set) and stores the result of every actual run.
+  /// FromCache set) and stores the result of every actual run. The
+  /// solver calls it from whatever thread solve() runs on; when solver
+  /// instances on different threads share underlying storage (the
+  /// parallel session does, through per-context adapters), that storage
+  /// must be thread-safe — see service/Cache.h.
   ResultCache *Cache = nullptr;
   /// Optional observer invoked with the stats of every *actual* solver
   /// run (cache hits do not fire it). Lets a long-lived session
   /// aggregate cumulative solver work without wrapping every call site.
+  /// Like Cache, it runs on the solving thread: hooks installed on
+  /// solvers that run concurrently must tally into atomics (the session
+  /// uses relaxed counters; see service/Context.h for the memory-order
+  /// discussion).
   std::function<void(const SolverStats &)> StatsHook;
 };
 

@@ -3,27 +3,44 @@
 #include "support/StringInterner.h"
 
 #include <cassert>
+#include <mutex>
 
 using namespace xsa;
 
 Symbol StringInterner::intern(std::string_view S) {
-  auto It = Table.find(std::string(S));
+  {
+    std::shared_lock<std::shared_mutex> Lock(M);
+    auto It = Table.find(S);
+    if (It != Table.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(M);
+  // Re-check: another thread may have interned S between the two locks.
+  auto It = Table.find(S);
   if (It != Table.end())
     return It->second;
   Symbol Sym = static_cast<Symbol>(Names.size());
   Names.emplace_back(S);
-  Table.emplace(Names.back(), Sym);
+  // The key views the deque-owned string, which never moves.
+  Table.emplace(std::string_view(Names.back()), Sym);
   return Sym;
 }
 
 const std::string &StringInterner::name(Symbol Sym) const {
+  std::shared_lock<std::shared_mutex> Lock(M);
   assert(Sym < Names.size() && "unknown symbol");
   return Names[Sym];
 }
 
 Symbol StringInterner::lookup(std::string_view S) const {
-  auto It = Table.find(std::string(S));
+  std::shared_lock<std::shared_mutex> Lock(M);
+  auto It = Table.find(S);
   return It == Table.end() ? ~0u : It->second;
+}
+
+size_t StringInterner::size() const {
+  std::shared_lock<std::shared_mutex> Lock(M);
+  return Names.size();
 }
 
 StringInterner &StringInterner::global() {

@@ -1,0 +1,86 @@
+//===- WorkerPool.cpp - Reusable pool of worker threads --------------------===//
+
+#include "support/WorkerPool.h"
+
+#include <algorithm>
+
+using namespace xsa;
+
+WorkerPool::WorkerPool(size_t Threads) {
+  if (Threads == 0) {
+    Threads = std::thread::hardware_concurrency();
+    if (Threads == 0)
+      Threads = 1;
+  }
+  Workers.reserve(Threads);
+  for (size_t I = 0; I < Threads; ++I)
+    Workers.emplace_back([this, I] { workerMain(I); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void WorkerPool::runChunks(size_t Worker) {
+  // Task parameters (Fn, TaskN, Chunk) were published under M before the
+  // wake-up that got us here, so plain reads are ordered.
+  for (;;) {
+    size_t Begin = Next.fetch_add(Chunk, std::memory_order_relaxed);
+    if (Begin >= TaskN)
+      return;
+    size_t End = std::min(TaskN, Begin + Chunk);
+    for (size_t I = Begin; I < End; ++I) {
+      try {
+        (*Fn)(I, Worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(M);
+        if (!FirstError)
+          FirstError = std::current_exception();
+      }
+    }
+  }
+}
+
+void WorkerPool::workerMain(size_t Id) {
+  uint64_t Seen = 0;
+  std::unique_lock<std::mutex> Lock(M);
+  for (;;) {
+    WakeWorkers.wait(Lock, [&] { return ShuttingDown || TaskSeq != Seen; });
+    if (ShuttingDown)
+      return;
+    Seen = TaskSeq;
+    Lock.unlock();
+    runChunks(Id);
+    Lock.lock();
+    if (--ActiveWorkers == 0)
+      TaskDone.notify_all();
+  }
+}
+
+void WorkerPool::parallelFor(
+    size_t N, const std::function<void(size_t, size_t)> &F) {
+  if (N == 0)
+    return;
+  std::lock_guard<std::mutex> Submit(SubmitM);
+  std::unique_lock<std::mutex> Lock(M);
+  Fn = &F;
+  TaskN = N;
+  // Chunks of ~1/4 of a fair share balance claim overhead against the
+  // tail imbalance a big final chunk would cause.
+  Chunk = std::max<size_t>(1, N / (Workers.size() * 4));
+  Next.store(0, std::memory_order_relaxed);
+  FirstError = nullptr;
+  ActiveWorkers = Workers.size();
+  ++TaskSeq;
+  WakeWorkers.notify_all();
+  TaskDone.wait(Lock, [&] { return ActiveWorkers == 0; });
+  Fn = nullptr;
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}

@@ -1,0 +1,87 @@
+//===- WorkerPool.h - Reusable pool of worker threads ------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size pool of persistent worker threads with a
+/// self-scheduling (chunked work-stealing) parallel-for. Independent jobs
+/// are claimed from a shared atomic index in chunks, so fast workers
+/// steal the tail of the range from slow ones instead of idling — the
+/// classic dynamic-scheduling loop of parallel runtimes. The pool is the
+/// dispatch engine of the parallel batch pipeline (service/Batch.h) but
+/// has no service dependencies and is reusable anywhere independent
+/// index-addressed work needs to be spread over cores.
+///
+/// Each invocation of parallelFor passes the worker's dense id (0 ..
+/// threads()-1) to the callback, which is what lets callers maintain
+/// per-worker state (e.g. one AnalysisContext per worker) without any
+/// locking of their own.
+///
+/// parallelFor is a full barrier: all side effects of the callbacks
+/// happen-before its return (the completion handshake uses a mutex, so
+/// no additional synchronization is needed to read results produced by
+/// the workers). One parallelFor may run at a time per pool; concurrent
+/// submitters are serialized internally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_SUPPORT_WORKERPOOL_H
+#define XSA_SUPPORT_WORKERPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xsa {
+
+class WorkerPool {
+public:
+  /// Spawns \p Threads persistent workers. 0 picks the hardware
+  /// concurrency (at least 1).
+  explicit WorkerPool(size_t Threads = 0);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  size_t threads() const { return Workers.size(); }
+
+  /// Runs Fn(Index, Worker) for every Index in [0, N), spread over the
+  /// pool. Blocks until all N calls have returned. Exceptions escaping a
+  /// callback are captured and the first one is rethrown here after the
+  /// barrier.
+  void parallelFor(size_t N,
+                   const std::function<void(size_t Index, size_t Worker)> &Fn);
+
+private:
+  void workerMain(size_t Id);
+  /// Claims and runs chunks of the current task until the range is
+  /// exhausted. Runs on the pool's workers; the submitting thread only
+  /// blocks in parallelFor, so a Pool(N) occupies N working threads.
+  void runChunks(size_t Worker);
+
+  std::vector<std::thread> Workers;
+
+  /// Task state, guarded by M except where noted.
+  std::mutex M;
+  std::condition_variable WakeWorkers;
+  std::condition_variable TaskDone;
+  std::mutex SubmitM; ///< serializes concurrent parallelFor calls
+  const std::function<void(size_t, size_t)> *Fn = nullptr;
+  size_t TaskN = 0;
+  size_t Chunk = 1;
+  uint64_t TaskSeq = 0;      ///< bumped per parallelFor; workers wait on it
+  size_t ActiveWorkers = 0;  ///< workers still inside the current task
+  std::atomic<size_t> Next{0}; ///< next unclaimed index (lock-free claim)
+  std::exception_ptr FirstError;
+  bool ShuttingDown = false;
+};
+
+} // namespace xsa
+
+#endif // XSA_SUPPORT_WORKERPOOL_H

@@ -7,11 +7,19 @@
 // protocol — including the acceptance scenario that a repeated-query
 // batch reports cache hits with results identical to a cold run.
 //
+// The parallel engine is covered too: the WorkerPool, the sharded
+// thread-safe result cache (including a single-shard stress test meant
+// to run under TSan), determinism of multi-worker batches — a warm
+// N-thread batch must produce byte-identical JSON to the 1-thread run,
+// and cold runs must agree on every deterministic field — and the
+// persistent cache warm-up across sessions.
+//
 //===----------------------------------------------------------------------===//
 
 #include "service/Batch.h"
 #include "service/Cache.h"
 #include "service/Session.h"
+#include "support/WorkerPool.h"
 
 #include "logic/Parser.h"
 #include "xpath/Compile.h"
@@ -19,6 +27,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
 #include <sstream>
 
 using namespace xsa;
@@ -338,14 +348,20 @@ TEST(Json, RequestDecoding) {
 // JSON-lines end-to-end (the acceptance scenario)
 //===----------------------------------------------------------------------===//
 
+/// Runs the JSON-lines batch and returns the raw output text.
+std::string runLinesRaw(AnalysisSession &Session, const std::string &Input,
+                        bool Stable = false) {
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  runBatchJsonLines(Session, In, Out, nullptr, Stable);
+  return Out.str();
+}
+
 /// Runs the JSON-lines batch and returns one parsed response per line.
 std::vector<JsonRef> runLines(AnalysisSession &Session,
                               const std::string &Input) {
-  std::istringstream In(Input);
-  std::ostringstream Out;
-  runBatchJsonLines(Session, In, Out);
   std::vector<JsonRef> Resps;
-  std::istringstream Parse(Out.str());
+  std::istringstream Parse(runLinesRaw(Session, Input));
   std::string Line;
   while (std::getline(Parse, Line)) {
     std::string Err;
@@ -427,6 +443,331 @@ TEST(BatchJsonLines, MalformedLinesDoNotAbortTheBatch) {
   EXPECT_TRUE(Resps[1]->get("ok")->asBool());
   EXPECT_FALSE(Resps[2]->get("ok")->asBool());
   EXPECT_EQ(Resps[2]->str("id"), "bad");
+}
+
+//===----------------------------------------------------------------------===//
+// WorkerPool
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPool, EveryIndexRunsExactlyOnceWithValidWorkerIds) {
+  WorkerPool Pool(4);
+  EXPECT_EQ(Pool.threads(), 4u);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Counts(N);
+  std::atomic<bool> BadWorker{false};
+  Pool.parallelFor(N, [&](size_t I, size_t W) {
+    Counts[I].fetch_add(1);
+    if (W >= 4)
+      BadWorker = true;
+  });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Counts[I].load(), 1) << "index " << I;
+  EXPECT_FALSE(BadWorker.load());
+}
+
+TEST(WorkerPool, ReusableAndRobustToSmallRanges) {
+  WorkerPool Pool(3);
+  std::atomic<size_t> Total{0};
+  Pool.parallelFor(0, [&](size_t, size_t) { Total += 1; });
+  EXPECT_EQ(Total.load(), 0u);
+  // Fewer items than workers, repeated to exercise the wake/finish
+  // handshake across tasks.
+  for (int Round = 0; Round < 10; ++Round)
+    Pool.parallelFor(2, [&](size_t, size_t) { Total += 1; });
+  EXPECT_EQ(Total.load(), 20u);
+}
+
+TEST(WorkerPool, FirstExceptionPropagatesAfterTheBarrier) {
+  WorkerPool Pool(2);
+  std::atomic<size_t> Ran{0};
+  EXPECT_THROW(Pool.parallelFor(100,
+                                [&](size_t I, size_t) {
+                                  Ran += 1;
+                                  if (I == 42)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The barrier still completed every index despite the throw.
+  EXPECT_EQ(Ran.load(), 100u);
+  // And the pool stays usable.
+  Pool.parallelFor(5, [&](size_t, size_t) { Ran += 1; });
+  EXPECT_EQ(Ran.load(), 105u);
+}
+
+//===----------------------------------------------------------------------===//
+// ShardedResultCache
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedResultCache, HitMissEvictAndCounters) {
+  ShardedResultCache Cache(/*Capacity=*/2, /*Shards=*/1);
+  ASSERT_EQ(Cache.numShards(), 1u);
+  SolverResult R;
+  R.Satisfiable = true;
+  SolverResult Out;
+  EXPECT_FALSE(Cache.lookup("a", 0, Out));
+  Cache.store("a", 0, R);
+  Cache.store("b", 0, R);
+  EXPECT_TRUE(Cache.lookup("a", 0, Out)); // a is now most recent
+  Cache.store("c", 0, R);                 // evicts b (least recent)
+  EXPECT_FALSE(Cache.lookup("b", 0, Out));
+  EXPECT_TRUE(Cache.lookup("a", 0, Out));
+  EXPECT_TRUE(Cache.lookup("c", 0, Out));
+
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 3u);
+  EXPECT_EQ(S.Misses, 2u);
+  EXPECT_EQ(S.Insertions, 3u);
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
+TEST(ShardedResultCache, OptionsFingerprintSeparatesEntries) {
+  ShardedResultCache Cache(8, 4);
+  SolverResult Yes, No, Out;
+  Yes.Satisfiable = true;
+  No.Satisfiable = false;
+  Cache.store("k", 1, Yes);
+  Cache.store("k", 2, No);
+  ASSERT_TRUE(Cache.lookup("k", 1, Out));
+  EXPECT_TRUE(Out.Satisfiable);
+  ASSERT_TRUE(Cache.lookup("k", 2, Out));
+  EXPECT_FALSE(Out.Satisfiable);
+}
+
+TEST(ShardedResultCache, ShardCountClampsToCapacity) {
+  EXPECT_EQ(ShardedResultCache(1, 8).numShards(), 1u);
+  EXPECT_EQ(ShardedResultCache(6, 8).numShards(), 4u);
+  EXPECT_EQ(ShardedResultCache(1024, 8).numShards(), 8u);
+  EXPECT_EQ(ShardedResultCache(1024, 5).numShards(), 4u);
+  EXPECT_EQ(ShardedResultCache(0, 8).numShards(), 1u);
+}
+
+// The TSan target of the suite: many threads hammering one shard (one
+// mutex, one LRU list) with a key range larger than the capacity, so
+// lookups, insertions and evictions all race on the same structures.
+TEST(ShardedResultCache, SingleShardStressUnderContention) {
+  constexpr size_t Capacity = 8;
+  constexpr size_t KeyRange = 32;
+  constexpr size_t Ops = 8000;
+  ShardedResultCache Cache(Capacity, /*Shards=*/1);
+  ASSERT_EQ(Cache.numShards(), 1u);
+
+  WorkerPool Pool(8);
+  std::atomic<size_t> BadValues{0};
+  Pool.parallelFor(Ops, [&](size_t I, size_t) {
+    std::string Key = "key" + std::to_string(I % KeyRange);
+    SolverResult Out;
+    if (Cache.lookup(Key, 7, Out)) {
+      // An entry must round-trip the value stored for its key.
+      if (Out.Stats.Iterations != I % KeyRange)
+        BadValues.fetch_add(1);
+    } else {
+      SolverResult R;
+      R.Satisfiable = true;
+      R.Stats.Iterations = I % KeyRange;
+      Cache.store(Key, 7, R);
+    }
+  });
+  EXPECT_EQ(BadValues.load(), 0u);
+
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits + S.Misses, Ops);
+  EXPECT_LE(Cache.size(), Capacity);
+  EXPECT_EQ(S.Insertions - S.Evictions, Cache.size());
+}
+
+TEST(ShardedResultCache, MultiShardConcurrentMixedUse) {
+  ShardedResultCache Cache(256, 8);
+  WorkerPool Pool(4);
+  Pool.parallelFor(4000, [&](size_t I, size_t) {
+    std::string Key = "q" + std::to_string(I % 100);
+    SolverResult Out;
+    if (!Cache.lookup(Key, 0, Out)) {
+      SolverResult R;
+      R.Stats.Iterations = I % 100;
+      Cache.store(Key, 0, R);
+    } else {
+      EXPECT_EQ(Out.Stats.Iterations, I % 100);
+    }
+  });
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits + S.Misses, 4000u);
+  EXPECT_LE(Cache.size(), 256u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel batch dispatch
+//===----------------------------------------------------------------------===//
+
+/// A mixed workload touching every shape of determinism risk: duplicate
+/// requests, both directions of a containment (semantic overlap between
+/// distinct requests), a model-bearing satisfiable overlap, raw Lµ sat,
+/// a DTD-constrained query, and an error response.
+const char *mixedInput() {
+  return
+      R"({"id":"q1","op":"contains","e1":"/a/b","e2":"//b"})" "\n"
+      R"({"id":"q2","op":"overlap","e1":"//a","e2":"//b"})" "\n"
+      R"({"id":"q3","op":"empty","e1":"a/b[parent::c]"})" "\n"
+      R"({"id":"q4","op":"contains","e1":"/a/b","e2":"//b"})" "\n"
+      R"json({"id":"q5","op":"sat","f":"<1>(a & <2>b)"})json" "\n"
+      R"({"id":"q6","op":"overlap","e1":"//b","e2":"/a/b"})" "\n"
+      R"({"id":"q7","op":"equiv","e1":"/a/b","e2":"/a/b[c] | /a/b[not(c)]"})" "\n"
+      R"({"id":"q8","op":"empty","e1":"//unknown","dtd":"wikipedia"})" "\n"
+      R"({"id":"q9","op":"contains","e1":"//b"})" "\n"; // error: missing e2
+}
+
+TEST(ParallelBatch, WarmMultiThreadOutputByteIdenticalToSerial) {
+  AnalysisSession Session;
+  // Cold run (jobs=1) populates the shared cache.
+  runLinesRaw(Session, mixedInput());
+
+  // Warm serial vs warm 4-worker: the full JSON-lines output, timing
+  // fields included, must be byte-identical — every response is served
+  // from the same shared cache entries.
+  std::string WarmSerial = runLinesRaw(Session, mixedInput());
+  Session.setJobs(4);
+  std::string WarmParallel = runLinesRaw(Session, mixedInput());
+  EXPECT_EQ(WarmSerial, WarmParallel);
+
+  // No new solver runs happened in either warm pass.
+  SessionStats S = Session.stats();
+  EXPECT_GT(S.Cache.Hits, 0u);
+}
+
+TEST(ParallelBatch, ColdStableOutputIndependentOfJobCount) {
+  // Two fresh sessions, 1 vs 4 workers, stable encoding (no cache /
+  // time_ms fields): output must be byte-identical even though the
+  // parallel session computes on four independent FormulaFactories.
+  AnalysisSession Serial;
+  std::string OutSerial = runLinesRaw(Serial, mixedInput(), /*Stable=*/true);
+
+  SessionOptions POpts;
+  POpts.Jobs = 4;
+  AnalysisSession Parallel(POpts);
+  std::string OutParallel =
+      runLinesRaw(Parallel, mixedInput(), /*Stable=*/true);
+  EXPECT_EQ(OutSerial, OutParallel);
+}
+
+TEST(ParallelBatch, DuplicateRequestsReportedAsHitsLikeSerial) {
+  SessionOptions Opts;
+  Opts.Jobs = 4;
+  AnalysisSession Session(Opts);
+  std::vector<AnalysisRequest> Reqs = {
+      containsReq("a", "/a/b", "//b"),
+      containsReq("b", "//b", "/a/b"),
+      containsReq("a2", "/a/b", "//b"),
+      containsReq("b2", "//b", "/a/b"),
+  };
+  std::vector<AnalysisResponse> Resps = runBatch(Session, Reqs);
+  ASSERT_EQ(Resps.size(), 4u);
+  for (const AnalysisResponse &R : Resps)
+    EXPECT_TRUE(R.Ok) << R.Error;
+  // The textual duplicates are answered as cache hits of the first
+  // occurrence, exactly like a serial run through the semantic cache.
+  EXPECT_FALSE(Resps[0].FromCache);
+  EXPECT_FALSE(Resps[1].FromCache);
+  EXPECT_TRUE(Resps[2].FromCache);
+  EXPECT_TRUE(Resps[3].FromCache);
+  EXPECT_EQ(Resps[2].Holds, Resps[0].Holds);
+  EXPECT_EQ(Resps[3].Holds, Resps[1].Holds);
+  EXPECT_EQ(Resps[2].Id, "a2");
+  EXPECT_EQ(Resps[3].Id, "b2");
+}
+
+TEST(ParallelBatch, StatsExactUnderConcurrentDispatch) {
+  // K distinct one-problem requests across 4 workers: the atomic
+  // counters must account for exactly K solver runs and K misses.
+  constexpr size_t K = 12;
+  SessionOptions Opts;
+  Opts.Jobs = 4;
+  AnalysisSession Session(Opts);
+  std::vector<AnalysisRequest> Reqs;
+  for (size_t I = 0; I < K; ++I) {
+    AnalysisRequest R;
+    R.Id = "s" + std::to_string(I);
+    R.Kind = RequestKind::Emptiness;
+    R.Query1 = "/r" + std::to_string(I) + "/x";
+    Reqs.push_back(R);
+  }
+  std::vector<AnalysisResponse> Resps = runBatch(Session, Reqs);
+  for (const AnalysisResponse &R : Resps)
+    EXPECT_TRUE(R.Ok) << R.Error;
+  SessionStats S = Session.stats();
+  EXPECT_EQ(S.Solves, K);
+  EXPECT_EQ(S.Cache.Misses, K);
+  EXPECT_EQ(S.Cache.Insertions, K);
+  EXPECT_EQ(S.Cache.Hits, 0u);
+  EXPECT_EQ(S.QueriesParsed, K) << "each distinct query parsed once";
+}
+
+TEST(ParallelBatch, ConfigLineSwitchesJobsMidStream) {
+  const std::string Input =
+      R"({"id":"q1","op":"empty","e1":"//b"})" "\n"
+      R"({"id":"cfg","op":"config","jobs":3})" "\n"
+      R"({"id":"q2","op":"empty","e1":"//c"})" "\n";
+  AnalysisSession Session;
+  EXPECT_EQ(Session.jobs(), 1u);
+  std::vector<JsonRef> Resps = runLines(Session, Input);
+  ASSERT_EQ(Resps.size(), 3u);
+  EXPECT_TRUE(Resps[0]->get("ok")->asBool());
+  EXPECT_TRUE(Resps[1]->get("ok")->asBool());
+  EXPECT_EQ(Resps[1]->get("jobs")->asNumber(), 3);
+  EXPECT_EQ(Resps[1]->str("id"), "cfg");
+  EXPECT_TRUE(Resps[2]->get("ok")->asBool());
+  EXPECT_EQ(Session.jobs(), 3u);
+
+  // A config line without 'jobs' is an error response, not a stop.
+  std::vector<JsonRef> Bad =
+      runLines(Session, R"({"op":"config"})" "\n");
+  ASSERT_EQ(Bad.size(), 1u);
+  EXPECT_FALSE(Bad[0]->get("ok")->asBool());
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent cache
+//===----------------------------------------------------------------------===//
+
+TEST(PersistentCache, SaveLoadWarmsAFreshSession) {
+  std::string Path = testing::TempDir() + "xsa_service_test_cache.jsonl";
+  std::remove(Path.c_str());
+
+  AnalysisSession A;
+  runLinesRaw(A, mixedInput());
+  std::string WarmA = runLinesRaw(A, mixedInput(), /*Stable=*/true);
+  size_t SolvesA = A.stats().Solves;
+  EXPECT_GT(SolvesA, 0u);
+  std::string Error;
+  ASSERT_TRUE(A.saveCache(Path, Error)) << Error;
+
+  // A fresh session loaded from disk answers the whole batch without a
+  // single solver run, with the same deterministic payload.
+  AnalysisSession B;
+  ASSERT_TRUE(B.loadCache(Path, Error)) << Error;
+  std::string WarmB = runLinesRaw(B, mixedInput(), /*Stable=*/true);
+  EXPECT_EQ(WarmA, WarmB);
+  EXPECT_EQ(B.stats().Solves, 0u) << "every result came from the loaded cache";
+  EXPECT_EQ(B.stats().Cache.Misses, 0u);
+
+  // Loading junk fails cleanly.
+  AnalysisSession C;
+  EXPECT_FALSE(C.loadCache("/nonexistent/cache.jsonl", Error));
+  std::remove(Path.c_str());
+}
+
+TEST(PersistentCache, SaveLoadRoundTripPreservesEntryCount) {
+  std::string Path = testing::TempDir() + "xsa_service_test_cache2.jsonl";
+  std::remove(Path.c_str());
+  AnalysisSession A;
+  runLinesRaw(A, mixedInput());
+  size_t Size = A.resultCache().size();
+  EXPECT_GT(Size, 0u);
+  std::string Error;
+  ASSERT_TRUE(A.saveCache(Path, Error)) << Error;
+  AnalysisSession B;
+  ASSERT_TRUE(B.loadCache(Path, Error)) << Error;
+  EXPECT_EQ(B.resultCache().size(), Size);
+  std::remove(Path.c_str());
 }
 
 } // namespace
