@@ -1,0 +1,79 @@
+//===- BenchJson.h - Machine-readable benchmark results ---------*- C++ -*-===//
+//
+// Shared helper for the service benchmarks: collects per-workload
+// results and writes them as a small JSON array (schema: name, wall_ms,
+// cache_hit_rate) so CI and scripts can track throughput and the
+// cache-hit-rate uplift without scraping console tables. bench_service
+// writes BENCH_service.json, bench_rewrite writes BENCH_rewrite.json.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_BENCH_BENCHJSON_H
+#define XSA_BENCH_BENCHJSON_H
+
+#include "service/Json.h"
+#include "service/Session.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace xsa_bench {
+
+/// The cache_hit_rate both benchmarks report: hit fraction of the
+/// session's semantic result cache, in [0, 1].
+inline double sessionHitRate(const xsa::AnalysisSession &Session) {
+  xsa::SessionStats S = Session.stats();
+  size_t Lookups = S.Cache.Hits + S.Cache.Misses;
+  return Lookups ? static_cast<double>(S.Cache.Hits) / Lookups : 0;
+}
+
+struct BenchResult {
+  std::string Name;
+  double WallMs = 0;
+  double CacheHitRate = 0; ///< in [0, 1]
+};
+
+/// Collects results and writes \p Path on destruction (so it works both
+/// from a plain main() and under BENCHMARK_MAIN(), where the writer is
+/// a static destructed at process exit). record() overwrites an earlier
+/// result of the same name — under google-benchmark each workload runs
+/// several times and the last (longest, most-iterated) run wins.
+class BenchJsonWriter {
+public:
+  explicit BenchJsonWriter(std::string Path) : Path(std::move(Path)) {}
+  ~BenchJsonWriter() { write(); }
+
+  void record(const std::string &Name, double WallMs, double CacheHitRate) {
+    for (BenchResult &R : Results)
+      if (R.Name == Name) {
+        R.WallMs = WallMs;
+        R.CacheHitRate = CacheHitRate;
+        return;
+      }
+    Results.push_back({Name, WallMs, CacheHitRate});
+  }
+
+  void write() const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return;
+    std::fprintf(F, "[\n");
+    for (size_t I = 0; I < Results.size(); ++I)
+      std::fprintf(F,
+                   "  {\"name\": %s, \"wall_ms\": %.3f, "
+                   "\"cache_hit_rate\": %.4f}%s\n",
+                   xsa::jsonQuote(Results[I].Name).c_str(), Results[I].WallMs,
+                   Results[I].CacheHitRate, I + 1 < Results.size() ? "," : "");
+    std::fprintf(F, "]\n");
+    std::fclose(F);
+  }
+
+private:
+  std::string Path;
+  std::vector<BenchResult> Results;
+};
+
+} // namespace xsa_bench
+
+#endif // XSA_BENCH_BENCHJSON_H

@@ -1,0 +1,180 @@
+//===- bench_rewrite.cpp - Rewrite throughput and pre-pass uplift ----------===//
+//
+// Measures the solver-verified rewrite engine (src/rewrite/) on two
+// axes the ISSUE's acceptance criteria name:
+//
+//   * optimize throughput — queries/second through the full certified
+//     loop (candidate generation, cost ranking, solver obligations),
+//     cold on a fresh session and again memoized on a warm one;
+//
+//   * the batch cache-hit-rate uplift the optimize pre-pass buys on a
+//     near-duplicate workload: syntactic variants of the same query
+//     compile to different formulas and each pay their own solve, until
+//     the pre-pass canonicalizes them onto one cache entry.
+//
+// Standalone (no google-benchmark dependency) so it builds everywhere
+// and can emit BENCH_rewrite.json (name, wall_ms, cache_hit_rate)
+// itself; exits nonzero when the pre-pass shows no uplift, so a CI
+// smoke run doubles as a regression gate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Batch.h"
+#include "service/Session.h"
+
+#include "BenchJson.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace xsa;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Distinct queries exercising every shipped rule, over per-index
+/// alphabets so no two share solver work: the unit of rewrite
+/// throughput.
+std::vector<AnalysisRequest> optimizeWorkload(size_t Groups = 10) {
+  std::vector<AnalysisRequest> Reqs;
+  for (size_t I = 0; I < Groups; ++I) {
+    std::string A = "a" + std::to_string(I);
+    std::string B = "b" + std::to_string(I);
+    std::string C = "c" + std::to_string(I);
+    for (const std::string &Q : {
+             A + "//" + B,                       // fuse-steps
+             A + "/self::*/" + B,                // drop-self
+             A + "/" + B + "/parent::" + A,      // reverse-axis
+             C + "/prec-sibling::" + A,          // reverse-axis (sibling)
+             "(" + A + ")+",                     // collapse-iterate (refuted)
+             A + " | " + B + "[" + C + "]",      // dead-branch (refuted)
+         }) {
+      AnalysisRequest R;
+      R.Id = "q" + std::to_string(Reqs.size());
+      R.Kind = RequestKind::Optimize;
+      R.Query1 = Q;
+      Reqs.push_back(R);
+    }
+  }
+  return Reqs;
+}
+
+/// Near-duplicate emptiness workload: per group, four syntactic
+/// variants of `a/descendant::b` that compile to *different* formulas
+/// yet all rewrite to the same canonical form. Without the pre-pass
+/// each variant pays its own solve; with it, three of four are answered
+/// from the first variant's cache entry.
+std::vector<AnalysisRequest> nearDuplicateWorkload(size_t Groups = 12) {
+  std::vector<AnalysisRequest> Reqs;
+  for (size_t I = 0; I < Groups; ++I) {
+    std::string A = "a" + std::to_string(I);
+    std::string B = "b" + std::to_string(I);
+    for (const std::string &Q : {
+             A + "/descendant::" + B,
+             A + "//" + B,
+             A + "/self::*/descendant::" + B,
+             A + "/descendant::*/self::" + B,
+         }) {
+      AnalysisRequest R;
+      R.Id = "q" + std::to_string(Reqs.size());
+      R.Kind = RequestKind::Emptiness;
+      R.Query1 = Q;
+      Reqs.push_back(R);
+    }
+  }
+  return Reqs;
+}
+
+double responseHitRate(const std::vector<AnalysisResponse> &Resps) {
+  size_t Hits = 0;
+  for (const AnalysisResponse &R : Resps)
+    Hits += R.FromCache;
+  return Resps.empty() ? 0 : static_cast<double>(Hits) / Resps.size();
+}
+
+} // namespace
+
+int main() {
+  xsa_bench::BenchJsonWriter Json("BENCH_rewrite.json");
+
+  // --- Rewrite throughput: cold, then memoized on the same session. ---
+  std::vector<AnalysisRequest> Opt = optimizeWorkload();
+  AnalysisSession Session;
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<AnalysisResponse> Cold = runBatch(Session, Opt);
+  double ColdMs = msSince(T0);
+  size_t Rewrites = 0, Checks = 0;
+  for (const AnalysisResponse &R : Cold) {
+    if (!R.Ok) {
+      std::fprintf(stderr, "optimize failed: %s\n", R.Error.c_str());
+      return 1;
+    }
+    Checks += R.Trace.size();
+    for (const RewriteStep &S : R.Trace)
+      Rewrites += S.Accepted;
+  }
+  double ColdRate = xsa_bench::sessionHitRate(Session);
+  std::printf("optimize-cold:      %3zu queries  %8.1f ms  "
+              "(%.0f q/s, %zu obligations, %zu accepted, "
+              "obligation cache-hit rate %.2f)\n",
+              Opt.size(), ColdMs, 1e3 * Opt.size() / ColdMs, Checks, Rewrites,
+              ColdRate);
+  Json.record("optimize-cold", ColdMs, ColdRate);
+
+  SessionStats Before = Session.stats();
+  T0 = std::chrono::steady_clock::now();
+  runBatch(Session, Opt);
+  double WarmMs = msSince(T0);
+  SessionStats After = Session.stats();
+  size_t MemoHits = After.OptimizeCacheHits - Before.OptimizeCacheHits;
+  size_t MemoMisses = After.QueriesOptimized - Before.QueriesOptimized;
+  double MemoRate = MemoHits + MemoMisses
+                        ? static_cast<double>(MemoHits) /
+                              (MemoHits + MemoMisses)
+                        : 0;
+  std::printf("optimize-memoized:  %3zu queries  %8.1f ms  "
+              "(%.0f q/s, optimize-memo hit rate %.2f)\n",
+              Opt.size(), WarmMs, 1e3 * Opt.size() / WarmMs, MemoRate);
+  Json.record("optimize-memoized", WarmMs, MemoRate);
+
+  // --- Pre-pass cache-hit-rate uplift on near-duplicates. ---
+  std::vector<AnalysisRequest> Dup = nearDuplicateWorkload();
+
+  AnalysisSession Plain;
+  T0 = std::chrono::steady_clock::now();
+  double OffRate = responseHitRate(runBatch(Plain, Dup));
+  double OffMs = msSince(T0);
+  std::printf("batch-prepass-off:  %3zu requests %8.1f ms  "
+              "(response cache-hit rate %.2f)\n",
+              Dup.size(), OffMs, OffRate);
+  Json.record("batch-prepass-off", OffMs, OffRate);
+
+  SessionOptions WithOpt;
+  WithOpt.Optimize = true;
+  AnalysisSession Optimized(WithOpt);
+  T0 = std::chrono::steady_clock::now();
+  double OnRate = responseHitRate(runBatch(Optimized, Dup));
+  double OnMs = msSince(T0);
+  std::printf("batch-prepass-on:   %3zu requests %8.1f ms  "
+              "(response cache-hit rate %.2f)\n",
+              Dup.size(), OnMs, OnRate);
+  Json.record("batch-prepass-on", OnMs, OnRate);
+
+  std::printf("pre-pass uplift:    +%.0f%% cache-hit rate\n",
+              100 * (OnRate - OffRate));
+  if (OnRate <= OffRate) {
+    std::fprintf(stderr,
+                 "FAIL: optimize pre-pass shows no cache-hit-rate uplift "
+                 "(%.2f -> %.2f)\n",
+                 OffRate, OnRate);
+    return 1;
+  }
+  return 0;
+}

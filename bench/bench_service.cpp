@@ -20,14 +20,25 @@
 #include "service/Batch.h"
 #include "service/Session.h"
 
+#include "BenchJson.h"
+
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <string>
 #include <vector>
 
 using namespace xsa;
 
 namespace {
+
+/// BENCH_service.json (name, wall_ms, cache_hit_rate), written at
+/// process exit; each google-benchmark rerun of a workload overwrites
+/// its entry, so the final (longest) run wins.
+xsa_bench::BenchJsonWriter &jsonOut() {
+  static xsa_bench::BenchJsonWriter W("BENCH_service.json");
+  return W;
+}
 
 /// 100 mixed requests over per-index alphabets. Requests are pairwise
 /// semantically distinct (labels embed the index), so a cold run pays
@@ -70,15 +81,23 @@ std::vector<AnalysisRequest> mixedWorkload(size_t N = 100) {
 void BM_ColdBatch(benchmark::State &State) {
   size_t Jobs = static_cast<size_t>(State.range(0));
   std::vector<AnalysisRequest> Reqs = mixedWorkload();
+  double WallMs = 0, HitRate = 0;
   for (auto _ : State) {
     SessionOptions Opts;
     Opts.Jobs = Jobs;
     AnalysisSession Session(Opts);
+    auto T0 = std::chrono::steady_clock::now();
     std::vector<AnalysisResponse> Resps = runBatch(Session, Reqs);
+    WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count();
+    HitRate = xsa_bench::sessionHitRate(Session);
     benchmark::DoNotOptimize(Resps.data());
   }
   State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
                           static_cast<int64_t>(Reqs.size()));
+  State.counters["cache_hit_rate"] = HitRate;
+  jsonOut().record("cold-batch/jobs=" + std::to_string(Jobs), WallMs, HitRate);
 }
 
 void BM_WarmBatch(benchmark::State &State) {
@@ -88,12 +107,20 @@ void BM_WarmBatch(benchmark::State &State) {
   Opts.Jobs = Jobs;
   AnalysisSession Session(Opts);
   runBatch(Session, Reqs); // warm the shared cache once
+  double WallMs = 0;
   for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
     std::vector<AnalysisResponse> Resps = runBatch(Session, Reqs);
+    WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count();
     benchmark::DoNotOptimize(Resps.data());
   }
   State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
                           static_cast<int64_t>(Reqs.size()));
+  double HitRate = xsa_bench::sessionHitRate(Session);
+  State.counters["cache_hit_rate"] = HitRate;
+  jsonOut().record("warm-batch/jobs=" + std::to_string(Jobs), WallMs, HitRate);
 }
 
 } // namespace

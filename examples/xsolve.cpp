@@ -55,19 +55,28 @@ int usage() {
       "  xsolve contains '<e1>' '<e2>' [dtd]\n"
       "  xsolve overlap '<e1>' '<e2>' [dtd]\n"
       "  xsolve validate <xml-file> <dtd>\n"
+      "  xsolve optimize '<xpath>' [dtd]\n"
       "  xsolve batch [file|-] [--jobs N] [--cache-file F] [--stable]\n"
+      "               [--optimize]\n"
       "where [dtd] is a file path or one of: wikipedia, smil, xhtml.\n"
+      "optimize rewrites the query rule by rule, accepting a candidate\n"
+      "only when the solver proves it equivalent under the DTD, and\n"
+      "prints the optimized query with the per-rule proof trace.\n"
       "batch reads one JSON request per line, e.g.\n"
       "  {\"id\":\"q1\",\"op\":\"contains\",\"e1\":\"/a//b\","
       "\"e2\":\"//b\",\"dtd\":\"xhtml\"}\n"
-      "(ops: sat empty contains overlap cover equiv typecheck;\n"
-      " {\"op\":\"config\",\"jobs\":N} switches workers mid-stream)\n"
+      "(ops: sat empty contains overlap cover equiv typecheck optimize;\n"
+      " {\"op\":\"config\",\"jobs\":N,\"optimize\":B} reconfigures "
+      "mid-stream)\n"
       "batch flags:\n"
       "  --jobs N        dispatch across N worker threads (0 = all cores)\n"
       "  --cache-file F  load the result cache from F on start (if it\n"
       "                  exists) and save it back on exit\n"
       "  --stable        omit execution-dependent fields (cache, time_ms)\n"
-      "                  so output is byte-identical at any job count\n");
+      "                  so output is byte-identical at any job count\n"
+      "  --optimize      rewrite every query (solver-verified) before\n"
+      "                  analysis, canonicalizing near-duplicates onto\n"
+      "                  shared cache entries\n");
   return 2;
 }
 
@@ -147,6 +156,8 @@ int main(int argc, char **argv) {
         CacheFile = argv[++I];
       } else if (Arg == "--stable") {
         Stable = true;
+      } else if (Arg == "--optimize") {
+        Session.setOptimize(true);
       } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
         std::fprintf(stderr, "error: unknown batch flag %s\n", Arg.c_str());
         return usage();
@@ -216,6 +227,29 @@ int main(int argc, char **argv) {
     Formula F = compileXPath(FF, E, FF.trueF());
     std::printf("%s\n(size %u, cycle-free: %s)\n", FF.toString(F).c_str(),
                 F->size(), isCycleFree(F) ? "yes" : "no");
+    return 0;
+  }
+
+  if (Cmd == "optimize") {
+    std::string Dtd = argc > 3 ? argv[3] : "";
+    AnalysisRequest Req;
+    Req.Kind = RequestKind::Optimize;
+    Req.Query1 = argv[2];
+    Req.Dtd1 = Dtd;
+    AnalysisResponse R = runRequest(Session, Req);
+    if (!R.Ok) {
+      std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    std::printf("original:  %s  (cost %.2f)\n", Req.Query1.c_str(),
+                R.CostBefore);
+    std::printf("optimized: %s  (cost %.2f, %zu proof obligations)\n",
+                R.Optimized.c_str(), R.CostAfter, R.Trace.size());
+    for (const RewriteStep &S : R.Trace)
+      std::printf("  [%s] %-16s %s  =>  %s  (%s, %s%.1f ms)\n",
+                  S.Accepted ? "PROVED " : "refuted", S.Rule.c_str(),
+                  S.From.c_str(), S.To.c_str(), S.Check,
+                  S.FromCache ? "cached, " : "", S.TimeMs);
     return 0;
   }
 

@@ -1,0 +1,65 @@
+//===- Cost.cpp - XPath evaluation cost model ------------------------------===//
+
+#include "rewrite/Cost.h"
+
+using namespace xsa;
+
+bool xsa::isReverseAxis(Axis A) {
+  switch (A) {
+  case Axis::Parent:
+  case Axis::Ancestor:
+  case Axis::AncOrSelf:
+  case Axis::PrecSibling:
+  case Axis::Preceding:
+    return true;
+  case Axis::Self:
+  case Axis::Child:
+  case Axis::Descendant:
+  case Axis::DescOrSelf:
+  case Axis::FollSibling:
+  case Axis::Following:
+    return false;
+  }
+  return false;
+}
+
+double CostModel::cost(const PathRef &P, double Scale) const {
+  switch (P->K) {
+  case XPathPath::Compose:
+    return cost(P->P1, Scale) + cost(P->P2, Scale);
+  case XPathPath::Qualified:
+    return cost(P->P1, Scale) + cost(P->Q, Scale * QualifierDiscount);
+  case XPathPath::Step:
+    return Scale * (StepCost + (isReverseAxis(P->A) ? ReverseAxisPenalty : 0));
+  case XPathPath::Alt:
+    return cost(P->P1, Scale) + cost(P->P2, Scale);
+  case XPathPath::Iterate:
+    return IteratePenalty * cost(P->P1, Scale);
+  }
+  return 0;
+}
+
+double CostModel::cost(const QualifRef &Q, double Scale) const {
+  switch (Q->K) {
+  case XPathQualif::And:
+  case XPathQualif::Or:
+    return cost(Q->Q1, Scale) + cost(Q->Q2, Scale);
+  case XPathQualif::Not:
+    return cost(Q->Q1, Scale);
+  case XPathQualif::Path:
+    return cost(Q->P, Scale);
+  }
+  return 0;
+}
+
+double CostModel::cost(const ExprRef &E) const {
+  switch (E->K) {
+  case XPathExpr::Absolute:
+  case XPathExpr::Relative:
+    return cost(E->P);
+  case XPathExpr::Union:
+  case XPathExpr::Intersect:
+    return cost(E->E1) + cost(E->E2);
+  }
+  return 0;
+}

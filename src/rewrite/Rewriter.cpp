@@ -1,0 +1,122 @@
+//===- Rewriter.cpp - Solver-verified XPath rewrite driver -----------------===//
+
+#include "rewrite/Rewriter.h"
+
+#include "support/KeyEncoding.h"
+#include "xpath/Parser.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace xsa;
+
+namespace {
+
+struct RankedCandidate {
+  double Cost = 0;
+  size_t RuleIdx = 0;
+  std::string Text;
+  RewriteCandidate C;
+};
+
+} // namespace
+
+RewriteResult Rewriter::optimize(const ExprRef &E, Formula Chi) {
+  RewriteResult R;
+  R.Original = E;
+  R.Optimized = E;
+  R.OriginalCost = Opts.Cost.cost(E);
+  R.OptimizedCost = R.OriginalCost;
+
+  const auto &Rules = rewriteRules();
+  // (from, to) pairs already discharged, so a refuted obligation is
+  // never retried in a later pass (the session cache would answer it,
+  // but it would still spam the trace). Only reachable when equal-cost
+  // candidates are admitted: under RequireCostImprovement every accepted
+  // rewrite strictly lowers the cost, so no From text ever recurs — the
+  // bookkeeping is skipped entirely there.
+  const bool TrackTried = !Opts.RequireCostImprovement;
+  std::unordered_set<std::string> Tried;
+  auto triedKey = [](const std::string &From, const std::string &To) {
+    return lengthPrefixedKey(From, To);
+  };
+
+  for (size_t Pass = 0; Pass < Opts.MaxPasses; ++Pass) {
+    const std::string CurText = toString(R.Optimized);
+    std::vector<RankedCandidate> Ranked;
+    for (size_t RI = 0; RI < Rules.size(); ++RI) {
+      std::vector<RewriteCandidate> Cands;
+      Rules[RI]->candidates(R.Optimized, Cands);
+      for (RewriteCandidate &C : Cands) {
+        if (!C.Replacement)
+          continue;
+        double Cost = Opts.Cost.cost(C.Replacement);
+        // Never consider costlier candidates (they could oscillate);
+        // equal cost is admitted only when improvement is not required.
+        if (Opts.RequireCostImprovement ? Cost >= R.OptimizedCost - 1e-9
+                                        : Cost > R.OptimizedCost + 1e-9)
+          continue;
+        std::string Text = toString(C.Replacement);
+        if (Text == CurText || (TrackTried && Tried.count(triedKey(CurText, Text))))
+          continue;
+        Ranked.push_back({Cost, RI, std::move(Text), std::move(C)});
+      }
+    }
+    std::stable_sort(Ranked.begin(), Ranked.end(),
+                     [](const RankedCandidate &A, const RankedCandidate &B) {
+                       if (A.Cost != B.Cost)
+                         return A.Cost < B.Cost;
+                       if (A.RuleIdx != B.RuleIdx)
+                         return A.RuleIdx < B.RuleIdx;
+                       return A.Text < B.Text;
+                     });
+
+    bool AcceptedOne = false;
+    std::unordered_set<std::string> SeenText;
+    for (RankedCandidate &K : Ranked) {
+      if (R.CheckedCandidates >= Opts.MaxChecks)
+        break;
+      if (!SeenText.insert(K.Text).second)
+        continue; // two rules proposed the same text; one proof suffices
+      // Parser-shape guard, deferred to here so only candidates actually
+      // submitted to the solver pay the print/re-parse: the optimized
+      // query is handed around as text, so a candidate must re-read to
+      // the same AST. Rules keep this invariant by construction; a
+      // violation is skipped rather than risked.
+      std::string Err;
+      ExprRef Back = parseXPath(K.Text, Err);
+      if (!Back || !astEquals(Back, K.C.Replacement))
+        continue;
+      if (TrackTried)
+        Tried.insert(triedKey(CurText, K.Text));
+      ++R.CheckedCandidates;
+
+      AnalysisResult AR =
+          K.C.Check == RewriteCheck::ArmEmptiness
+              ? An.emptiness(K.C.CheckExpr, Chi)
+              : An.equivalence(R.Optimized, Chi, K.C.Replacement, Chi);
+
+      RewriteStep Step;
+      Step.Rule = Rules[K.RuleIdx]->name();
+      Step.From = CurText;
+      Step.To = K.Text;
+      Step.Note = K.C.Note;
+      Step.Check = rewriteCheckName(K.C.Check);
+      Step.Accepted = AR.Holds;
+      Step.FromCache = AR.FromCache;
+      Step.TimeMs = AR.Stats.TimeMs;
+      R.Trace.push_back(std::move(Step));
+
+      if (AR.Holds) {
+        R.Optimized = K.C.Replacement;
+        R.OptimizedCost = K.Cost;
+        ++R.AcceptedSteps;
+        AcceptedOne = true;
+        break; // regenerate candidates against the new query
+      }
+    }
+    if (!AcceptedOne || R.CheckedCandidates >= Opts.MaxChecks)
+      break;
+  }
+  return R;
+}

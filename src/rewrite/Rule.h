@@ -1,0 +1,80 @@
+//===- Rule.h - Rewrite rule interface ---------------------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rule interface of the solver-verified XPath rewrite engine. A
+/// RewriteRule pattern-matches the AST and proposes whole-expression
+/// *candidates*; it proves nothing. Soundness lives entirely in the
+/// driver (Rewriter.h), which accepts a candidate only after the solver
+/// certifies it under the type in force — so rules are free to be
+/// heuristic, even speculative: an unsound candidate costs one refuted
+/// proof obligation, never a wrong answer (§1 of the paper frames query
+/// reformulation exactly this way).
+///
+/// Candidates must stay in *parser shape* — the sublanguage of ASTs that
+/// parseXPath produces (left-nested unions and compositions, qualifiers
+/// only on steps and parenthesized groups) — so that the optimized query
+/// can be emitted as text with toString and re-read to an astEquals-equal
+/// AST. The driver enforces this with a parse-back check and skips any
+/// candidate that fails it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_REWRITE_RULE_H
+#define XSA_REWRITE_RULE_H
+
+#include "xpath/Ast.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xsa {
+
+/// How the driver certifies a candidate before accepting it.
+enum class RewriteCheck : uint8_t {
+  /// Analyzer::equivalence of the whole expression, original vs
+  /// candidate, under the session's type context.
+  Equivalence,
+  /// Analyzer::emptiness of CheckExpr — a dropped top-level union arm.
+  /// Sound only when CheckExpr is evaluated in the same context as the
+  /// whole expression (the dead-branch rule restricts itself to
+  /// top-level arms for exactly this reason).
+  ArmEmptiness,
+};
+
+const char *rewriteCheckName(RewriteCheck C);
+
+struct RewriteCandidate {
+  /// The full rewritten expression (not a subterm).
+  ExprRef Replacement;
+  RewriteCheck Check = RewriteCheck::Equivalence;
+  /// ArmEmptiness only: the dropped arm whose emptiness certifies the
+  /// rewrite.
+  ExprRef CheckExpr;
+  /// Human-readable description of the rewrite site, for the proof
+  /// trace ("fused desc-or-self::*/child::b", "dropped arm …").
+  std::string Note;
+};
+
+class RewriteRule {
+public:
+  virtual ~RewriteRule() = default;
+  virtual const char *name() const = 0;
+  /// Appends whole-expression rewrite candidates for \p E to \p Out.
+  /// Generation must be deterministic (the driver's candidate order is
+  /// part of the engine's reproducibility guarantee).
+  virtual void candidates(const ExprRef &E,
+                          std::vector<RewriteCandidate> &Out) const = 0;
+};
+
+/// The shipped rule registry, constructed once. Order is the tie-break
+/// applied after the cost model ranks candidates.
+const std::vector<std::unique_ptr<RewriteRule>> &rewriteRules();
+
+} // namespace xsa
+
+#endif // XSA_REWRITE_RULE_H

@@ -1,0 +1,561 @@
+//===- Rules.cpp - Concrete rewrite rules ----------------------------------===//
+//
+// The shipped rules of the rewrite engine. Each rule pattern-matches the
+// AST and proposes candidates; none of them is trusted — the driver
+// accepts a candidate only once the solver proves it under the type in
+// force. Several rules are deliberately speculative (candidate sound
+// only under a DTD, or plain unsound): the refuted obligations double as
+// regression tests of the decision procedure and show up in the proof
+// trace.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Rule.h"
+
+#include "rewrite/Cost.h"
+
+#include <functional>
+
+using namespace xsa;
+
+const char *xsa::rewriteCheckName(RewriteCheck C) {
+  switch (C) {
+  case RewriteCheck::Equivalence:
+    return "equivalence";
+  case RewriteCheck::ArmEmptiness:
+    return "emptiness";
+  }
+  return "?";
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Generic AST traversal with rebuild closures
+//===----------------------------------------------------------------------===//
+
+/// Rebuilds the whole expression with one path subterm replaced.
+using Rebuild = std::function<ExprRef(PathRef)>;
+using QualifRebuild = std::function<ExprRef(QualifRef)>;
+
+/// Visitor over path nodes. \p ComposeRoot is true when the node is not
+/// itself an operand of a Compose — i.e. it heads a maximal composition
+/// chain (possibly of length one). Chain-scanning rules act only on
+/// ComposeRoot Compose nodes so each chain is scanned exactly once.
+using PathVisitor =
+    std::function<void(const PathRef &, const Rebuild &, bool ComposeRoot)>;
+
+void walkQualif(const QualifRef &Q, const QualifRebuild &RB,
+                const PathVisitor &Fn);
+
+void walkPath(const PathRef &P, const Rebuild &RB, bool IsComposeChild,
+              const PathVisitor &Fn) {
+  Fn(P, RB, !IsComposeChild);
+  switch (P->K) {
+  case XPathPath::Compose: {
+    walkPath(
+        P->P1,
+        [P, RB](PathRef N) { return RB(XPathPath::compose(N, P->P2)); },
+        /*IsComposeChild=*/true, Fn);
+    walkPath(
+        P->P2,
+        [P, RB](PathRef N) { return RB(XPathPath::compose(P->P1, N)); },
+        /*IsComposeChild=*/true, Fn);
+    return;
+  }
+  case XPathPath::Qualified: {
+    walkPath(
+        P->P1,
+        [P, RB](PathRef N) { return RB(XPathPath::qualified(N, P->Q)); },
+        /*IsComposeChild=*/false, Fn);
+    walkQualif(
+        P->Q,
+        [P, RB](QualifRef NQ) {
+          return RB(XPathPath::qualified(P->P1, NQ));
+        },
+        Fn);
+    return;
+  }
+  case XPathPath::Step:
+    return;
+  case XPathPath::Alt: {
+    walkPath(
+        P->P1, [P, RB](PathRef N) { return RB(XPathPath::alt(N, P->P2)); },
+        /*IsComposeChild=*/false, Fn);
+    walkPath(
+        P->P2, [P, RB](PathRef N) { return RB(XPathPath::alt(P->P1, N)); },
+        /*IsComposeChild=*/false, Fn);
+    return;
+  }
+  case XPathPath::Iterate:
+    walkPath(
+        P->P1, [RB](PathRef N) { return RB(XPathPath::iterate(N)); },
+        /*IsComposeChild=*/false, Fn);
+    return;
+  }
+}
+
+void walkQualif(const QualifRef &Q, const QualifRebuild &RB,
+                const PathVisitor &Fn) {
+  switch (Q->K) {
+  case XPathQualif::And:
+    walkQualif(
+        Q->Q1,
+        [Q, RB](QualifRef N) { return RB(XPathQualif::qand(N, Q->Q2)); }, Fn);
+    walkQualif(
+        Q->Q2,
+        [Q, RB](QualifRef N) { return RB(XPathQualif::qand(Q->Q1, N)); }, Fn);
+    return;
+  case XPathQualif::Or:
+    walkQualif(
+        Q->Q1,
+        [Q, RB](QualifRef N) { return RB(XPathQualif::qor(N, Q->Q2)); }, Fn);
+    walkQualif(
+        Q->Q2,
+        [Q, RB](QualifRef N) { return RB(XPathQualif::qor(Q->Q1, N)); }, Fn);
+    return;
+  case XPathQualif::Not:
+    walkQualif(
+        Q->Q1, [RB](QualifRef N) { return RB(XPathQualif::qnot(N)); }, Fn);
+    return;
+  case XPathQualif::Path:
+    walkPath(
+        Q->P, [RB](PathRef N) { return RB(XPathQualif::path(N)); },
+        /*IsComposeChild=*/false, Fn);
+    return;
+  }
+}
+
+/// Visits every path node of \p E with a closure rebuilding the whole
+/// expression around a replacement.
+void forEachPathSite(const ExprRef &E, const PathVisitor &Fn) {
+  std::function<void(const ExprRef &, const std::function<ExprRef(ExprRef)> &)>
+      WalkExpr = [&](const ExprRef &Ex,
+                     const std::function<ExprRef(ExprRef)> &RB) {
+        switch (Ex->K) {
+        case XPathExpr::Absolute:
+          walkPath(
+              Ex->P,
+              [RB](PathRef N) { return RB(XPathExpr::absolute(N)); },
+              /*IsComposeChild=*/false, Fn);
+          return;
+        case XPathExpr::Relative:
+          walkPath(
+              Ex->P,
+              [RB](PathRef N) { return RB(XPathExpr::relative(N)); },
+              /*IsComposeChild=*/false, Fn);
+          return;
+        case XPathExpr::Union:
+          WalkExpr(Ex->E1, [Ex, RB](ExprRef N) {
+            return RB(XPathExpr::unite(N, Ex->E2));
+          });
+          WalkExpr(Ex->E2, [Ex, RB](ExprRef N) {
+            return RB(XPathExpr::unite(Ex->E1, N));
+          });
+          return;
+        case XPathExpr::Intersect:
+          WalkExpr(Ex->E1, [Ex, RB](ExprRef N) {
+            return RB(XPathExpr::intersect(N, Ex->E2));
+          });
+          WalkExpr(Ex->E2, [Ex, RB](ExprRef N) {
+            return RB(XPathExpr::intersect(Ex->E1, N));
+          });
+          return;
+        }
+      };
+  WalkExpr(E, [](ExprRef N) { return N; });
+}
+
+//===----------------------------------------------------------------------===//
+// Composition chains
+//===----------------------------------------------------------------------===//
+
+void flattenCompose(const PathRef &P, std::vector<PathRef> &Out) {
+  if (P->K == XPathPath::Compose) {
+    flattenCompose(P->P1, Out);
+    flattenCompose(P->P2, Out);
+    return;
+  }
+  Out.push_back(P);
+}
+
+/// Left-nested rebuild, matching the parser's shape.
+PathRef rebuildCompose(const std::vector<PathRef> &Steps) {
+  PathRef P = Steps.front();
+  for (size_t I = 1; I < Steps.size(); ++I)
+    P = XPathPath::compose(P, Steps[I]);
+  return P;
+}
+
+/// Rebuilds the chain with elements [I, I+Removed) replaced by
+/// \p Repl (null = removed outright).
+PathRef spliceChain(const std::vector<PathRef> &Steps, size_t I,
+                    size_t Removed, PathRef Repl) {
+  std::vector<PathRef> Out;
+  Out.reserve(Steps.size());
+  Out.insert(Out.end(), Steps.begin(), Steps.begin() + I);
+  if (Repl)
+    Out.push_back(std::move(Repl));
+  Out.insert(Out.end(), Steps.begin() + I + Removed, Steps.end());
+  if (Out.empty())
+    return nullptr;
+  return rebuildCompose(Out);
+}
+
+bool isStep(const PathRef &P, Axis A) {
+  return P->K == XPathPath::Step && P->A == A;
+}
+bool isStarStep(const PathRef &P, Axis A) { return isStep(P, A) && !P->Test; }
+
+/// A "childish" chain element: a child step, possibly qualified
+/// (child::a, a[x]). Used by the reverse-axis rule, which rewrites the
+/// element onto another axis.
+const XPathPath *childishBase(const PathRef &P) {
+  const XPathPath *Base = P.get();
+  if (Base->K == XPathPath::Qualified)
+    Base = Base->P1.get();
+  if (Base->K == XPathPath::Step && Base->A == Axis::Child)
+    return Base;
+  return nullptr;
+}
+
+/// The element with its base step moved to \p NewA (child::a[x] →
+/// foll-sibling::a[x]).
+PathRef withBaseAxis(const PathRef &P, Axis NewA) {
+  if (P->K == XPathPath::Step)
+    return XPathPath::step(NewA, P->Test);
+  return XPathPath::qualified(XPathPath::step(NewA, P->P1->Test), P->Q);
+}
+
+/// Scans maximal composition chains of length >= 2.
+template <typename F>
+void forEachChain(const ExprRef &E, F &&Fn) {
+  forEachPathSite(E, [&](const PathRef &P, const Rebuild &RB,
+                         bool ComposeRoot) {
+    if (!ComposeRoot || P->K != XPathPath::Compose)
+      return;
+    std::vector<PathRef> Steps;
+    flattenCompose(P, Steps);
+    Fn(Steps, RB);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// fuse-steps: axis normalization and adjacent step fusion
+//===----------------------------------------------------------------------===//
+
+class FuseStepsRule : public RewriteRule {
+public:
+  const char *name() const override { return "fuse-steps"; }
+
+  void candidates(const ExprRef &E,
+                  std::vector<RewriteCandidate> &Out) const override {
+    forEachChain(E, [&](const std::vector<PathRef> &Steps, const Rebuild &RB) {
+      for (size_t I = 0; I + 1 < Steps.size(); ++I) {
+        const PathRef &S1 = Steps[I];
+        const PathRef &S2 = Steps[I + 1];
+        if (S1->K != XPathPath::Step)
+          continue;
+        // a/self::a[q] → a[q]: merge a (possibly qualified) self step
+        // into the preceding step, keeping its qualifier.
+        if (S2->K == XPathPath::Qualified && isStep(S2->P1, Axis::Self)) {
+          std::optional<Symbol> T =
+              S1->Test ? S1->Test : S2->P1->Test;
+          PathRef Merged = XPathPath::qualified(
+              XPathPath::step(S1->A, T), S2->Q);
+          Out.push_back({RB(spliceChain(Steps, I, 2, Merged)),
+                         RewriteCheck::Equivalence, nullptr,
+                         "merge qualified self step into the preceding step"});
+          continue;
+        }
+        // The second element may carry a qualifier (desc-or-self::*/
+        // child::a[q] fuses to descendant::a[q] just as well): match on
+        // its base step and re-wrap the qualifier around the fusion.
+        const XPathPath *B2 = S2.get();
+        if (B2->K == XPathPath::Qualified && B2->P1->K == XPathPath::Step)
+          B2 = B2->P1.get();
+        if (B2->K != XPathPath::Step)
+          continue;
+        PathRef Fused;
+        std::string Note;
+        if (isStarStep(S1, Axis::DescOrSelf) && B2->A == Axis::Child) {
+          Fused = XPathPath::step(Axis::Descendant, B2->Test);
+          Note = "fuse desc-or-self::*/child into descendant";
+        } else if (isStarStep(S1, Axis::DescOrSelf) &&
+                   B2->A == Axis::Descendant) {
+          Fused = XPathPath::step(Axis::Descendant, B2->Test);
+          Note = "fuse desc-or-self::*/descendant into descendant";
+        } else if (isStarStep(S1, Axis::Descendant) &&
+                   B2->A == Axis::DescOrSelf) {
+          Fused = XPathPath::step(Axis::Descendant, B2->Test);
+          Note = "fuse descendant::*/desc-or-self into descendant";
+        } else if (isStarStep(S1, Axis::Child) && B2->A == Axis::DescOrSelf) {
+          Fused = XPathPath::step(Axis::Descendant, B2->Test);
+          Note = "fuse child::*/desc-or-self into descendant";
+        } else if (isStarStep(S1, Axis::DescOrSelf) &&
+                   B2->A == Axis::DescOrSelf) {
+          Fused = XPathPath::step(Axis::DescOrSelf, B2->Test);
+          Note = "fuse repeated desc-or-self";
+        } else if (S2->K == XPathPath::Step && isStep(S2, Axis::Self) &&
+                   S2->Test) {
+          // a/self::a → a; */self::a → a. With two distinct tests the
+          // left side is empty and the candidate is refuted — the rule
+          // speculates, the solver decides.
+          Fused = XPathPath::step(S1->A, S1->Test ? S1->Test : S2->Test);
+          Note = "merge self filter into the preceding step";
+        } else {
+          continue;
+        }
+        if (S2->K == XPathPath::Qualified)
+          Fused = XPathPath::qualified(std::move(Fused), S2->Q);
+        Out.push_back({RB(spliceChain(Steps, I, 2, Fused)),
+                       RewriteCheck::Equivalence, nullptr, Note});
+      }
+    });
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// drop-self: self-step elimination
+//===----------------------------------------------------------------------===//
+
+class DropSelfRule : public RewriteRule {
+public:
+  const char *name() const override { return "drop-self"; }
+
+  void candidates(const ExprRef &E,
+                  std::vector<RewriteCandidate> &Out) const override {
+    forEachChain(E, [&](const std::vector<PathRef> &Steps, const Rebuild &RB) {
+      for (size_t I = 0; I < Steps.size(); ++I) {
+        if (!isStep(Steps[I], Axis::Self))
+          continue;
+        // self::* is a no-op anywhere; self::σ only when the type forces
+        // the label — the solver arbitrates.
+        Out.push_back({RB(spliceChain(Steps, I, 1, nullptr)),
+                       RewriteCheck::Equivalence, nullptr,
+                       std::string("drop ") + toString(Steps[I])});
+      }
+    });
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// collapse-iterate: (p)+ normalization (conditional-XPath iteration)
+//===----------------------------------------------------------------------===//
+
+class CollapseIterateRule : public RewriteRule {
+public:
+  const char *name() const override { return "collapse-iterate"; }
+
+  void candidates(const ExprRef &E,
+                  std::vector<RewriteCandidate> &Out) const override {
+    forEachPathSite(E, [&](const PathRef &P, const Rebuild &RB, bool) {
+      if (P->K != XPathPath::Iterate)
+        return;
+      if (P->P1->K == XPathPath::Iterate) {
+        Out.push_back({RB(P->P1), RewriteCheck::Equivalence, nullptr,
+                       "collapse nested iteration"});
+        return;
+      }
+      if (P->P1->K != XPathPath::Step)
+        return;
+      Axis A = P->P1->A;
+      std::optional<Symbol> T = P->P1->Test;
+      PathRef Repl;
+      switch (A) {
+      case Axis::Child:
+        // (child::*)+ is exactly descendant::*; with a test the
+        // candidate is speculative ((a)+ needs every intermediate
+        // labeled a) and usually refuted.
+        Repl = XPathPath::step(Axis::Descendant, T);
+        break;
+      case Axis::Parent:
+        Repl = XPathPath::step(Axis::Ancestor, T);
+        break;
+      case Axis::Self:
+      case Axis::Descendant:
+      case Axis::DescOrSelf:
+      case Axis::Ancestor:
+      case Axis::AncOrSelf:
+      case Axis::FollSibling:
+      case Axis::PrecSibling:
+      case Axis::Following:
+      case Axis::Preceding:
+        // Transitive (or reflexive) axes absorb their own iteration.
+        Repl = XPathPath::step(A, T);
+        break;
+      }
+      Out.push_back({RB(Repl), RewriteCheck::Equivalence, nullptr,
+                     std::string("collapse (") + toString(P->P1) + ")+"});
+    });
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// prune-qualifier: drop filters the type makes vacuous
+//===----------------------------------------------------------------------===//
+
+class PruneQualifierRule : public RewriteRule {
+public:
+  const char *name() const override { return "prune-qualifier"; }
+
+  void candidates(const ExprRef &E,
+                  std::vector<RewriteCandidate> &Out) const override {
+    forEachPathSite(E, [&](const PathRef &P, const Rebuild &RB, bool) {
+      if (P->K != XPathPath::Qualified)
+        return;
+      Out.push_back({RB(P->P1), RewriteCheck::Equivalence, nullptr,
+                     std::string("drop [") + toString(P->Q) + "]"});
+      // Inside a conjunction, each conjunct is individually droppable.
+      if (P->Q->K == XPathQualif::And) {
+        Out.push_back({RB(XPathPath::qualified(P->P1, P->Q->Q2)),
+                       RewriteCheck::Equivalence, nullptr,
+                       std::string("drop conjunct ") + toString(P->Q->Q1)});
+        Out.push_back({RB(XPathPath::qualified(P->P1, P->Q->Q1)),
+                       RewriteCheck::Equivalence, nullptr,
+                       std::string("drop conjunct ") + toString(P->Q->Q2)});
+      }
+    });
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// dead-branch: union-arm elimination
+//===----------------------------------------------------------------------===//
+
+void unionArms(const ExprRef &E, std::vector<ExprRef> &Arms) {
+  if (E->K == XPathExpr::Union) {
+    unionArms(E->E1, Arms);
+    unionArms(E->E2, Arms);
+    return;
+  }
+  Arms.push_back(E);
+}
+
+ExprRef rebuildUnion(const std::vector<ExprRef> &Arms) {
+  ExprRef E = Arms.front();
+  for (size_t I = 1; I < Arms.size(); ++I)
+    E = XPathExpr::unite(E, Arms[I]);
+  return E;
+}
+
+class DeadBranchRule : public RewriteRule {
+public:
+  const char *name() const override { return "dead-branch"; }
+
+  void candidates(const ExprRef &E,
+                  std::vector<RewriteCandidate> &Out) const override {
+    // Top-level union arms evaluate in the same context as the whole
+    // expression, so arm emptiness directly certifies the drop — and the
+    // emptiness obligation shares cache entries with explicit `empty`
+    // requests for the same arm.
+    if (E->K == XPathExpr::Union) {
+      std::vector<ExprRef> Arms;
+      unionArms(E, Arms);
+      for (size_t I = 0; I < Arms.size(); ++I) {
+        std::vector<ExprRef> Rest;
+        for (size_t J = 0; J < Arms.size(); ++J)
+          if (J != I)
+            Rest.push_back(Arms[J]);
+        // An arm with a twin anywhere in the union is never empty, yet
+        // dropping it is sound: certify by equivalence instead (both
+        // drop candidates print identically, and the driver keeps one
+        // proof obligation per candidate text, so the emptiness form
+        // must not shadow the provable one).
+        bool Duplicate = false;
+        for (size_t J = 0; J < Arms.size() && !Duplicate; ++J)
+          Duplicate = J != I && astEquals(Arms[J], Arms[I]);
+        Out.push_back({rebuildUnion(Rest),
+                       Duplicate ? RewriteCheck::Equivalence
+                                 : RewriteCheck::ArmEmptiness,
+                       Arms[I],
+                       std::string(Duplicate ? "drop duplicate arm "
+                                             : "drop dead arm ") +
+                           toString(Arms[I])});
+      }
+    }
+    // In-path alternatives ((a | b) inside a larger path) evaluate in a
+    // context the arm-emptiness shortcut cannot see, so these drops are
+    // certified by whole-expression equivalence.
+    forEachPathSite(E, [&](const PathRef &P, const Rebuild &RB, bool) {
+      if (P->K != XPathPath::Alt)
+        return;
+      Out.push_back({RB(P->P2), RewriteCheck::Equivalence, nullptr,
+                     std::string("drop alternative ") + toString(P->P1)});
+      Out.push_back({RB(P->P1), RewriteCheck::Equivalence, nullptr,
+                     std::string("drop alternative ") + toString(P->P2)});
+    });
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// reverse-axis: eliminate upward/backward steps via forward filters
+//===----------------------------------------------------------------------===//
+
+class ReverseAxisRule : public RewriteRule {
+public:
+  const char *name() const override { return "reverse-axis"; }
+
+  void candidates(const ExprRef &E,
+                  std::vector<RewriteCandidate> &Out) const override {
+    forEachChain(E, [&](const std::vector<PathRef> &Steps, const Rebuild &RB) {
+      for (size_t I = 0; I + 1 < Steps.size(); ++I) {
+        const PathRef &S1 = Steps[I];
+        const PathRef &S2 = Steps[I + 1];
+        if (S2->K != XPathPath::Step || !isReverseAxis(S2->A))
+          continue;
+        const XPathPath *Base = childishBase(S1);
+        PathRef Repl;
+        std::string Note;
+        if (Base && (S2->A == Axis::Parent || S2->A == Axis::Ancestor)) {
+          // p/σ/parent::τ ≡ p/self::τ[σ]: the parent of a child of x is
+          // x itself. The same candidate is proposed for ancestor::τ —
+          // the classic unsound shortcut (ancestors of a child include
+          // nodes *above* x, which no downward filter can see) — and
+          // the solver refutes it instead of letting the rewriter
+          // miscompile (cf. the reverse-axis-elimination blowup of
+          // [40] the paper cites).
+          Repl = XPathPath::qualified(XPathPath::step(Axis::Self, S2->Test),
+                                      XPathQualif::path(S1));
+          Note = std::string("turn ") + toString(S2) +
+                 " of a child into a self filter";
+        } else if (Base && S2->A == Axis::PrecSibling) {
+          // p/σ/prec-sibling::τ ≡ p/τ[foll-sibling::σ]: both sides are
+          // children of the same node, and the sibling axes are
+          // transitive and symmetric.
+          Repl = XPathPath::qualified(
+              XPathPath::step(Axis::Child, S2->Test),
+              XPathQualif::path(withBaseAxis(S1, Axis::FollSibling)));
+          Note = "flip prec-sibling into a foll-sibling filter";
+        } else if (S1->K == XPathPath::Step && S1->A == Axis::Descendant &&
+                   S2->A == Axis::Parent) {
+          // p/descendant::σ/parent::τ ≡ p/desc-or-self::τ[σ].
+          Repl = XPathPath::qualified(
+              XPathPath::step(Axis::DescOrSelf, S2->Test),
+              XPathQualif::path(XPathPath::step(Axis::Child, S1->Test)));
+          Note = "turn parent of a descendant into a desc-or-self filter";
+        } else {
+          continue;
+        }
+        Out.push_back({RB(spliceChain(Steps, I, 2, Repl)),
+                       RewriteCheck::Equivalence, nullptr, Note});
+      }
+    });
+  }
+};
+
+} // namespace
+
+const std::vector<std::unique_ptr<RewriteRule>> &xsa::rewriteRules() {
+  static const std::vector<std::unique_ptr<RewriteRule>> Rules = [] {
+    std::vector<std::unique_ptr<RewriteRule>> R;
+    R.push_back(std::make_unique<FuseStepsRule>());
+    R.push_back(std::make_unique<DropSelfRule>());
+    R.push_back(std::make_unique<CollapseIterateRule>());
+    R.push_back(std::make_unique<PruneQualifierRule>());
+    R.push_back(std::make_unique<DeadBranchRule>());
+    R.push_back(std::make_unique<ReverseAxisRule>());
+    return R;
+  }();
+  return Rules;
+}

@@ -2,6 +2,8 @@
 
 #include "service/Batch.h"
 
+#include "support/KeyEncoding.h"
+
 #include "logic/CycleFree.h"
 #include "logic/Parser.h"
 #include "tree/Xml.h"
@@ -27,6 +29,8 @@ bool xsa::parseRequestKind(const std::string &Name, RequestKind &Kind) {
     Kind = RequestKind::Equivalence;
   else if (Name == "typecheck")
     Kind = RequestKind::TypeCheck;
+  else if (Name == "optimize")
+    Kind = RequestKind::Optimize;
   else
     return false;
   return true;
@@ -48,6 +52,8 @@ const char *xsa::requestKindName(RequestKind K) {
     return "equiv";
   case RequestKind::TypeCheck:
     return "typecheck";
+  case RequestKind::Optimize:
+    return "optimize";
   }
   return "?";
 }
@@ -56,6 +62,7 @@ namespace {
 
 AnalysisResponse errorResponse(const AnalysisRequest &Req, std::string Msg) {
   AnalysisResponse R;
+  R.Kind = Req.Kind;
   R.Id = Req.Id;
   R.Ok = false;
   R.Error = std::move(Msg);
@@ -108,26 +115,23 @@ void fillFromAnalysis(AnalysisResponse &R, const AnalysisResult &A,
 /// requests are solved once per batch and the rest reported as cache
 /// hits — exactly what a serial run through the semantic cache does.
 std::string requestSignature(const AnalysisRequest &Req) {
-  // \x1f (unit separator) cannot occur in well-formed XPath, Lµ or DTD
-  // names, so the concatenation is injective on meaningful requests.
+  // Fields are length-prefixed, so the signature is injective for
+  // arbitrary field bytes — even malformed requests (whose text the
+  // parser will reject, but which must not collide with a well-formed
+  // request's signature before that happens). Well-formed XPath cannot
+  // contain control characters (the parser rejects them in quoted
+  // names), but the signature does not rely on it.
   std::string S;
   S += static_cast<char>('0' + static_cast<int>(Req.Kind));
-  S += '\x1f';
-  S += Req.Formula;
-  S += '\x1f';
-  S += Req.Query1;
-  S += '\x1f';
-  S += Req.Query2;
-  S += '\x1f';
-  S += Req.Dtd1;
-  S += '\x1f';
-  S += Req.Dtd2;
-  S += '\x1f';
-  S += Req.OutDtd;
-  for (const std::string &O : Req.Others) {
-    S += '\x1f';
-    S += O;
-  }
+  auto Add = [&S](const std::string &F) { appendLengthPrefixed(S, F); };
+  Add(Req.Formula);
+  Add(Req.Query1);
+  Add(Req.Query2);
+  Add(Req.Dtd1);
+  Add(Req.Dtd2);
+  Add(Req.OutDtd);
+  for (const std::string &O : Req.Others)
+    Add(O);
   return S;
 }
 
@@ -136,6 +140,7 @@ std::string requestSignature(const AnalysisRequest &Req) {
 AnalysisResponse xsa::runRequest(AnalysisContext &Ctx,
                                  const AnalysisRequest &Req) {
   AnalysisResponse R;
+  R.Kind = Req.Kind;
   R.Id = Req.Id;
   std::string Error;
 
@@ -156,6 +161,21 @@ AnalysisResponse xsa::runRequest(AnalysisContext &Ctx,
     return R;
   }
 
+  // Optimize requests report the solver-verified rewrite itself.
+  if (Req.Kind == RequestKind::Optimize) {
+    if (Req.Query1.empty())
+      return errorResponse(Req, "missing query e1");
+    const auto OE = Ctx.optimized(Req.Query1, Req.Dtd1);
+    if (!OE->Ok)
+      return errorResponse(Req, OE->Error);
+    R.Ok = true;
+    R.Optimized = OE->Result.text();
+    R.CostBefore = OE->Result.OriginalCost;
+    R.CostAfter = OE->Result.OptimizedCost;
+    R.Trace = OE->Result.Trace;
+    return R;
+  }
+
   ExprRef E1;
   if (!resolveQuery(Ctx, Req.Query1, "e1", E1, Error))
     return errorResponse(Req, Error);
@@ -166,9 +186,24 @@ AnalysisResponse xsa::runRequest(AnalysisContext &Ctx,
   // case.
   const std::string &Dtd2 = Req.Dtd2.empty() ? Req.Dtd1 : Req.Dtd2;
 
+  // Optimize pre-pass: substitute the solver-verified rewrite of each
+  // query. Verdicts cannot change (each accepted rewrite was proved
+  // equivalent under this very DTD); what changes is the compiled
+  // formula, which canonicalizes near-duplicate queries onto shared
+  // cache entries.
+  auto PrePass = [&](ExprRef E, const std::string &Query,
+                     const std::string &Dtd) {
+    if (!Ctx.optimizePrePass())
+      return E;
+    const auto OE = Ctx.optimized(Query, Dtd);
+    return OE->Ok ? OE->Result.Optimized : E;
+  };
+  E1 = PrePass(E1, Req.Query1, Req.Dtd1);
+
   Analyzer &An = Ctx.analyzer();
   switch (Req.Kind) {
   case RequestKind::Sat:
+  case RequestKind::Optimize:
     break; // handled above
   case RequestKind::Emptiness:
     fillFromAnalysis(R, An.emptiness(E1, Chi1), /*HoldsWhenUnsat=*/true);
@@ -182,6 +217,7 @@ AnalysisResponse xsa::runRequest(AnalysisContext &Ctx,
     Formula Chi2;
     if (!resolveContext(Ctx, Dtd2, Chi2, Error))
       return errorResponse(Req, Error);
+    E2 = PrePass(E2, Req.Query2, Dtd2);
     if (Req.Kind == RequestKind::Containment)
       fillFromAnalysis(R, An.containment(E1, Chi1, E2, Chi2),
                        /*HoldsWhenUnsat=*/true);
@@ -202,7 +238,7 @@ AnalysisResponse xsa::runRequest(AnalysisContext &Ctx,
       ExprRef E;
       if (!resolveQuery(Ctx, Req.Others[I], "others", E, Error))
         return errorResponse(Req, Error);
-      Others.push_back(E);
+      Others.push_back(PrePass(E, Req.Others[I], Req.Dtd1));
       OtherChis.push_back(Chi1);
     }
     fillFromAnalysis(R, An.coverage(E1, Chi1, Others, OtherChis),
@@ -326,6 +362,33 @@ JsonRef xsa::responseToJson(const AnalysisResponse &Resp,
     O->set("error", JsonValue::string(Resp.Error));
     return O;
   }
+  if (Resp.Kind == RequestKind::Optimize) {
+    // Optimize responses: the rewritten query, the cost-model estimate,
+    // and the proof trace — one entry per solver-checked candidate.
+    O->set("optimized", JsonValue::string(Resp.Optimized));
+    O->set("cost_before", JsonValue::number(Resp.CostBefore));
+    O->set("cost_after", JsonValue::number(Resp.CostAfter));
+    size_t Accepted = 0;
+    JsonRef Trace = JsonValue::array();
+    for (const RewriteStep &S : Resp.Trace) {
+      Accepted += S.Accepted;
+      JsonRef T = JsonValue::object();
+      T->set("rule", JsonValue::string(S.Rule));
+      T->set("from", JsonValue::string(S.From));
+      T->set("to", JsonValue::string(S.To));
+      T->set("note", JsonValue::string(S.Note));
+      T->set("check", JsonValue::string(S.Check));
+      T->set("verdict", JsonValue::string(S.Accepted ? "proved" : "refuted"));
+      if (IncludeVolatile) {
+        T->set("cache", JsonValue::string(S.FromCache ? "hit" : "miss"));
+        T->set("time_ms", JsonValue::number(S.TimeMs));
+      }
+      Trace->push(T);
+    }
+    O->set("rewrites", JsonValue::number(static_cast<double>(Accepted)));
+    O->set("trace", Trace);
+    return O;
+  }
   O->set("holds", JsonValue::boolean(Resp.Holds));
   O->set("satisfiable", JsonValue::boolean(Resp.Satisfiable));
   if (IncludeVolatile)
@@ -363,6 +426,14 @@ JsonRef xsa::statsToJson(const SessionStats &S) {
          JsonValue::number(static_cast<double>(S.DtdCompilations)));
   O->set("dtd_cache_hits",
          JsonValue::number(static_cast<double>(S.DtdCacheHits)));
+  O->set("queries_optimized",
+         JsonValue::number(static_cast<double>(S.QueriesOptimized)));
+  O->set("optimize_cache_hits",
+         JsonValue::number(static_cast<double>(S.OptimizeCacheHits)));
+  O->set("rewrite_checks",
+         JsonValue::number(static_cast<double>(S.RewriteChecks)));
+  O->set("rewrites_accepted",
+         JsonValue::number(static_cast<double>(S.RewritesAccepted)));
   return O;
 }
 
@@ -423,24 +494,36 @@ size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
       SegItems.push_back(std::move(It));
     } else if (Obj->str("op") == "config") {
       // Control line: answer in order, apply to everything after it.
+      // Accepts 'jobs' (worker count) and/or 'optimize' (pre-pass
+      // switch); at least one must be present.
       Flush();
       AnalysisResponse Resp;
       Resp.Id = Obj->str("id");
       JsonRef Jobs = Obj->get("jobs");
-      if (Jobs->type() != JsonValue::Type::Number ||
-          Jobs->asNumber() < 0 ||
-          Jobs->asNumber() !=
-              static_cast<double>(static_cast<size_t>(Jobs->asNumber()))) {
+      JsonRef Optimize = Obj->get("optimize");
+      bool BadJobs = !Jobs->isNull() &&
+                     (Jobs->type() != JsonValue::Type::Number ||
+                      Jobs->asNumber() < 0 ||
+                      Jobs->asNumber() != static_cast<double>(static_cast<size_t>(
+                                              Jobs->asNumber())));
+      bool BadOptimize =
+          !Optimize->isNull() && Optimize->type() != JsonValue::Type::Bool;
+      if (BadJobs || BadOptimize || (Jobs->isNull() && Optimize->isNull())) {
         Resp.Ok = false;
-        Resp.Error = "config needs 'jobs': a non-negative integer";
+        Resp.Error = "config needs 'jobs' (a non-negative integer) and/or "
+                     "'optimize' (a boolean)";
         Emit(Resp);
       } else {
-        Session.setJobs(static_cast<size_t>(Jobs->asNumber()));
+        if (!Jobs->isNull())
+          Session.setJobs(static_cast<size_t>(Jobs->asNumber()));
+        if (!Optimize->isNull())
+          Session.setOptimize(Optimize->asBool());
         JsonRef O = JsonValue::object();
         if (!Resp.Id.empty())
           O->set("id", JsonValue::string(Resp.Id));
         O->set("ok", JsonValue::boolean(true));
         O->set("jobs", JsonValue::number(static_cast<double>(Session.jobs())));
+        O->set("optimize", JsonValue::boolean(Session.optimizeEnabled()));
         ++Answered;
         Out << O->dump() << "\n";
       }

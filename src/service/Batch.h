@@ -68,19 +68,21 @@ std::vector<AnalysisResponse> runBatch(AnalysisSession &Session,
 
 /// Decodes a JSON request object:
 ///   {"op":"contains","id":"q1","e1":"/a//b","e2":"//b","dtd":"xhtml"}
-/// Fields: op (sat|empty|contains|overlap|cover|equiv|typecheck),
-/// id, f (Lµ formula, sat), e1/e2 (XPath), others (array of XPath,
-/// cover), dtd/dtd1, dtd2, out (typecheck). Returns false and sets
-/// \p Error on an unusable request.
+/// Fields: op (sat|empty|contains|overlap|cover|equiv|typecheck|
+/// optimize), id, f (Lµ formula, sat), e1/e2 (XPath), others (array of
+/// XPath, cover), dtd/dtd1, dtd2, out (typecheck). Returns false and
+/// sets \p Error on an unusable request.
 bool requestFromJson(const JsonValue &Obj, AnalysisRequest &Req,
                      std::string &Error);
 
 /// Encodes a response as a JSON object (id, ok, error, holds,
-/// satisfiable, cache, lean, iterations, time_ms, model). With
-/// \p IncludeVolatile false the execution-dependent fields (cache,
-/// time_ms) are omitted — the remaining payload is deterministic, which
-/// is what `xsolve batch --stable` uses to make output byte-comparable
-/// across job counts and runs.
+/// satisfiable, cache, lean, iterations, time_ms, model; optimize
+/// responses instead carry optimized, cost_before, cost_after, rewrites
+/// and the proof trace). With \p IncludeVolatile false the
+/// execution-dependent fields (cache, time_ms — in trace entries too)
+/// are omitted — the remaining payload is deterministic, which is what
+/// `xsolve batch --stable` uses to make output byte-comparable across
+/// job counts and runs.
 JsonRef responseToJson(const AnalysisResponse &Resp,
                        bool IncludeVolatile = true);
 

@@ -2,6 +2,8 @@
 
 #include "service/Context.h"
 
+#include "support/KeyEncoding.h"
+
 #include "xpath/Compile.h"
 #include "xpath/Parser.h"
 #include "xtype/BuiltinDtds.h"
@@ -130,6 +132,45 @@ Formula AnalysisContext::typeFormula(const std::string &Name,
   const DtdEntry &Entry = loadDtd(Name);
   Error = Entry.Error;
   return Entry.Type;
+}
+
+std::shared_ptr<const AnalysisContext::OptimizeEntry>
+AnalysisContext::optimized(const std::string &XPath, const std::string &Dtd) {
+  // Length-prefixed so the key stays injective even for query text the
+  // parser will reject (error entries are memoized too).
+  std::string Key = lengthPrefixedKey(XPath, Dtd);
+  auto It = OptimizeMemo.find(Key);
+  if (It != OptimizeMemo.end()) {
+    if (Stats)
+      Stats->OptimizeCacheHits.fetch_add(1, std::memory_order_relaxed);
+    return It->second;
+  }
+  // Epoch flush: entries are heavyweight (a full proof trace each), so
+  // unlike the parser/DTD memos this one is bounded. Dropping the whole
+  // map is safe — entries are shared_ptr-owned, so a held one outlives
+  // the flush — and on a near-duplicate stream (the pre-pass's reason
+  // to exist) re-deriving a flushed rewrite is answered from the
+  // session's result cache anyway.
+  if (OptimizeMemo.size() >= MaxOptimizeMemo)
+    OptimizeMemo.clear();
+  auto Entry = std::make_shared<OptimizeEntry>();
+  ExprRef E = query(XPath, Entry->Error);
+  if (E) {
+    Formula Chi = typeContext(Dtd, Entry->Error);
+    if (Chi) {
+      Rewriter RW(*An);
+      Entry->Result = RW.optimize(E, Chi);
+      Entry->Ok = true;
+      if (Stats) {
+        Stats->QueriesOptimized.fetch_add(1, std::memory_order_relaxed);
+        Stats->RewriteChecks.fetch_add(Entry->Result.CheckedCandidates,
+                                       std::memory_order_relaxed);
+        Stats->RewritesAccepted.fetch_add(Entry->Result.AcceptedSteps,
+                                          std::memory_order_relaxed);
+      }
+    }
+  }
+  return OptimizeMemo.emplace(std::move(Key), std::move(Entry)).first->second;
 }
 
 Formula AnalysisContext::typeContext(const std::string &Name,

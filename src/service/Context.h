@@ -38,6 +38,7 @@
 #define XSA_SERVICE_CONTEXT_H
 
 #include "analysis/Problems.h"
+#include "rewrite/Rewriter.h"
 #include "service/Cache.h"
 #include "xtype/Dtd.h"
 
@@ -66,6 +67,13 @@ struct AtomicSessionStats {
   std::atomic<size_t> QueryCacheHits{0};
   std::atomic<size_t> DtdCompilations{0};
   std::atomic<size_t> DtdCacheHits{0};
+  /// Rewrite-engine work (optimize requests and the optimize pre-pass).
+  /// Optimizations are memoized per context on (query, dtd) text, like
+  /// the parser memo above.
+  std::atomic<size_t> QueriesOptimized{0};
+  std::atomic<size_t> OptimizeCacheHits{0};
+  std::atomic<size_t> RewriteChecks{0};
+  std::atomic<size_t> RewritesAccepted{0};
 };
 
 /// A single-threaded solver context: factory, parser/DTD memos, Analyzer
@@ -105,6 +113,28 @@ public:
   /// typeFormula conjoined with the root restriction of §5.2 — the form
   /// used as the context χ of a query constrained by a schema. "" → ⊤.
   Formula typeContext(const std::string &Name, std::string &Error);
+
+  /// A memoized solver-verified optimization of \p XPath under \p Dtd
+  /// (rewrite/Rewriter.h). Error is set (and Result empty) when the
+  /// query does not parse or the DTD does not load; failures are
+  /// memoized like everything else here. Every proof obligation runs
+  /// through this context's Analyzer, so it hits the shared session
+  /// cache. Returned as a shared_ptr (not a reference into the memo)
+  /// because the memo is flushed wholesale when full — a caller may
+  /// safely hold the entry across later optimized() calls.
+  struct OptimizeEntry {
+    RewriteResult Result;
+    std::string Error;
+    bool Ok = false;
+  };
+  std::shared_ptr<const OptimizeEntry> optimized(const std::string &XPath,
+                                                 const std::string &Dtd);
+
+  /// When true, runRequest rewrites every query through optimized()
+  /// before analysis, so near-duplicate queries canonicalize to more
+  /// cache-sharable forms (SessionOptions::Optimize).
+  bool optimizePrePass() const { return PrePass; }
+  void setOptimizePrePass(bool On) { PrePass = On; }
 
 private:
   /// Bridges the solver's pointer-keyed ResultCache interface to the
@@ -155,6 +185,14 @@ private:
     std::string Error;
   };
   std::unordered_map<std::string, DtdEntry> DtdMemo;
+  /// Bounded, unlike the memos above: a RewriteResult carries the full
+  /// proof trace, so a long-running mostly-distinct --optimize stream
+  /// must not accumulate entries forever. Flushed wholesale when full
+  /// (see optimized()).
+  static constexpr size_t MaxOptimizeMemo = 4096;
+  std::unordered_map<std::string, std::shared_ptr<const OptimizeEntry>>
+      OptimizeMemo;
+  bool PrePass = false;
 
   DtdEntry &loadDtd(const std::string &Name);
 };

@@ -105,12 +105,25 @@ std::string xsa::jsonQuote(const std::string &S) {
     case '\t':
       Out += "\\t";
       break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
     default:
       if (static_cast<unsigned char>(C) < 0x20) {
+        // Remaining control characters get the \u form. Format from the
+        // unsigned value: char may be signed, and a sign-extended int
+        // would print as 8 hex digits.
         char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
         Out += Buf;
       } else {
+        // Bytes >= 0x20 — including DEL and non-ASCII (UTF-8) bytes —
+        // are legal in JSON strings and pass through verbatim, so
+        // multi-byte sequences round-trip untouched.
         Out += C;
       }
     }

@@ -19,6 +19,7 @@
 #ifndef XSA_SERVICE_REQUEST_H
 #define XSA_SERVICE_REQUEST_H
 
+#include "rewrite/Rewriter.h"
 #include "solver/BddSolver.h"
 
 #include <string>
@@ -34,6 +35,7 @@ enum class RequestKind {
   Coverage,    ///< `Query1` ⊆ ∪ `Others` (each under `Dtd1`)
   Equivalence, ///< containment both ways
   TypeCheck,   ///< `Query1` under `Dtd1` selects only roots of `OutDtd`
+  Optimize,    ///< solver-verified rewrite of `Query1` under `Dtd1`
 };
 
 /// Parses "sat", "empty", "contains", ... Returns false on an unknown
@@ -54,6 +56,9 @@ struct AnalysisRequest {
 };
 
 struct AnalysisResponse {
+  /// Kind of the request this answers — serialization dispatches on it
+  /// (optimize responses have a different JSON shape).
+  RequestKind Kind = RequestKind::Sat;
   std::string Id;
   bool Ok = false;          ///< false: malformed request / parse error
   std::string Error;
@@ -62,6 +67,13 @@ struct AnalysisResponse {
   bool FromCache = false;
   std::string ModelXml;     ///< witness/counterexample, "" when none
   SolverStats Stats;        ///< stats of the (possibly cached) solver run
+  /// Optimize requests only: the rewritten query in concrete syntax
+  /// (identical to the input when nothing was provably improvable), the
+  /// cost-model estimates, and the per-rule proof trace.
+  std::string Optimized;
+  double CostBefore = 0;
+  double CostAfter = 0;
+  std::vector<RewriteStep> Trace;
 };
 
 } // namespace xsa

@@ -31,11 +31,19 @@ AnalysisSession::AnalysisSession(SessionOptions SOpts)
     : Opts(SOpts), Cache(SOpts.CacheCapacity, SOpts.CacheShards),
       Main(SOpts.Solver, &Cache, &Counters) {
   Opts.Jobs = resolveJobs(Opts.Jobs);
+  Main.setOptimizePrePass(Opts.Optimize);
 }
 
 AnalysisSession::AnalysisSession(SolverOptions Opts, size_t CacheCapacity)
     : AnalysisSession(SessionOptions{Opts, CacheCapacity,
                                      /*CacheShards=*/8, /*Jobs=*/1}) {}
+
+void AnalysisSession::setOptimize(bool On) {
+  Opts.Optimize = On;
+  Main.setOptimizePrePass(On);
+  for (auto &W : Workers)
+    W->setOptimizePrePass(On);
+}
 
 AnalysisResult AnalysisSession::emptiness(const ExprRef &E, Formula Chi) {
   return analyzer().emptiness(E, Chi);
@@ -99,9 +107,11 @@ void AnalysisSession::setJobs(size_t Jobs) {
 WorkerPool &AnalysisSession::pool() {
   if (!Pool)
     Pool = std::make_unique<WorkerPool>(Opts.Jobs);
-  while (Workers.size() < Opts.Jobs)
+  while (Workers.size() < Opts.Jobs) {
     Workers.push_back(
         std::make_unique<AnalysisContext>(Opts.Solver, &Cache, &Counters));
+    Workers.back()->setOptimizePrePass(Opts.Optimize);
+  }
   return *Pool;
 }
 
@@ -214,5 +224,12 @@ SessionStats AnalysisSession::stats() const {
   S.QueryCacheHits = Counters.QueryCacheHits.load(std::memory_order_relaxed);
   S.DtdCompilations = Counters.DtdCompilations.load(std::memory_order_relaxed);
   S.DtdCacheHits = Counters.DtdCacheHits.load(std::memory_order_relaxed);
+  S.QueriesOptimized =
+      Counters.QueriesOptimized.load(std::memory_order_relaxed);
+  S.OptimizeCacheHits =
+      Counters.OptimizeCacheHits.load(std::memory_order_relaxed);
+  S.RewriteChecks = Counters.RewriteChecks.load(std::memory_order_relaxed);
+  S.RewritesAccepted =
+      Counters.RewritesAccepted.load(std::memory_order_relaxed);
   return S;
 }

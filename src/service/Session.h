@@ -61,6 +61,11 @@ struct SessionStats {
   size_t QueryCacheHits = 0;
   size_t DtdCompilations = 0;
   size_t DtdCacheHits = 0;
+  /// Rewrite-engine work (optimize requests and the optimize pre-pass).
+  size_t QueriesOptimized = 0;
+  size_t OptimizeCacheHits = 0;
+  size_t RewriteChecks = 0;
+  size_t RewritesAccepted = 0;
 };
 
 /// Knobs of an AnalysisSession. Solver options are the per-context
@@ -75,6 +80,13 @@ struct SessionOptions {
   /// Worker threads used by runBatch. 1 = serial dispatch on the main
   /// context; 0 = hardware concurrency.
   size_t Jobs = 1;
+  /// Solver-verified optimize pre-pass (src/rewrite/): every query of a
+  /// decision-problem request is rewritten — each accepted rewrite
+  /// proved equivalent under the request's DTD — before analysis, so
+  /// near-duplicate queries canonicalize to more cache-sharable forms.
+  /// Verdicts are unchanged by construction; per-response lean and
+  /// iteration stats describe the optimized query's (smaller) formula.
+  bool Optimize = false;
 };
 
 class AnalysisSession {
@@ -139,6 +151,11 @@ public:
   /// are kept warm, the pool is resized lazily. Not thread-safe against
   /// a running batch.
   void setJobs(size_t Jobs);
+
+  /// The optimize pre-pass switch (SessionOptions::Optimize), applied
+  /// to every context. Not thread-safe against a running batch.
+  bool optimizeEnabled() const { return Opts.Optimize; }
+  void setOptimize(bool On);
 
   /// The dispatcher's pool, sized to jobs() threads, with one warm
   /// AnalysisContext per worker. Lazily constructed on first use so

@@ -3,6 +3,7 @@
 #include "xpath/Ast.h"
 
 #include <cassert>
+#include <cctype>
 #include <sstream>
 
 using namespace xsa;
@@ -162,6 +163,90 @@ ExprRef XPathExpr::intersect(ExprRef A, ExprRef B) {
   return E;
 }
 
+bool xsa::isXPathNameStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+bool xsa::isXPathNameChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+         C == '-' || C == '.';
+}
+
+std::string xsa::printNodeTest(Symbol Test) {
+  const std::string &Name = symbolName(Test);
+  bool Plain = !Name.empty() && isXPathNameStart(Name[0]);
+  for (size_t I = 1; Plain && I < Name.size(); ++I)
+    Plain = isXPathNameChar(Name[I]);
+  if (Plain)
+    return Name;
+  // Quote with whichever delimiter the name does not contain; when it
+  // contains both, use '"' and double every occurrence.
+  char Quote = Name.find('"') == std::string::npos ? '"' : '\'';
+  bool MustDouble = Quote == '\'' && Name.find('\'') != std::string::npos;
+  if (MustDouble)
+    Quote = '"';
+  std::string Out(1, Quote);
+  for (char C : Name) {
+    Out += C;
+    if (C == Quote)
+      Out += C;
+  }
+  Out += Quote;
+  return Out;
+}
+
+bool xsa::astEquals(const QualifRef &A, const QualifRef &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->K != B->K)
+    return false;
+  switch (A->K) {
+  case XPathQualif::And:
+  case XPathQualif::Or:
+    return astEquals(A->Q1, B->Q1) && astEquals(A->Q2, B->Q2);
+  case XPathQualif::Not:
+    return astEquals(A->Q1, B->Q1);
+  case XPathQualif::Path:
+    return astEquals(A->P, B->P);
+  }
+  return false;
+}
+
+bool xsa::astEquals(const PathRef &A, const PathRef &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->K != B->K)
+    return false;
+  switch (A->K) {
+  case XPathPath::Compose:
+  case XPathPath::Alt:
+    return astEquals(A->P1, B->P1) && astEquals(A->P2, B->P2);
+  case XPathPath::Qualified:
+    return astEquals(A->P1, B->P1) && astEquals(A->Q, B->Q);
+  case XPathPath::Step:
+    return A->A == B->A && A->Test == B->Test;
+  case XPathPath::Iterate:
+    return astEquals(A->P1, B->P1);
+  }
+  return false;
+}
+
+bool xsa::astEquals(const ExprRef &A, const ExprRef &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->K != B->K)
+    return false;
+  switch (A->K) {
+  case XPathExpr::Absolute:
+  case XPathExpr::Relative:
+    return astEquals(A->P, B->P);
+  case XPathExpr::Union:
+  case XPathExpr::Intersect:
+    return astEquals(A->E1, B->E1) && astEquals(A->E2, B->E2);
+  }
+  return false;
+}
+
 namespace {
 
 void printPath(const PathRef &P, std::ostringstream &OS) {
@@ -171,14 +256,24 @@ void printPath(const PathRef &P, std::ostringstream &OS) {
     OS << "/";
     printPath(P->P2, OS);
     return;
-  case XPathPath::Qualified:
+  case XPathPath::Qualified: {
+    // A composed base must keep its grouping parens: (a/b)[c] printed
+    // bare would re-parse as a/(b[c]). Alt and Iterate bases print
+    // their own parens; Step and chained-Qualified bases bind tighter
+    // than the qualifier already.
+    bool Group = P->P1->K == XPathPath::Compose;
+    if (Group)
+      OS << "(";
     printPath(P->P1, OS);
+    if (Group)
+      OS << ")";
     OS << "[" << toString(P->Q) << "]";
     return;
+  }
   case XPathPath::Step:
     OS << axisName(P->A) << "::";
     if (P->Test)
-      OS << symbolName(*P->Test);
+      OS << printNodeTest(*P->Test);
     else
       OS << "*";
     return;

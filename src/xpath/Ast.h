@@ -107,10 +107,38 @@ struct XPathExpr {
 };
 
 /// Pretty-prints the expression in the concrete syntax accepted by
-/// parseXPath (round-trips).
+/// parseXPath. Round-trip guarantee: parseXPath(toString(E)) yields an
+/// AST astEquals-equal to E for every E in *parser shape* — the
+/// sublanguage parseXPath produces (left-nested unions, compositions
+/// and chained qualifiers; in-path alternatives and iterations always
+/// parenthesized). Node tests whose names are not plain XPath names
+/// (spaces, quotes, a leading digit, ':', …) are emitted as quoted
+/// literals, which the parser accepts in node-test position (see
+/// printNodeTest), so the guarantee covers arbitrary interned symbols.
 std::string toString(const ExprRef &E);
 std::string toString(const PathRef &P);
 std::string toString(const QualifRef &Q);
+
+/// The name lexing of the concrete syntax, shared by the parser and
+/// printNodeTest: the printer's bare-vs-quoted decision must match
+/// exactly what parseXPath will lex, or the toString/parseXPath
+/// round-trip (and with it the rewrite engine's parse-back guard)
+/// breaks silently.
+bool isXPathNameStart(char C);
+bool isXPathNameChar(char C);
+
+/// Prints \p Test as a node test: the bare name when it lexes as a plain
+/// XPath name, otherwise a quoted literal ('…' or "…", preferring the
+/// quote kind not contained in the name; a delimiter occurring in the
+/// name is doubled, XPath-2.0 style).
+std::string printNodeTest(Symbol Test);
+
+/// Structural AST equality (same shape, axes, and interned tests).
+/// Shared subtrees compare equal by pointer first, so this is cheap on
+/// the rewriter's mostly-shared candidate ASTs.
+bool astEquals(const ExprRef &A, const ExprRef &B);
+bool astEquals(const PathRef &A, const PathRef &B);
+bool astEquals(const QualifRef &A, const QualifRef &B);
 
 } // namespace xsa
 

@@ -78,12 +78,45 @@ private:
     return false;
   }
 
-  static bool isNameStart(char C) {
-    return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+  // One definition with the printer (Ast.h): bare-name lexing and
+  // printNodeTest's bare-vs-quoted decision must never diverge.
+  static bool isNameStart(char C) { return isXPathNameStart(C); }
+  static bool isNameChar(char C) { return isXPathNameChar(C); }
+
+  /// Parses a quoted node-test literal ('…' or "…"); the position is on
+  /// the opening delimiter. A doubled delimiter inside the literal
+  /// stands for one literal quote (XPath-2.0 style), so names containing
+  /// either — or both — quote kinds round-trip through printNodeTest.
+  bool parseQuotedName(std::string &Out) {
+    char Quote = In[Pos++];
+    Out.clear();
+    while (Pos < In.size()) {
+      char C = In[Pos++];
+      if (C == Quote) {
+        if (Pos < In.size() && In[Pos] == Quote) {
+          Out += Quote;
+          ++Pos;
+          continue;
+        }
+        return true;
+      }
+      // Control characters have no business in element names, and
+      // keeping them out of well-formed XPath is what lets service-side
+      // keys treat query text as delimiter-free (Batch.cpp's
+      // requestSignature note).
+      if (static_cast<unsigned char>(C) < 0x20) {
+        fail("control character in quoted name");
+        return false;
+      }
+      Out += C;
+    }
+    fail("unterminated quoted name");
+    return false;
   }
-  static bool isNameChar(char C) {
-    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
-           C == '-' || C == '.';
+
+  bool peekQuote() {
+    skipWs();
+    return Pos < In.size() && (In[Pos] == '"' || In[Pos] == '\'');
   }
 
   std::string peekName() {
@@ -142,10 +175,13 @@ private:
   ExprRef parsePathExpr() {
     skipWs();
     if (eatDoubleSlash()) {
-      PathRef P = parseRelPath();
+      // Seed the chain with the desc-or-self step so the whole path
+      // stays left-nested — the shape re-parsing the printed expression
+      // produces (the printer round-trip guarantee rests on this).
+      PathRef P = parseRelPath(descOrSelfStar());
       if (!P)
         return nullptr;
-      return XPathExpr::absolute(XPathPath::compose(descOrSelfStar(), P));
+      return XPathExpr::absolute(P);
     }
     if (eat('/')) {
       PathRef P = parseRelPath();
@@ -160,10 +196,13 @@ private:
   }
 
   // relpath := qualstep (('/'|'//') qualstep)*
-  PathRef parseRelPath() {
+  // With \p Seed, the chain starts composed onto it (left-nested).
+  PathRef parseRelPath(PathRef Seed = nullptr) {
     PathRef L = parseQualStep();
     if (!L)
       return nullptr;
+    if (Seed)
+      L = XPathPath::compose(std::move(Seed), L);
     for (;;) {
       skipWs();
       if (eatDoubleSlash()) {
@@ -246,6 +285,13 @@ private:
     }
     if (eat('*'))
       return XPathPath::step(Axis::Child, std::nullopt);
+    if (peekQuote()) {
+      // Quoted node test in abbreviated (child-axis) position.
+      std::string Test;
+      if (!parseQuotedName(Test))
+        return nullptr;
+      return XPathPath::step(Axis::Child, internSymbol(Test));
+    }
     std::string Name = peekName();
     if (Name.empty()) {
       fail("expected a step");
@@ -262,6 +308,12 @@ private:
       skipWs();
       if (eat('*'))
         return XPathPath::step(A, std::nullopt);
+      if (peekQuote()) {
+        std::string Quoted;
+        if (!parseQuotedName(Quoted))
+          return nullptr;
+        return XPathPath::step(A, internSymbol(Quoted));
+      }
       std::string Test = parseName();
       if (Test.empty()) {
         fail("expected node test after axis");
@@ -341,12 +393,8 @@ private:
   /// qualifier grammar, Fig. 4).
   PathRef parseRelPathInQualif() {
     skipWs();
-    if (eatDoubleSlash()) {
-      PathRef P = parseRelPath();
-      if (!P)
-        return nullptr;
-      return XPathPath::compose(descOrSelfStar(), P);
-    }
+    if (eatDoubleSlash())
+      return parseRelPath(descOrSelfStar()); // left-nested, see above
     return parseRelPath();
   }
 

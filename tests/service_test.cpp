@@ -316,6 +316,52 @@ TEST(Json, ParseAndDumpRoundTrip) {
   EXPECT_EQ(Again->dump(), V->dump());
 }
 
+TEST(Json, EscapeRoundTripsEverySingleByte) {
+  // jsonQuote must emit a valid JSON string literal for any byte
+  // content — control characters escaped, DEL and non-ASCII (UTF-8)
+  // bytes passed through — and the parser must read it back verbatim.
+  for (unsigned B = 0; B < 256; ++B) {
+    std::string S(1, static_cast<char>(B));
+    std::string Quoted = jsonQuote(S);
+    std::string Err;
+    JsonRef V = parseJson(Quoted, Err);
+    ASSERT_NE(V, nullptr) << "byte " << B << ": " << Err;
+    EXPECT_EQ(V->asString(), S) << "byte " << B;
+  }
+}
+
+TEST(Json, EscapeControlAndMultiByte) {
+  // Short escapes for the named controls, \u for the rest.
+  EXPECT_EQ(jsonQuote("a\"b\\c"), R"("a\"b\\c")");
+  EXPECT_EQ(jsonQuote("\n\r\t\b\f"), R"("\n\r\t\b\f")");
+  EXPECT_EQ(jsonQuote(std::string(1, '\x01')), "\"\\u0001\"");
+  EXPECT_EQ(jsonQuote(std::string(1, '\x1f')), "\"\\u001f\"");
+  // DEL is legal unescaped.
+  EXPECT_EQ(jsonQuote("\x7f"), "\"\x7f\"");
+  // Multi-byte UTF-8 passes through and round-trips as a unit (this is
+  // what model XML with non-ASCII element names relies on).
+  std::string Utf8 = "caf\xc3\xa9 \xe2\x88\x80x";
+  std::string Err;
+  JsonRef V = parseJson(jsonQuote(Utf8), Err);
+  ASSERT_NE(V, nullptr) << Err;
+  EXPECT_EQ(V->asString(), Utf8);
+  // Mixed content with embedded NUL survives too.
+  std::string Mixed = std::string("a\0b", 3) + "\x1e" + "\xff";
+  JsonRef M = parseJson(jsonQuote(Mixed), Err);
+  ASSERT_NE(M, nullptr) << Err;
+  EXPECT_EQ(M->asString(), Mixed);
+}
+
+TEST(Json, ParsesStandardEscapesAndUnicode) {
+  std::string Err;
+  JsonRef V = parseJson(R"("Aé∀\/\b\f")", Err);
+  ASSERT_NE(V, nullptr) << Err;
+  EXPECT_EQ(V->asString(), "A\xc3\xa9\xe2\x88\x80/\b\f");
+  EXPECT_EQ(parseJson(R"("\u12")", Err), nullptr);
+  EXPECT_EQ(parseJson(R"("\u12zz")", Err), nullptr);
+  EXPECT_EQ(parseJson(R"("\q")", Err), nullptr);
+}
+
 TEST(Json, Errors) {
   std::string Err;
   EXPECT_EQ(parseJson("{\"a\":}", Err), nullptr);

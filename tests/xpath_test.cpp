@@ -37,6 +37,8 @@ Document doc(const std::string &Xml) {
   return D;
 }
 
+Document semanticsDoc(); // defined with the semantics tests below
+
 TEST(XPathParser, Basics) {
   EXPECT_EQ(toString(xp("child::book/child::chapter")),
             "child::book/child::chapter");
@@ -104,6 +106,146 @@ TEST(XPathParser, Errors) {
   EXPECT_EQ(parseXPath("a/", Err), nullptr);
   EXPECT_EQ(parseXPath("a | ", Err), nullptr);
   EXPECT_EQ(parseXPath("a)b", Err), nullptr);
+  EXPECT_EQ(parseXPath("'unterminated", Err), nullptr);
+  EXPECT_EQ(parseXPath("child::\"ab", Err), nullptr);
+  // Control characters are rejected inside quoted names: well-formed
+  // XPath stays control-free, which service-side request keys rely on.
+  EXPECT_EQ(parseXPath(std::string("'a\x1f") + "b'", Err), nullptr);
+  EXPECT_EQ(parseXPath("\"a\nb\"", Err), nullptr);
+}
+
+TEST(XPathParser, ParenthesizedGroupWithQualifier) {
+  // (a/b)[c] qualifies the whole composition — a different AST from
+  // a/b[c], and the printer must keep the grouping parens.
+  ExprRef Grouped = xp("(a/b)[c]");
+  ASSERT_NE(Grouped, nullptr);
+  EXPECT_EQ(toString(Grouped), "(child::a/child::b)[child::c]");
+  EXPECT_TRUE(astEquals(xp(toString(Grouped)), Grouped));
+  EXPECT_FALSE(astEquals(Grouped, xp("a/b[c]")));
+  // Both select the same nodes; only the AST shape differs.
+  Document D = semanticsDoc();
+  EXPECT_EQ(evalXPath(D, xp("(a/c)[b]"), 0), evalXPath(D, xp("a/c[b]"), 0));
+}
+
+TEST(XPathParser, QuotedNodeTests) {
+  // Quoted node tests admit names that do not lex as plain XPath names,
+  // including names containing the *other* quote kind; a doubled
+  // delimiter stands for one literal quote (XPath-2.0 style).
+  EXPECT_EQ(toString(xp("'it''s'")), "child::\"it's\"");
+  EXPECT_EQ(toString(xp("\"say \"\"hi\"\"\"")), "child::'say \"hi\"'");
+  EXPECT_EQ(toString(xp("child::'a b'/descendant::\"2nd\"")),
+            "child::\"a b\"/descendant::\"2nd\"");
+  // Both quote kinds in one name force the doubled-delimiter form.
+  ExprRef Both = xp("\"a'\"\"b\"");
+  ASSERT_NE(Both, nullptr);
+  EXPECT_EQ(toString(Both), "child::\"a'\"\"b\"");
+  EXPECT_TRUE(astEquals(xp(toString(Both)), Both));
+  // A plain name in quotes is the same symbol as the bare spelling.
+  EXPECT_TRUE(astEquals(xp("'a'"), xp("a")));
+}
+
+TEST(XPathParser, AbbreviatedDescendantAtStart) {
+  // `//x` at expression start expands to /desc-or-self::*/child::x; the
+  // rewriter leans on this shape when fusing steps.
+  EXPECT_TRUE(astEquals(xp("//a"), xp("/desc-or-self::*/child::a")));
+  EXPECT_TRUE(astEquals(xp("//*"), xp("/desc-or-self::*/child::*")));
+  EXPECT_TRUE(astEquals(xp("//a//b"),
+                        xp("/desc-or-self::*/a/desc-or-self::*/b")));
+  EXPECT_TRUE(astEquals(xp("//a[b]"), xp("/desc-or-self::*/child::a[b]")));
+  // Relative use keeps the leading step: a//b has no absolute prefix.
+  EXPECT_TRUE(astEquals(xp("a//b"), xp("child::a/desc-or-self::*/child::b")));
+}
+
+TEST(XPathParser, ChainedPredicates) {
+  // a[p][q] nests qualifiers outward: (a[p])[q], not a[p and q] — the
+  // ASTs differ even though the two are semantically equivalent.
+  ExprRef Chained = xp("a[b][c]");
+  ASSERT_NE(Chained, nullptr);
+  EXPECT_EQ(toString(Chained), "child::a[child::b][child::c]");
+  EXPECT_TRUE(astEquals(xp(toString(Chained)), Chained));
+  EXPECT_FALSE(astEquals(Chained, xp("a[b and c]")));
+  EXPECT_TRUE(astEquals(xp("a[b][c][d]"), xp("((a[b])[c])[d]")));
+  // Semantics agree with the conjunction form.
+  Document D = semanticsDoc();
+  EXPECT_EQ(evalXPath(D, xp("*[b][c]"), 0), evalXPath(D, xp("*[b and c]"), 0));
+}
+
+TEST(XPathParser, UnionAssociativity) {
+  // `|` parses left-nested: a | b | c is union(union(a, b), c), the
+  // shape the dead-branch rule's arm flattening and rebuildUnion rely
+  // on. (A parenthesized group is a different AST — an in-path Alt —
+  // so the left-nesting is checked against manually built unions.)
+  ExprRef U = xp("a | b | c");
+  ASSERT_NE(U, nullptr);
+  EXPECT_TRUE(astEquals(U, XPathExpr::unite(xp("a | b"), xp("c"))));
+  EXPECT_FALSE(astEquals(U, XPathExpr::unite(xp("a"), xp("b | c"))));
+  EXPECT_EQ(toString(U), "child::a | child::b | child::c");
+  EXPECT_TRUE(astEquals(xp(toString(U)), U));
+  // In-path alternatives associate left too, with explicit parens.
+  EXPECT_TRUE(astEquals(xp("x/(a | b | c)"), xp("x/((a | b) | c)")));
+  EXPECT_FALSE(astEquals(xp("x/(a | b | c)"), xp("x/(a | (b | c))")));
+  Document D = semanticsDoc();
+  EXPECT_EQ(evalXPath(D, xp("a | d | a/b"), 0),
+            evalXPath(D, xp("a | (d | a/b)"), 0));
+}
+
+//===----------------------------------------------------------------------===//
+// Printer round-trip property: parseXPath(toString(E)) ≡ E.
+//===----------------------------------------------------------------------===//
+
+TEST(XPathPrinter, RoundTripOverCorpus) {
+  // The rewrite engine hands optimized queries around as text, so the
+  // printer must reproduce an astEquals-equal AST through the parser for
+  // every parser-shape expression. Property-check it over the corpus of
+  // queries exercised across the test suite (paper queries, axes,
+  // qualifiers, unions, quoting, iteration, the rewriter's shapes).
+  const char *Corpus[] = {
+      // Basics and abbreviations.
+      "a", "*", ".", "..", "/a", "//a", "//a//b", "a/b", "a//b", "a[b]",
+      ".//a[.//b]", "a[//c]",
+      "child::book/child::chapter", "a[not(b) and c or d]",
+      // Figure 21 paper queries.
+      "/a[.//b[c/*//d]/b[c//d]/b[c/d]]",
+      "/a[.//b[c/*//d]/b[c/d]]",
+      "a/b//c/foll-sibling::d/e",
+      "a/b//d[prec-sibling::c]/e",
+      "a/c/following::d/e",
+      "a/b[//c]/following::d/e & a/d[preceding::c]/e",
+      "*//switch[ancestor::head]//seq//audio[prec-sibling::video]",
+      "descendant::a[ancestor::a]",
+      "/descendant::*",
+      "html/(head | body)",
+      // Every axis, W3C spellings included.
+      "self::x", "parent::x", "desc-or-self::x", "anc-or-self::x",
+      "following-sibling::a", "descendant-or-self::a", "preceding::a",
+      // Qualifier shapes.
+      "*[b and c]", "*[b or c]", "*[not(c/b)]", "a[b][c]", "a[b][c][d]",
+      "*[b and not(c)]/..",
+      // Unions, intersections, alternatives, iteration.
+      "a | b | c", "a | b/c", "descendant::* & /descendant::a",
+      "x/(a | b | c)", "(a)+", "(child::*)+", "((a/b)+)+",
+      "(parent::*)+/self::r",
+      // Quoted node tests: spaces, digits, either (or both) quote kinds.
+      "'a b'", "\"2nd\"", "'it''s'", "\"say \"\"hi\"\"\"", "\"a'\"\"b\"",
+      "child::'a b'/descendant::\"2nd\"[self::'odd name']",
+      // Parenthesized groups with qualifiers.
+      "(a/b)[c]", "(a/b)[c]/self::*", "x/(a//b)[c]",
+      // Shapes the rewriter emits.
+      "child::a[child::b]", "child::a[foll-sibling::c[child::x]]",
+      "/desc-or-self::article[child::meta]/child::title",
+  };
+  for (const char *Src : Corpus) {
+    ExprRef E = xp(Src);
+    ASSERT_NE(E, nullptr) << Src;
+    std::string Printed = toString(E);
+    std::string Err;
+    ExprRef Back = parseXPath(Printed, Err);
+    ASSERT_NE(Back, nullptr) << Src << " printed as " << Printed << ": "
+                             << Err;
+    EXPECT_TRUE(astEquals(Back, E)) << Src << " printed as " << Printed;
+    // And the print itself is a fixpoint.
+    EXPECT_EQ(toString(Back), Printed) << Src;
+  }
 }
 
 //===----------------------------------------------------------------------===//
