@@ -1,10 +1,12 @@
 //===- BenchJson.h - Machine-readable benchmark results ---------*- C++ -*-===//
 //
-// Shared helper for the service benchmarks: collects per-workload
-// results and writes them as a small JSON array (schema: name, wall_ms,
-// cache_hit_rate) so CI and scripts can track throughput and the
-// cache-hit-rate uplift without scraping console tables. bench_service
-// writes BENCH_service.json, bench_rewrite writes BENCH_rewrite.json.
+// Shared helper for every benchmark: collects per-workload results and
+// writes them as a small JSON array (schema: name, wall_ms,
+// cache_hit_rate, plus benchmark-specific extra numeric fields) so CI
+// and scripts can track throughput, cache-hit-rate uplift and the
+// fixpoint-seed hit rate without scraping console tables. Each
+// benchmark writes its own BENCH_<name>.json (bench_service,
+// bench_rewrite, bench_scaling, bench_ablation, bench_fixpoint).
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +34,9 @@ struct BenchResult {
   std::string Name;
   double WallMs = 0;
   double CacheHitRate = 0; ///< in [0, 1]
+  /// Benchmark-specific numeric fields (lean size, iteration counts,
+  /// seed hit rates, ...), emitted verbatim into the JSON object.
+  std::vector<std::pair<std::string, double>> Extra;
 };
 
 /// Collects results and writes \p Path on destruction (so it works both
@@ -44,14 +49,16 @@ public:
   explicit BenchJsonWriter(std::string Path) : Path(std::move(Path)) {}
   ~BenchJsonWriter() { write(); }
 
-  void record(const std::string &Name, double WallMs, double CacheHitRate) {
+  void record(const std::string &Name, double WallMs, double CacheHitRate,
+              std::vector<std::pair<std::string, double>> Extra = {}) {
     for (BenchResult &R : Results)
       if (R.Name == Name) {
         R.WallMs = WallMs;
         R.CacheHitRate = CacheHitRate;
+        R.Extra = std::move(Extra);
         return;
       }
-    Results.push_back({Name, WallMs, CacheHitRate});
+    Results.push_back({Name, WallMs, CacheHitRate, std::move(Extra)});
   }
 
   void write() const {
@@ -59,12 +66,16 @@ public:
     if (!F)
       return;
     std::fprintf(F, "[\n");
-    for (size_t I = 0; I < Results.size(); ++I)
+    for (size_t I = 0; I < Results.size(); ++I) {
       std::fprintf(F,
                    "  {\"name\": %s, \"wall_ms\": %.3f, "
-                   "\"cache_hit_rate\": %.4f}%s\n",
+                   "\"cache_hit_rate\": %.4f",
                    xsa::jsonQuote(Results[I].Name).c_str(), Results[I].WallMs,
-                   Results[I].CacheHitRate, I + 1 < Results.size() ? "," : "");
+                   Results[I].CacheHitRate);
+      for (const auto &[K, V] : Results[I].Extra)
+        std::fprintf(F, ", %s: %.4f", xsa::jsonQuote(K).c_str(), V);
+      std::fprintf(F, "}%s\n", I + 1 < Results.size() ? "," : "");
+    }
     std::fprintf(F, "]\n");
     std::fclose(F);
   }

@@ -21,13 +21,23 @@
 #include "xtype/BuiltinDtds.h"
 #include "xtype/Compile.h"
 
+#include "BenchJson.h"
+
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 using namespace xsa;
 
 namespace {
+
+/// BENCH_ablation.json: per-ablation wall time plus the solver counters
+/// (lean, iterations, peak nodes) of the final run.
+xsa_bench::BenchJsonWriter &jsonOut() {
+  static xsa_bench::BenchJsonWriter W("BENCH_ablation.json");
+  return W;
+}
 
 ExprRef xp(const char *Src) {
   std::string Error;
@@ -56,14 +66,20 @@ Formula smilFormula(FormulaFactory &FF) {
       Smil);
 }
 
-void runWith(benchmark::State &State, Formula (*Make)(FormulaFactory &),
-             SolverOptions Opts, bool ExpectSat) {
+void runWith(const std::string &Name, benchmark::State &State,
+             Formula (*Make)(FormulaFactory &), SolverOptions Opts,
+             bool ExpectSat) {
   size_t Lean = 0, Iters = 0, Peak = 0;
+  double WallMs = 0;
   for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
     FormulaFactory FF;
     Formula Psi = Make(FF);
     BddSolver Solver(FF, Opts);
     SolverResult R = Solver.solve(Psi);
+    WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count();
     if (R.Satisfiable != ExpectSat)
       State.SkipWithError("unexpected verdict under ablation");
     Lean = R.Stats.LeanSize;
@@ -73,6 +89,10 @@ void runWith(benchmark::State &State, Formula (*Make)(FormulaFactory &),
   State.counters["lean"] = static_cast<double>(Lean);
   State.counters["iters"] = static_cast<double>(Iters);
   State.counters["peak_nodes"] = static_cast<double>(Peak);
+  jsonOut().record(Name, WallMs, 0,
+                   {{"lean", static_cast<double>(Lean)},
+                    {"iters", static_cast<double>(Iters)},
+                    {"peak_nodes", static_cast<double>(Peak)}});
 }
 
 SolverOptions baseOpts() {
@@ -84,49 +104,52 @@ SolverOptions baseOpts() {
 // --- §7.3: early quantification --------------------------------------------
 
 void BM_Row1_EarlyQuantification(benchmark::State &State) {
-  runWith(State, row1Formula, baseOpts(), /*ExpectSat=*/false);
+  runWith("row1/early-quantification", State, row1Formula, baseOpts(),
+          /*ExpectSat=*/false);
 }
 BENCHMARK(BM_Row1_EarlyQuantification)->Unit(benchmark::kMillisecond);
 
 void BM_Row1_MonolithicDelta(benchmark::State &State) {
   SolverOptions O = baseOpts();
   O.EarlyQuantification = false;
-  runWith(State, row1Formula, O, /*ExpectSat=*/false);
+  runWith("row1/monolithic-delta", State, row1Formula, O,
+          /*ExpectSat=*/false);
 }
 BENCHMARK(BM_Row1_MonolithicDelta)->Unit(benchmark::kMillisecond);
 
 // --- §7.4: variable order ---------------------------------------------------
 
 void BM_Row1_OrderBreadthFirst(benchmark::State &State) {
-  runWith(State, row1Formula, baseOpts(), false);
+  runWith("row1/order-breadth-first", State, row1Formula, baseOpts(), false);
 }
 BENCHMARK(BM_Row1_OrderBreadthFirst)->Unit(benchmark::kMillisecond);
 
 void BM_Row1_OrderDepthFirst(benchmark::State &State) {
   SolverOptions O = baseOpts();
   O.Order = LeanOrder::DepthFirst;
-  runWith(State, row1Formula, O, false);
+  runWith("row1/order-depth-first", State, row1Formula, O, false);
 }
 BENCHMARK(BM_Row1_OrderDepthFirst)->Unit(benchmark::kMillisecond);
 
 void BM_Row1_OrderReversed(benchmark::State &State) {
   SolverOptions O = baseOpts();
   O.Order = LeanOrder::Reversed;
-  runWith(State, row1Formula, O, false);
+  runWith("row1/order-reversed", State, row1Formula, O, false);
 }
 BENCHMARK(BM_Row1_OrderReversed)->Unit(benchmark::kMillisecond);
 
 // --- §6.2: early termination (on a satisfiable problem) ---------------------
 
 void BM_Smil_EarlyTermination(benchmark::State &State) {
-  runWith(State, smilFormula, baseOpts(), /*ExpectSat=*/true);
+  runWith("smil/early-termination", State, smilFormula, baseOpts(),
+          /*ExpectSat=*/true);
 }
 BENCHMARK(BM_Smil_EarlyTermination)->Unit(benchmark::kMillisecond);
 
 void BM_Smil_FullFixpoint(benchmark::State &State) {
   SolverOptions O = baseOpts();
   O.EarlyTermination = false;
-  runWith(State, smilFormula, O, /*ExpectSat=*/true);
+  runWith("smil/full-fixpoint", State, smilFormula, O, /*ExpectSat=*/true);
 }
 BENCHMARK(BM_Smil_FullFixpoint)->Unit(benchmark::kMillisecond);
 

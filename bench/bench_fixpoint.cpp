@@ -1,0 +1,179 @@
+//===- bench_fixpoint.cpp - Cross-request fixpoint sharing gate ------------===//
+//
+// Standalone benchmark (no google-benchmark dependency, built in every
+// configuration) for the fixpoint store. The workload is the service
+// benchmark's shape: near-duplicate decision problems — one query shape
+// instantiated over per-request alphabets — whose leans are isomorphic,
+// so with --share-fixpoints every run after the first per shape replays
+// the stored iterate sequence instead of recomputing it.
+//
+// It doubles as the CI regression gate for the sharing engine; the
+// process exits nonzero unless all of:
+//
+//   * sharing is output-invisible: the stable JSON-lines responses are
+//     byte-identical with sharing off, sharing on, and sharing on at
+//     jobs=4;
+//   * the computed iteration count (solver iterations minus replayed
+//     ones) drops strictly with sharing on;
+//   * a store-warm batch of *unseen* same-shaped queries seeds every
+//     solver run.
+//
+// Results go to BENCH_fixpoint.json (name, wall_ms, cache_hit_rate,
+// solver_iterations, iterations_computed, iterations_replayed,
+// seeded_runs, seed_hit_rate).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Batch.h"
+#include "service/Session.h"
+
+#include "BenchJson.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+using namespace xsa;
+
+namespace {
+
+/// Near-duplicate workload: \p Groups instances of three query shapes
+/// over per-group alphabets, starting at \p Offset (distinct offsets
+/// give textually unseen but lean-isomorphic batches).
+std::string nearDuplicateBatch(size_t Groups, size_t Offset) {
+  std::string In;
+  for (size_t I = Offset; I < Offset + Groups; ++I) {
+    std::string N = std::to_string(I);
+    In += "{\"id\":\"c" + N + "\",\"op\":\"contains\",\"e1\":\"/a" + N +
+          "/b" + N + "\",\"e2\":\"//b" + N + "\"}\n";
+    In += "{\"id\":\"o" + N + "\",\"op\":\"overlap\",\"e1\":\"//a" + N +
+          "/b" + N + "\",\"e2\":\"//b" + N + "[c" + N + "]\"}\n";
+    In += "{\"id\":\"e" + N + "\",\"op\":\"empty\",\"e1\":\"a" + N + "/b" +
+          N + "[parent::c" + N + "]\"}\n";
+  }
+  return In;
+}
+
+struct RunOutcome {
+  std::string StableOut;
+  double WallMs = 0;
+  SessionStats Stats;
+};
+
+RunOutcome runBatchOn(AnalysisSession &Session, const std::string &Input) {
+  RunOutcome Out;
+  std::istringstream In(Input);
+  std::ostringstream Os;
+  auto T0 = std::chrono::steady_clock::now();
+  runBatchJsonLines(Session, In, Os, nullptr, /*StableOutput=*/true);
+  Out.WallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - T0)
+                   .count();
+  Out.StableOut = Os.str();
+  Out.Stats = Session.stats();
+  return Out;
+}
+
+double seedHitRate(const SessionStats &S) {
+  size_t Lookups = S.Fixpoints.Hits + S.Fixpoints.Misses;
+  return Lookups ? static_cast<double>(S.Fixpoints.Hits) / Lookups : 0;
+}
+
+std::vector<std::pair<std::string, double>> extras(const SessionStats &S) {
+  return {{"solver_iterations", static_cast<double>(S.SolverIterations)},
+          {"iterations_computed",
+           static_cast<double>(S.SolverIterations -
+                               S.FixpointIterationsReplayed)},
+          {"iterations_replayed",
+           static_cast<double>(S.FixpointIterationsReplayed)},
+          {"seeded_runs", static_cast<double>(S.FixpointSeededRuns)},
+          {"seed_hit_rate", seedHitRate(S)}};
+}
+
+} // namespace
+
+int main() {
+  xsa_bench::BenchJsonWriter Json("BENCH_fixpoint.json");
+  constexpr size_t Groups = 12;
+  std::string Batch = nearDuplicateBatch(Groups, /*Offset=*/0);
+  bool Ok = true;
+  auto Fail = [&](const char *Msg) {
+    std::fprintf(stderr, "bench_fixpoint: FAIL: %s\n", Msg);
+    Ok = false;
+  };
+
+  // Baseline: sharing off, everything computed.
+  AnalysisSession Off;
+  RunOutcome Base = runBatchOn(Off, Batch);
+  Json.record("near-dup-batch/share=off", Base.WallMs,
+              xsa_bench::sessionHitRate(Off), extras(Base.Stats));
+
+  // Sharing on, serial.
+  SessionOptions ShareOpts;
+  ShareOpts.ShareFixpoints = true;
+  AnalysisSession On(ShareOpts);
+  RunOutcome Shared = runBatchOn(On, Batch);
+  Json.record("near-dup-batch/share=on", Shared.WallMs,
+              xsa_bench::sessionHitRate(On), extras(Shared.Stats));
+
+  if (Shared.StableOut != Base.StableOut)
+    Fail("sharing changed the stable batch output");
+  if (Shared.Stats.SolverIterations != Base.Stats.SolverIterations)
+    Fail("sharing changed the semantic iteration totals");
+  size_t ComputedOff = Base.Stats.SolverIterations;
+  size_t ComputedOn =
+      Shared.Stats.SolverIterations - Shared.Stats.FixpointIterationsReplayed;
+  std::fprintf(stderr,
+               "bench_fixpoint: computed iterations %zu -> %zu "
+               "(%zu replayed over %zu seeded runs)\n",
+               ComputedOff, ComputedOn,
+               Shared.Stats.FixpointIterationsReplayed,
+               Shared.Stats.FixpointSeededRuns);
+  if (ComputedOn >= ComputedOff)
+    Fail("sharing did not reduce computed fixpoint iterations");
+  if (Shared.Stats.FixpointSeededRuns == 0)
+    Fail("no solver run was seeded");
+
+  // Sharing on, 4 workers, cold: byte-identical despite racing seeds.
+  SessionOptions ParOpts = ShareOpts;
+  ParOpts.Jobs = 4;
+  AnalysisSession Par(ParOpts);
+  RunOutcome Parallel = runBatchOn(Par, Batch);
+  Json.record("near-dup-batch/share=on-jobs=4", Parallel.WallMs,
+              xsa_bench::sessionHitRate(Par), extras(Parallel.Stats));
+  if (Parallel.StableOut != Base.StableOut)
+    Fail("jobs=4 seeded output differs from the serial run");
+
+  // Warm-store batch: unseen labels, same shapes — the restarted-service
+  // scenario. Every run must seed; this is the warm-batch uplift gate.
+  std::string Unseen = nearDuplicateBatch(Groups, /*Offset=*/1000);
+  SessionStats Before = On.stats();
+  RunOutcome Warm = runBatchOn(On, Unseen);
+  SessionStats Delta;
+  Delta.SolverIterations =
+      Warm.Stats.SolverIterations - Before.SolverIterations;
+  Delta.FixpointIterationsReplayed = Warm.Stats.FixpointIterationsReplayed -
+                                     Before.FixpointIterationsReplayed;
+  Delta.FixpointSeededRuns =
+      Warm.Stats.FixpointSeededRuns - Before.FixpointSeededRuns;
+  Delta.Fixpoints.Hits = Warm.Stats.Fixpoints.Hits - Before.Fixpoints.Hits;
+  Delta.Fixpoints.Misses =
+      Warm.Stats.Fixpoints.Misses - Before.Fixpoints.Misses;
+  Json.record("warm-store-batch/share=on", Warm.WallMs,
+              xsa_bench::sessionHitRate(On), extras(Delta));
+  size_t WarmSolves = Warm.Stats.Solves - Before.Solves;
+  if (Delta.FixpointSeededRuns < WarmSolves)
+    Fail("a warm-store run went unseeded");
+  if (Delta.FixpointIterationsReplayed * 2 < Delta.SolverIterations)
+    Fail("warm-store batch replayed less than half of its iterations");
+
+  // Reference: what the unseen batch costs with no store at all.
+  AnalysisSession OffUnseen;
+  RunOutcome UnseenBase = runBatchOn(OffUnseen, Unseen);
+  if (Warm.StableOut != UnseenBase.StableOut)
+    Fail("warm-store output differs from an unshared session's");
+
+  std::fprintf(stderr, "bench_fixpoint: %s\n", Ok ? "PASS" : "FAIL");
+  return Ok ? 0 : 1;
+}

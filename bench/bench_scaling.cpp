@@ -17,14 +17,43 @@
 #include "xpath/Compile.h"
 #include "xpath/Parser.h"
 
+#include "BenchJson.h"
+
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
 using namespace xsa;
 
 namespace {
+
+/// BENCH_scaling.json: per-family wall time of the final (longest) run
+/// with the lean size alongside, so CI can track growth curves.
+xsa_bench::BenchJsonWriter &jsonOut() {
+  static xsa_bench::BenchJsonWriter W("BENCH_scaling.json");
+  return W;
+}
+
+/// Times one State iteration body and records it under \p Name.
+template <typename Fn>
+void timedRecord(const std::string &Name, benchmark::State &State, Fn Body,
+                 size_t *LeanOut, size_t *ItersOut = nullptr) {
+  double WallMs = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    Body();
+    WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count();
+  }
+  std::vector<std::pair<std::string, double>> Extra = {
+      {"lean", static_cast<double>(*LeanOut)}};
+  if (ItersOut)
+    Extra.push_back({"iters", static_cast<double>(*ItersOut)});
+  jsonOut().record(Name, WallMs, 0, std::move(Extra));
+}
 
 ExprRef xp(const std::string &Src) {
   std::string Error;
@@ -48,7 +77,7 @@ std::string chainQuery(int K, const char *Step) {
 void BM_ChainContainment(benchmark::State &State) {
   int K = static_cast<int>(State.range(0));
   size_t LeanSize = 0;
-  for (auto _ : State) {
+  timedRecord("chain/k=" + std::to_string(K), State, [&] {
     FormulaFactory FF;
     Formula F1 = compileXPath(FF, xp(chainQuery(K, "/")), FF.trueF());
     Formula F2 = compileXPath(FF, xp(chainQuery(K, "/")), FF.trueF());
@@ -57,7 +86,7 @@ void BM_ChainContainment(benchmark::State &State) {
     if (R.Satisfiable)
       State.SkipWithError("chain ⊆ itself must hold");
     LeanSize = R.Stats.LeanSize;
-  }
+  }, &LeanSize);
   State.counters["lean"] = static_cast<double>(LeanSize);
 }
 BENCHMARK(BM_ChainContainment)
@@ -69,7 +98,7 @@ BENCHMARK(BM_ChainContainment)
 void BM_DescendantChainSat(benchmark::State &State) {
   int K = static_cast<int>(State.range(0));
   size_t LeanSize = 0, Iterations = 0;
-  for (auto _ : State) {
+  timedRecord("star/k=" + std::to_string(K), State, [&] {
     FormulaFactory FF;
     Formula F = compileXPath(FF, xp(chainQuery(K, "//")), FF.trueF());
     BddSolver Solver(FF);
@@ -78,7 +107,7 @@ void BM_DescendantChainSat(benchmark::State &State) {
       State.SkipWithError("descendant chain must be satisfiable");
     LeanSize = R.Stats.LeanSize;
     Iterations = R.Stats.Iterations;
-  }
+  }, &LeanSize, &Iterations);
   State.counters["lean"] = static_cast<double>(LeanSize);
   State.counters["iters"] = static_cast<double>(Iterations);
 }
@@ -96,7 +125,7 @@ std::string nestedQualifier(int K) {
 void BM_NestedQualifierContainment(benchmark::State &State) {
   int K = static_cast<int>(State.range(0));
   size_t LeanSize = 0;
-  for (auto _ : State) {
+  timedRecord("qualifier/k=" + std::to_string(K), State, [&] {
     FormulaFactory FF;
     Formula F1 = compileXPath(FF, xp(nestedQualifier(K)), FF.trueF());
     Formula F2 = compileXPath(FF, xp("a0"), FF.trueF());
@@ -105,7 +134,7 @@ void BM_NestedQualifierContainment(benchmark::State &State) {
     if (R.Satisfiable)
       State.SkipWithError("a0[...] ⊆ a0 must hold");
     LeanSize = R.Stats.LeanSize;
-  }
+  }, &LeanSize);
   State.counters["lean"] = static_cast<double>(LeanSize);
 }
 BENCHMARK(BM_NestedQualifierContainment)

@@ -57,7 +57,7 @@ int usage() {
       "  xsolve validate <xml-file> <dtd>\n"
       "  xsolve optimize '<xpath>' [dtd]\n"
       "  xsolve batch [file|-] [--jobs N] [--cache-file F] [--stable]\n"
-      "               [--optimize]\n"
+      "               [--optimize] [--share-fixpoints]\n"
       "where [dtd] is a file path or one of: wikipedia, smil, xhtml.\n"
       "optimize rewrites the query rule by rule, accepting a candidate\n"
       "only when the solver proves it equivalent under the DTD, and\n"
@@ -66,8 +66,9 @@ int usage() {
       "  {\"id\":\"q1\",\"op\":\"contains\",\"e1\":\"/a//b\","
       "\"e2\":\"//b\",\"dtd\":\"xhtml\"}\n"
       "(ops: sat empty contains overlap cover equiv typecheck optimize;\n"
-      " {\"op\":\"config\",\"jobs\":N,\"optimize\":B} reconfigures "
-      "mid-stream)\n"
+      " {\"op\":\"config\",\"jobs\":N,\"optimize\":B,"
+      "\"share_fixpoints\":B}\n"
+      " reconfigures mid-stream)\n"
       "batch flags:\n"
       "  --jobs N        dispatch across N worker threads (0 = all cores)\n"
       "  --cache-file F  load the result cache from F on start (if it\n"
@@ -76,7 +77,11 @@ int usage() {
       "                  so output is byte-identical at any job count\n"
       "  --optimize      rewrite every query (solver-verified) before\n"
       "                  analysis, canonicalizing near-duplicates onto\n"
-      "                  shared cache entries\n");
+      "                  shared cache entries\n"
+      "  --share-fixpoints\n"
+      "                  share solver fixpoint sets across requests:\n"
+      "                  runs with the same lean replay stored iterates\n"
+      "                  instead of recomputing them (output unchanged)\n");
   return 2;
 }
 
@@ -158,6 +163,8 @@ int main(int argc, char **argv) {
         Stable = true;
       } else if (Arg == "--optimize") {
         Session.setOptimize(true);
+      } else if (Arg == "--share-fixpoints") {
+        Session.setShareFixpoints(true);
       } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
         std::fprintf(stderr, "error: unknown batch flag %s\n", Arg.c_str());
         return usage();

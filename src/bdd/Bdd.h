@@ -38,6 +38,7 @@
 namespace xsa {
 
 class BddManager;
+struct BddSnapshot;
 
 /// A reference-counted handle to a BDD node. Copying a handle bumps the
 /// external reference count used as GC roots; destroying it drops the count.
@@ -172,6 +173,8 @@ public:
 
 private:
   friend class Bdd;
+  /// Snapshot export (bdd/Snapshot.h) walks the node table directly.
+  friend BddSnapshot exportSnapshot(BddManager &M, const Bdd &F);
 
   struct Node {
     uint32_t Var;  ///< variable index; ~0u marks terminal nodes

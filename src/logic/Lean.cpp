@@ -176,3 +176,76 @@ bool Lean::status(FormulaFactory &FF, Formula F, const DynBitset &T) const {
 std::string Lean::memberName(FormulaFactory &FF, unsigned I) const {
   return FF.toString(Members[I]);
 }
+
+std::string Lean::signature(FormulaFactory &FF) const {
+  // Label abstraction: every atomic proposition is replaced by %<n>,
+  // where n is its first-occurrence index over the member list. Leans
+  // that agree up to an order-preserving relabeling — bench workloads
+  // full of same-shaped queries over per-request alphabets are exactly
+  // this — then print identical signatures, which is sound because the
+  // solver's stage-2 construction (χTypes, the ∆a clauses, the witness
+  // conditions) only ever addresses propositions through their lean
+  // *index*, never their name: isomorphic leans have literally equal
+  // iterate sequences over the shared bit numbering.
+  std::unordered_map<Symbol, Symbol> LabelMap;
+  std::unordered_map<Formula, Formula> Memo;
+  auto MapSym = [&](Symbol S) {
+    auto It = LabelMap.find(S);
+    if (It != LabelMap.end())
+      return It->second;
+    Symbol A = internSymbol("%" + std::to_string(LabelMap.size()));
+    LabelMap.emplace(S, A);
+    return A;
+  };
+  // Memoization is sound even though abstraction is stateful: the label
+  // map only grows, and every symbol inside a memoized node was mapped
+  // when that node was first walked.
+  auto Abstract = [&](auto &&Self, Formula F) -> Formula {
+    auto It = Memo.find(F);
+    if (It != Memo.end())
+      return It->second;
+    Formula R = F;
+    switch (F->kind()) {
+    case FormulaKind::True:
+    case FormulaKind::False:
+    case FormulaKind::Start:
+    case FormulaKind::NegStart:
+    case FormulaKind::NegExistTop:
+    case FormulaKind::Var:
+      break;
+    case FormulaKind::Prop:
+      R = FF.prop(MapSym(F->sym()));
+      break;
+    case FormulaKind::NegProp:
+      R = FF.negProp(MapSym(F->sym()));
+      break;
+    case FormulaKind::And:
+      R = FF.conj(Self(Self, F->lhs()), Self(Self, F->rhs()));
+      break;
+    case FormulaKind::Or:
+      R = FF.disj(Self(Self, F->lhs()), Self(Self, F->rhs()));
+      break;
+    case FormulaKind::Exist:
+      R = FF.diamond(F->program(), Self(Self, F->lhs()));
+      break;
+    case FormulaKind::Mu: {
+      std::vector<MuBinding> Bindings;
+      Bindings.reserve(F->bindings().size());
+      for (const MuBinding &B : F->bindings())
+        Bindings.push_back({B.Var, Self(Self, B.Def)});
+      R = FF.mu(std::move(Bindings), Self(Self, F->body()));
+      break;
+    }
+    }
+    Memo.emplace(F, R);
+    return R;
+  };
+  std::string Sig;
+  for (Formula F : Members) {
+    std::string Text = FF.toString(FF.canonicalize(Abstract(Abstract, F)));
+    Sig += std::to_string(Text.size());
+    Sig += ':';
+    Sig += Text;
+  }
+  return Sig;
+}

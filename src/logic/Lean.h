@@ -95,6 +95,21 @@ public:
   /// Human-readable description of lean member \p I.
   std::string memberName(FormulaFactory &FF, unsigned I) const;
 
+  /// Canonical lean signature: the ordered canonical texts of all lean
+  /// members — binders renamed to their binding positions
+  /// (canonicalize) and atomic propositions renamed to their
+  /// first-occurrence index over the member list — length-prefix framed
+  /// so the concatenation is injective. Members are closed (compute()
+  /// steps through fixpoints by unfolding), so the signature is
+  /// factory-independent: two leans have equal signatures iff their
+  /// member lists agree up to binder names and an order-preserving
+  /// relabeling of the alphabet — exactly the condition under which the
+  /// solver's §7.1 iterate sequence, which addresses propositions only
+  /// through lean indices, is bit-for-bit the same for both. This is
+  /// the sharing key of the cross-request fixpoint store
+  /// (service/FixpointStore.h).
+  std::string signature(FormulaFactory &FF) const;
+
 private:
   std::vector<Formula> Members;
   unsigned DiamTopIdx[4] = {0, 0, 0, 0};

@@ -161,11 +161,12 @@ AnalysisResponse xsa::runRequest(AnalysisContext &Ctx,
     return R;
   }
 
-  // Optimize requests report the solver-verified rewrite itself.
+  // Optimize requests report the solver-verified rewrite itself, so
+  // they owe a full proof trace (no seeded forms).
   if (Req.Kind == RequestKind::Optimize) {
     if (Req.Query1.empty())
       return errorResponse(Req, "missing query e1");
-    const auto OE = Ctx.optimized(Req.Query1, Req.Dtd1);
+    const auto OE = Ctx.optimized(Req.Query1, Req.Dtd1, /*AllowSeed=*/false);
     if (!OE->Ok)
       return errorResponse(Req, OE->Error);
     R.Ok = true;
@@ -195,7 +196,9 @@ AnalysisResponse xsa::runRequest(AnalysisContext &Ctx,
                      const std::string &Dtd) {
     if (!Ctx.optimizePrePass())
       return E;
-    const auto OE = Ctx.optimized(Query, Dtd);
+    // Only the rewritten AST matters here, so a seeded (already-proved)
+    // form is taken without re-deriving the rewrite.
+    const auto OE = Ctx.optimized(Query, Dtd, /*AllowSeed=*/true);
     return OE->Ok ? OE->Result.Optimized : E;
   };
   E1 = PrePass(E1, Req.Query1, Req.Dtd1);
@@ -430,10 +433,23 @@ JsonRef xsa::statsToJson(const SessionStats &S) {
          JsonValue::number(static_cast<double>(S.QueriesOptimized)));
   O->set("optimize_cache_hits",
          JsonValue::number(static_cast<double>(S.OptimizeCacheHits)));
+  O->set("optimize_seed_hits",
+         JsonValue::number(static_cast<double>(S.OptimizeSeedHits)));
   O->set("rewrite_checks",
          JsonValue::number(static_cast<double>(S.RewriteChecks)));
   O->set("rewrites_accepted",
          JsonValue::number(static_cast<double>(S.RewritesAccepted)));
+  JsonRef F = JsonValue::object();
+  F->set("hits", JsonValue::number(static_cast<double>(S.Fixpoints.Hits)));
+  F->set("misses", JsonValue::number(static_cast<double>(S.Fixpoints.Misses)));
+  F->set("publishes",
+         JsonValue::number(static_cast<double>(S.Fixpoints.Insertions)));
+  F->set("size", JsonValue::number(static_cast<double>(S.Fixpoints.Size)));
+  F->set("seeded_runs",
+         JsonValue::number(static_cast<double>(S.FixpointSeededRuns)));
+  F->set("iterations_replayed", JsonValue::number(static_cast<double>(
+                                    S.FixpointIterationsReplayed)));
+  O->set("fixpoints", F);
   return O;
 }
 
@@ -494,13 +510,15 @@ size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
       SegItems.push_back(std::move(It));
     } else if (Obj->str("op") == "config") {
       // Control line: answer in order, apply to everything after it.
-      // Accepts 'jobs' (worker count) and/or 'optimize' (pre-pass
-      // switch); at least one must be present.
+      // Accepts 'jobs' (worker count), 'optimize' (pre-pass switch)
+      // and/or 'share_fixpoints' (cross-request fixpoint sharing); at
+      // least one must be present.
       Flush();
       AnalysisResponse Resp;
       Resp.Id = Obj->str("id");
       JsonRef Jobs = Obj->get("jobs");
       JsonRef Optimize = Obj->get("optimize");
+      JsonRef Share = Obj->get("share_fixpoints");
       bool BadJobs = !Jobs->isNull() &&
                      (Jobs->type() != JsonValue::Type::Number ||
                       Jobs->asNumber() < 0 ||
@@ -508,22 +526,29 @@ size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
                                               Jobs->asNumber())));
       bool BadOptimize =
           !Optimize->isNull() && Optimize->type() != JsonValue::Type::Bool;
-      if (BadJobs || BadOptimize || (Jobs->isNull() && Optimize->isNull())) {
+      bool BadShare =
+          !Share->isNull() && Share->type() != JsonValue::Type::Bool;
+      if (BadJobs || BadOptimize || BadShare ||
+          (Jobs->isNull() && Optimize->isNull() && Share->isNull())) {
         Resp.Ok = false;
-        Resp.Error = "config needs 'jobs' (a non-negative integer) and/or "
-                     "'optimize' (a boolean)";
+        Resp.Error = "config needs 'jobs' (a non-negative integer), "
+                     "'optimize' and/or 'share_fixpoints' (booleans)";
         Emit(Resp);
       } else {
         if (!Jobs->isNull())
           Session.setJobs(static_cast<size_t>(Jobs->asNumber()));
         if (!Optimize->isNull())
           Session.setOptimize(Optimize->asBool());
+        if (!Share->isNull())
+          Session.setShareFixpoints(Share->asBool());
         JsonRef O = JsonValue::object();
         if (!Resp.Id.empty())
           O->set("id", JsonValue::string(Resp.Id));
         O->set("ok", JsonValue::boolean(true));
         O->set("jobs", JsonValue::number(static_cast<double>(Session.jobs())));
         O->set("optimize", JsonValue::boolean(Session.optimizeEnabled()));
+        O->set("share_fixpoints",
+               JsonValue::boolean(Session.shareFixpointsEnabled()));
         ++Answered;
         Out << O->dump() << "\n";
       }

@@ -40,6 +40,7 @@
 #include "analysis/Problems.h"
 #include "rewrite/Rewriter.h"
 #include "service/Cache.h"
+#include "service/FixpointStore.h"
 #include "xtype/Dtd.h"
 
 #include <atomic>
@@ -72,8 +73,15 @@ struct AtomicSessionStats {
   /// the parser memo above.
   std::atomic<size_t> QueriesOptimized{0};
   std::atomic<size_t> OptimizeCacheHits{0};
+  /// Pre-pass optimizations answered from the shared/persisted seed
+  /// store instead of a rewriter run (no proof obligations).
+  std::atomic<size_t> OptimizeSeedHits{0};
   std::atomic<size_t> RewriteChecks{0};
   std::atomic<size_t> RewritesAccepted{0};
+  /// Fixpoint sharing: solver runs that replayed at least one stored
+  /// iterate, and the total iterates replayed (Upd images skipped).
+  std::atomic<size_t> FixpointSeededRuns{0};
+  std::atomic<size_t> FixpointIterationsReplayed{0};
 };
 
 /// A single-threaded solver context: factory, parser/DTD memos, Analyzer
@@ -82,11 +90,13 @@ struct AtomicSessionStats {
 /// API); it is also usable standalone with both shared fronts null.
 class AnalysisContext {
 public:
-  /// \p SharedCache and \p SharedStats may be null (uncached / untallied
+  /// Every shared-front pointer may be null (uncached / untallied
   /// standalone use); when set they must outlive the context.
   explicit AnalysisContext(const SolverOptions &BaseOpts,
                            ShardedResultCache *SharedCache = nullptr,
-                           AtomicSessionStats *SharedStats = nullptr);
+                           AtomicSessionStats *SharedStats = nullptr,
+                           SharedFixpointStore *SharedFixpoints = nullptr,
+                           OptimizeSeedStore *SharedOptimizeSeeds = nullptr);
   AnalysisContext(const AnalysisContext &) = delete;
   AnalysisContext &operator=(const AnalysisContext &) = delete;
 
@@ -114,6 +124,11 @@ public:
   /// used as the context χ of a query constrained by a schema. "" → ⊤.
   Formula typeContext(const std::string &Name, std::string &Error);
 
+  /// Deterministic cross-process fingerprint of typeContext(Name)'s
+  /// canonical text (0 when the DTD does not load). What optimize seeds
+  /// are verified against — see OptimizeSeedStore.
+  uint64_t typeContextFingerprint(const std::string &Name);
+
   /// A memoized solver-verified optimization of \p XPath under \p Dtd
   /// (rewrite/Rewriter.h). Error is set (and Result empty) when the
   /// query does not parse or the DTD does not load; failures are
@@ -126,15 +141,32 @@ public:
     RewriteResult Result;
     std::string Error;
     bool Ok = false;
+    /// Built from the shared seed store: the optimized form is proved
+    /// (by whoever published it) but this entry has no local trace.
+    bool Seeded = false;
   };
-  std::shared_ptr<const OptimizeEntry> optimized(const std::string &XPath,
-                                                 const std::string &Dtd);
+  /// With \p AllowSeed true (the pre-pass path, where only the rewritten
+  /// AST matters) a memo miss first consults the shared OptimizeSeedStore
+  /// and, on a hit, parses the stored form instead of re-deriving the
+  /// rewrite — the seeded entry carries no proof trace. Explicit
+  /// optimize requests pass false: they owe the caller a full trace, so
+  /// a seeded memo entry is recomputed (and then republished) for them.
+  std::shared_ptr<const OptimizeEntry>
+  optimized(const std::string &XPath, const std::string &Dtd,
+            bool AllowSeed = false);
 
   /// When true, runRequest rewrites every query through optimized()
   /// before analysis, so near-duplicate queries canonicalize to more
   /// cache-sharable forms (SessionOptions::Optimize).
   bool optimizePrePass() const { return PrePass; }
   void setOptimizePrePass(bool On) { PrePass = On; }
+
+  /// Cross-request fixpoint sharing (SessionOptions::ShareFixpoints):
+  /// when on — and a SharedFixpointStore was wired in — every solver run
+  /// seeds its fixpoint from the store and publishes back. Off by
+  /// default; toggling is not thread-safe against a running batch.
+  bool shareFixpoints() const;
+  void setShareFixpoints(bool On);
 
 private:
   /// Bridges the solver's pointer-keyed ResultCache interface to the
@@ -167,10 +199,33 @@ private:
     SolverResult Hit;
   };
 
+  /// Bridges the solver's FixpointCache hook to the session's shared
+  /// store, with the per-context sharing switch in front: when off the
+  /// solver skips signature computation entirely (enabled() gate).
+  class FixpointAdapter : public FixpointCache {
+  public:
+    explicit FixpointAdapter(SharedFixpointStore &Shared) : Shared(Shared) {}
+    bool enabled() const override { return On; }
+    std::shared_ptr<const FixpointSeedData>
+    lookup(const std::string &LeanSig, uint32_t OptsKey) override {
+      return Shared.lookup(LeanSig, OptsKey);
+    }
+    void publish(const std::string &LeanSig, uint32_t OptsKey,
+                 std::shared_ptr<const FixpointSeedData> Data) override {
+      Shared.publish(LeanSig, OptsKey, std::move(Data));
+    }
+    bool On = false;
+
+  private:
+    SharedFixpointStore &Shared;
+  };
+
   FormulaFactory FF;
   SolverOptions Opts;
-  AtomicSessionStats *Stats; ///< may be null
+  AtomicSessionStats *Stats;            ///< may be null
+  OptimizeSeedStore *OptimizeSeeds;     ///< may be null
   std::unique_ptr<SharedCacheAdapter> CacheAdapter;
+  std::unique_ptr<FixpointAdapter> Fixpoints;
   std::unique_ptr<Analyzer> An;
   std::unique_ptr<BddSolver> RawSolver;
 
@@ -182,9 +237,16 @@ private:
   struct DtdEntry {
     Formula Type = nullptr;    ///< null when loading failed
     Formula Context = nullptr; ///< Type ∧ root restriction, lazily built
+    /// Cross-process fingerprint of the canonical text of Context,
+    /// lazily computed; keys persisted optimize seeds to DTD *content*
+    /// (a .dtd file may change between runs of the same name). 0 until
+    /// computed or when loading failed.
+    uint64_t ContextFp = 0;
     std::string Error;
   };
   std::unordered_map<std::string, DtdEntry> DtdMemo;
+  /// Memoized typeContextFingerprint("") — the ⊤ context's fingerprint.
+  uint64_t EmptyContextFp = 0;
   /// Bounded, unlike the memos above: a RewriteResult carries the full
   /// proof trace, so a long-running mostly-distinct --optimize stream
   /// must not accumulate entries forever. Flushed wholesale when full

@@ -1,0 +1,111 @@
+//===- FixpointStore.cpp - Cross-request fixpoint sharing ------------------===//
+
+#include "service/FixpointStore.h"
+
+#include <algorithm>
+
+using namespace xsa;
+
+SharedFixpointStore::SharedFixpointStore(size_t Capacity, size_t Shards,
+                                         size_t MaxEntryNodes)
+    : Capacity(Capacity), MaxEntryNodes(MaxEntryNodes) {
+  // Largest power of two ≤ min(Shards, max(Capacity, 1)), as in
+  // ShardedResultCache: never more shards than entries.
+  size_t Limit = std::max<size_t>(Capacity, 1);
+  size_t N = 1;
+  while (N * 2 <= Shards && N * 2 <= Limit)
+    N *= 2;
+  ShardCapacity = Capacity == 0 ? 0 : std::max<size_t>(1, Capacity / N);
+  ShardTable.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    ShardTable.push_back(std::make_unique<Shard>());
+}
+
+std::shared_ptr<const FixpointSeedData>
+SharedFixpointStore::lookup(const std::string &LeanSig, uint32_t OptsKey) {
+  KeyView K{LeanSig, OptsKey};
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Entries.find(K);
+  if (It == S.Entries.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+  return It->second->Data;
+}
+
+bool SharedFixpointStore::publish(const std::string &LeanSig, uint32_t OptsKey,
+                                  std::shared_ptr<const FixpointSeedData> Data) {
+  if (Capacity == 0 || !Data || Data->Snapshots.empty() ||
+      Data->totalNodes() > MaxEntryNodes)
+    return false;
+  KeyView K{LeanSig, OptsKey};
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Entries.find(K);
+  if (It != S.Entries.end()) {
+    // Keep the offer only when it improves on the stored sequence:
+    // converged beats any prefix, longer prefix beats shorter. Racing
+    // publishers therefore converge to the best sequence regardless of
+    // arrival order.
+    const FixpointSeedData &Old = *It->second->Data;
+    bool Improves =
+        (Data->Converged && !Old.Converged) ||
+        (Data->Converged == Old.Converged &&
+         Data->Snapshots.size() > Old.Snapshots.size());
+    if (!Improves)
+      return false;
+    It->second->Data = std::move(Data);
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    Insertions.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  while (S.Entries.size() >= ShardCapacity) {
+    // The map key views the list-owned string: erase before pop.
+    const Entry &Victim = S.Lru.back();
+    S.Entries.erase(KeyView{Victim.Sig, Victim.Opts});
+    S.Lru.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+    SizeCount.fetch_sub(1, std::memory_order_relaxed);
+  }
+  S.Lru.push_front({LeanSig, OptsKey, std::move(Data)});
+  S.Entries.emplace(KeyView{S.Lru.front().Sig, OptsKey}, S.Lru.begin());
+  Insertions.fetch_add(1, std::memory_order_relaxed);
+  SizeCount.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SharedFixpointStore::forEachEntry(
+    const std::function<void(const std::string &, uint32_t,
+                             const FixpointSeedData &)> &Fn) const {
+  for (const std::unique_ptr<Shard> &S : ShardTable) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    for (const Entry &E : S->Lru)
+      Fn(E.Sig, E.Opts, *E.Data);
+  }
+}
+
+CacheStats SharedFixpointStore::stats() const {
+  CacheStats S;
+  S.Hits = Hits.load(std::memory_order_relaxed);
+  S.Misses = Misses.load(std::memory_order_relaxed);
+  S.Insertions = Insertions.load(std::memory_order_relaxed);
+  S.Evictions = Evictions.load(std::memory_order_relaxed);
+  S.Size = SizeCount.load(std::memory_order_relaxed);
+  return S;
+}
+
+size_t SharedFixpointStore::size() const {
+  return SizeCount.load(std::memory_order_relaxed);
+}
+
+void SharedFixpointStore::clear() {
+  for (const std::unique_ptr<Shard> &S : ShardTable) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    SizeCount.fetch_sub(S->Entries.size(), std::memory_order_relaxed);
+    S->Lru.clear();
+    S->Entries.clear();
+  }
+}

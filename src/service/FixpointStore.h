@@ -1,0 +1,129 @@
+//===- FixpointStore.h - Cross-request fixpoint sharing ----------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared half of cross-request fixpoint sharing: a sharded,
+/// thread-safe store of canonical iterate sequences keyed on
+/// (lean signature, solver-options fingerprint). The design follows
+/// ShardedResultCache — power-of-two shards, one mutex and one LRU list
+/// each, relaxed-atomic counters — but the entries are heavier
+/// (sequences of BDD node tables), so:
+///
+///  * entries are immutable and shared_ptr-owned — a lookup hands out a
+///    reference, never a copy, and a concurrent eviction cannot
+///    invalidate a seed a worker is replaying;
+///  * publish keeps an offered sequence only when it *improves* on the
+///    stored one (converged beats any prefix, longer prefix beats
+///    shorter), so racing workers converge to the best sequence no
+///    matter the interleaving;
+///  * a per-entry node budget guards against pathological runs turning
+///    the store into a memory sink.
+///
+/// Sharing is sound and output-invisible because the Upd operator of
+/// §7.1 is a function of the lean alone — see the file comment of
+/// solver/Pipeline.h and the proof in DESIGN.md. Sharing across
+/// *different* variable orders (re-basing a table onto another lean
+/// permutation) is a known follow-on; until then distinct signatures
+/// simply never meet.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_SERVICE_FIXPOINTSTORE_H
+#define XSA_SERVICE_FIXPOINTSTORE_H
+
+#include "service/Cache.h"
+#include "solver/BddSolver.h"
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace xsa {
+
+class SharedFixpointStore {
+public:
+  /// \p Capacity is the total entry budget (0 disables the store:
+  /// lookups miss, publishes are dropped). \p Shards as in
+  /// ShardedResultCache. \p MaxEntryNodes bounds one entry's summed
+  /// snapshot node count; larger offers are dropped.
+  explicit SharedFixpointStore(size_t Capacity = 256, size_t Shards = 8,
+                               size_t MaxEntryNodes = size_t(1) << 22);
+
+  /// The best stored sequence for the key, or null on a miss.
+  std::shared_ptr<const FixpointSeedData> lookup(const std::string &LeanSig,
+                                                 uint32_t OptsKey);
+
+  /// Offers a sequence; keeps it only if it improves on the stored one.
+  /// Returns true when the offer was kept.
+  bool publish(const std::string &LeanSig, uint32_t OptsKey,
+               std::shared_ptr<const FixpointSeedData> Data);
+
+  /// Visits every entry, one shard at a time, most-recently-used first
+  /// within a shard (AnalysisSession::saveCache). Entries published
+  /// concurrently with the walk may or may not be visited.
+  void forEachEntry(
+      const std::function<void(const std::string &LeanSig, uint32_t OptsKey,
+                               const FixpointSeedData &Data)> &Fn) const;
+
+  /// Hits/Misses count lookups; Insertions counts kept publishes.
+  CacheStats stats() const;
+  size_t capacity() const { return Capacity; }
+  size_t numShards() const { return ShardTable.size(); }
+  size_t size() const;
+  void clear();
+
+private:
+  struct Entry {
+    std::string Sig;
+    uint32_t Opts;
+    std::shared_ptr<const FixpointSeedData> Data;
+  };
+  struct KeyView {
+    std::string_view Sig;
+    uint32_t Opts;
+  };
+  struct KeyHash {
+    size_t operator()(const KeyView &K) const {
+      return std::hash<std::string_view>()(K.Sig) * 31 + K.Opts;
+    }
+  };
+  struct KeyEq {
+    bool operator()(const KeyView &A, const KeyView &B) const {
+      return A.Opts == B.Opts && A.Sig == B.Sig;
+    }
+  };
+  struct Shard {
+    mutable std::mutex M;
+    std::list<Entry> Lru; ///< most-recently-used first
+    /// Keys view the list-owned signature strings (stable under splice).
+    std::unordered_map<KeyView, std::list<Entry>::iterator, KeyHash, KeyEq>
+        Entries;
+  };
+
+  Shard &shardFor(const KeyView &K) {
+    return *ShardTable[KeyHash()(K) & (ShardTable.size() - 1)];
+  }
+  const Shard &shardFor(const KeyView &K) const {
+    return *ShardTable[KeyHash()(K) & (ShardTable.size() - 1)];
+  }
+
+  size_t Capacity;
+  size_t ShardCapacity;
+  size_t MaxEntryNodes;
+  std::vector<std::unique_ptr<Shard>> ShardTable;
+
+  /// Relaxed: independent monotonic counters (see Cache.h).
+  std::atomic<size_t> Hits{0}, Misses{0}, Insertions{0}, Evictions{0},
+      SizeCount{0};
+};
+
+} // namespace xsa
+
+#endif // XSA_SERVICE_FIXPOINTSTORE_H

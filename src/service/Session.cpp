@@ -2,10 +2,14 @@
 
 #include "service/Session.h"
 
+#include "bdd/Snapshot.h"
 #include "service/Json.h"
 #include "tree/Xml.h"
 
 #include <algorithm>
+#include <array>
+#include <charconv>
+#include <cstdio>
 #include <fstream>
 #include <thread>
 
@@ -29,9 +33,11 @@ size_t resolveJobs(size_t Jobs) {
 
 AnalysisSession::AnalysisSession(SessionOptions SOpts)
     : Opts(SOpts), Cache(SOpts.CacheCapacity, SOpts.CacheShards),
-      Main(SOpts.Solver, &Cache, &Counters) {
+      Fixpoints(SOpts.FixpointCapacity, SOpts.CacheShards),
+      Main(SOpts.Solver, &Cache, &Counters, &Fixpoints, &OptSeeds) {
   Opts.Jobs = resolveJobs(Opts.Jobs);
   Main.setOptimizePrePass(Opts.Optimize);
+  Main.setShareFixpoints(Opts.ShareFixpoints);
 }
 
 AnalysisSession::AnalysisSession(SolverOptions Opts, size_t CacheCapacity)
@@ -43,6 +49,13 @@ void AnalysisSession::setOptimize(bool On) {
   Main.setOptimizePrePass(On);
   for (auto &W : Workers)
     W->setOptimizePrePass(On);
+}
+
+void AnalysisSession::setShareFixpoints(bool On) {
+  Opts.ShareFixpoints = On;
+  Main.setShareFixpoints(On);
+  for (auto &W : Workers)
+    W->setShareFixpoints(On);
 }
 
 AnalysisResult AnalysisSession::emptiness(const ExprRef &E, Formula Chi) {
@@ -108,9 +121,10 @@ WorkerPool &AnalysisSession::pool() {
   if (!Pool)
     Pool = std::make_unique<WorkerPool>(Opts.Jobs);
   while (Workers.size() < Opts.Jobs) {
-    Workers.push_back(
-        std::make_unique<AnalysisContext>(Opts.Solver, &Cache, &Counters));
+    Workers.push_back(std::make_unique<AnalysisContext>(
+        Opts.Solver, &Cache, &Counters, &Fixpoints, &OptSeeds));
     Workers.back()->setOptimizePrePass(Opts.Optimize);
+    Workers.back()->setShareFixpoints(Opts.ShareFixpoints);
   }
   return *Pool;
 }
@@ -118,6 +132,12 @@ WorkerPool &AnalysisSession::pool() {
 //===----------------------------------------------------------------------===//
 // Persistent cache
 //===----------------------------------------------------------------------===//
+
+/// Persistent format versions. v1 carried result entries only; v2 adds
+/// fixpoint-store sequences ("fx") and optimized query forms ("oq").
+/// Bump CacheFormatVersion when a line shape changes incompatibly;
+/// loadCache rejects versions it does not know instead of guessing.
+static constexpr int CacheFormatVersion = 2;
 
 bool AnalysisSession::saveCache(const std::string &Path,
                                 std::string &Error) const {
@@ -127,7 +147,7 @@ bool AnalysisSession::saveCache(const std::string &Path,
     return false;
   }
   JsonRef Header = JsonValue::object();
-  Header->set("xsa_cache", JsonValue::number(1));
+  Header->set("xsa_cache", JsonValue::number(CacheFormatVersion));
   Out << Header->dump() << "\n";
   // Collect, then emit least-recently-used first, so loading in file
   // order reproduces each shard's recency order.
@@ -149,6 +169,42 @@ bool AnalysisSession::saveCache(const std::string &Path,
   });
   for (auto It = Lines.rbegin(); It != Lines.rend(); ++It)
     Out << (*It)->dump() << "\n";
+  // Fixpoint sequences, same LRU treatment.
+  std::vector<JsonRef> FxLines;
+  Fixpoints.forEachEntry([&](const std::string &Sig, uint32_t OptsKey,
+                             const FixpointSeedData &Data) {
+    JsonRef O = JsonValue::object();
+    O->set("fx", JsonValue::string(Sig));
+    O->set("o", JsonValue::number(static_cast<double>(OptsKey)));
+    O->set("conv", JsonValue::boolean(Data.Converged));
+    JsonRef Snaps = JsonValue::array();
+    for (const BddSnapshot &S : Data.Snapshots)
+      Snaps->push(JsonValue::string(S.encode()));
+    O->set("snaps", Snaps);
+    FxLines.push_back(O);
+  });
+  for (auto It = FxLines.rbegin(); It != FxLines.rend(); ++It)
+    Out << (*It)->dump() << "\n";
+  // Optimized query forms, sorted so the file is reproducible (the
+  // seed store is an unordered map). The DTD fingerprint travels as a
+  // hex string: JSON numbers are doubles and would truncate 64 bits.
+  std::vector<std::array<std::string, 4>> OptEntries;
+  OptSeeds.forEachEntry([&](const std::string &Q, const std::string &D,
+                            uint64_t Fp, const std::string &T) {
+    char Hex[17];
+    std::snprintf(Hex, sizeof(Hex), "%016llx",
+                  static_cast<unsigned long long>(Fp));
+    OptEntries.push_back({Q, D, Hex, T});
+  });
+  std::sort(OptEntries.begin(), OptEntries.end());
+  for (const auto &[Q, D, Fp, T] : OptEntries) {
+    JsonRef O = JsonValue::object();
+    O->set("oq", JsonValue::string(Q));
+    O->set("dtd", JsonValue::string(D));
+    O->set("dfp", JsonValue::string(Fp));
+    O->set("opt", JsonValue::string(T));
+    Out << O->dump() << "\n";
+  }
   if (!Out) {
     Error = "write error on cache file " + Path;
     return false;
@@ -177,11 +233,61 @@ bool AnalysisSession::loadCache(const std::string &Path, std::string &Error) {
       continue; // skip one corrupt entry, keep the rest
     }
     if (!SawHeader) {
-      if (Obj->get("xsa_cache")->asNumber() != 1) {
+      JsonRef Version = Obj->get("xsa_cache");
+      if (Version->type() != JsonValue::Type::Number) {
         Error = Path + " is not an xsa cache file";
         return false;
       }
+      double V = Version->asNumber();
+      if (V != static_cast<double>(static_cast<int>(V)) || V < 1 ||
+          V > CacheFormatVersion) {
+        // A future (or corrupt) version would parse as garbage line by
+        // line; refuse it outright rather than half-load it.
+        Error = Path + ": unsupported cache format version";
+        return false;
+      }
       SawHeader = true;
+      continue;
+    }
+    // Fixpoint sequence entry (v2). A snapshot that fails to decode
+    // poisons its whole entry — a partial sequence prefix would still be
+    // sound, but dropping the entry keeps corruption visible in the
+    // stats instead of silently degrading.
+    std::string FxSig = Obj->str("fx");
+    if (!FxSig.empty()) {
+      auto Data = std::make_shared<FixpointSeedData>();
+      Data->Converged = Obj->get("conv")->asBool();
+      JsonRef Snaps = Obj->get("snaps");
+      bool Bad = Snaps->type() != JsonValue::Type::Array;
+      if (!Bad)
+        for (const JsonRef &S : Snaps->items()) {
+          BddSnapshot Snap;
+          if (S->type() != JsonValue::Type::String ||
+              !BddSnapshot::decode(S->asString(), Snap)) {
+            Bad = true;
+            break;
+          }
+          Data->Snapshots.push_back(std::move(Snap));
+        }
+      if (!Bad && !Data->Snapshots.empty())
+        Fixpoints.publish(FxSig, static_cast<uint32_t>(
+                                     Obj->get("o")->asNumber()),
+                          std::move(Data));
+      continue;
+    }
+    // Optimized query form (v2). An entry without a well-formed DTD
+    // fingerprint is dropped: it could not be verified against the
+    // consumer's DTD content.
+    std::string OptQuery = Obj->str("oq");
+    if (!OptQuery.empty()) {
+      std::string OptText = Obj->str("opt");
+      std::string FpHex = Obj->str("dfp");
+      uint64_t Fp = 0;
+      auto [Ptr, Ec] = std::from_chars(
+          FpHex.data(), FpHex.data() + FpHex.size(), Fp, 16);
+      if (!OptText.empty() && Ec == std::errc() &&
+          Ptr == FpHex.data() + FpHex.size() && Fp)
+        OptSeeds.store(OptQuery, Obj->str("dtd"), Fp, OptText);
       continue;
     }
     std::string Key = Obj->str("k");
@@ -228,8 +334,15 @@ SessionStats AnalysisSession::stats() const {
       Counters.QueriesOptimized.load(std::memory_order_relaxed);
   S.OptimizeCacheHits =
       Counters.OptimizeCacheHits.load(std::memory_order_relaxed);
+  S.OptimizeSeedHits =
+      Counters.OptimizeSeedHits.load(std::memory_order_relaxed);
   S.RewriteChecks = Counters.RewriteChecks.load(std::memory_order_relaxed);
   S.RewritesAccepted =
       Counters.RewritesAccepted.load(std::memory_order_relaxed);
+  S.Fixpoints = Fixpoints.stats();
+  S.FixpointSeededRuns =
+      Counters.FixpointSeededRuns.load(std::memory_order_relaxed);
+  S.FixpointIterationsReplayed =
+      Counters.FixpointIterationsReplayed.load(std::memory_order_relaxed);
   return S;
 }

@@ -38,6 +38,7 @@
 #include "analysis/Problems.h"
 #include "service/Cache.h"
 #include "service/Context.h"
+#include "service/FixpointStore.h"
 #include "support/WorkerPool.h"
 #include "xtype/Dtd.h"
 
@@ -64,8 +65,16 @@ struct SessionStats {
   /// Rewrite-engine work (optimize requests and the optimize pre-pass).
   size_t QueriesOptimized = 0;
   size_t OptimizeCacheHits = 0;
+  size_t OptimizeSeedHits = 0;
   size_t RewriteChecks = 0;
   size_t RewritesAccepted = 0;
+  /// Cross-request fixpoint sharing: store counters (Hits/Misses count
+  /// solver-side seed lookups, Insertions kept publishes), plus the
+  /// solver-side tallies — runs that replayed a stored prefix and the
+  /// total Upd iterations that replay skipped.
+  CacheStats Fixpoints;
+  size_t FixpointSeededRuns = 0;
+  size_t FixpointIterationsReplayed = 0;
 };
 
 /// Knobs of an AnalysisSession. Solver options are the per-context
@@ -87,6 +96,15 @@ struct SessionOptions {
   /// Verdicts are unchanged by construction; per-response lean and
   /// iteration stats describe the optimized query's (smaller) formula.
   bool Optimize = false;
+  /// Cross-request fixpoint sharing: solver runs seed their §7.1
+  /// iteration from the SharedFixpointStore and publish back. Replay is
+  /// output-invisible (see solver/Pipeline.h), so responses are
+  /// byte-identical with sharing on or off, at any job count — only the
+  /// work changes.
+  bool ShareFixpoints = false;
+  /// Entry budget of the fixpoint store (entries, not bytes; 0 disables
+  /// it even when ShareFixpoints is requested).
+  size_t FixpointCapacity = 256;
 };
 
 class AnalysisSession {
@@ -157,6 +175,11 @@ public:
   bool optimizeEnabled() const { return Opts.Optimize; }
   void setOptimize(bool On);
 
+  /// The fixpoint-sharing switch (SessionOptions::ShareFixpoints),
+  /// applied to every context. Not thread-safe against a running batch.
+  bool shareFixpointsEnabled() const { return Opts.ShareFixpoints; }
+  void setShareFixpoints(bool On);
+
   /// The dispatcher's pool, sized to jobs() threads, with one warm
   /// AnalysisContext per worker. Lazily constructed on first use so
   /// jobs=1 sessions never spawn a thread.
@@ -170,27 +193,37 @@ public:
   // Persistent cache (warm-up across processes)
   //===--------------------------------------------------------------------===//
 
-  /// Serializes every cached result to \p Path as JSON lines (one header
-  /// line, then one entry per line: canonical-text key, options
-  /// fingerprint, verdict, stats, model XML). Returns false and sets
-  /// \p Error on I/O failure.
+  /// Serializes the session's shared state to \p Path as JSON lines: a
+  /// version header {"xsa_cache":2}, then one entry per line — cached
+  /// results ("k": canonical-text key, options fingerprint, verdict,
+  /// stats, model XML), fixpoint-store sequences ("fx": lean signature,
+  /// options fingerprint, encoded snapshots), and optimized query forms
+  /// ("oq"). Returns false and sets \p Error on I/O failure.
   bool saveCache(const std::string &Path, std::string &Error) const;
 
-  /// Loads entries saved by saveCache into the shared cache (counted as
-  /// insertions, not hits). Entries that fail to parse are skipped;
-  /// returns false and sets \p Error only when the file is unreadable or
-  /// not a cache file. Safe to call on a warm session; existing entries
-  /// are refreshed.
+  /// Loads entries saved by saveCache into the shared stores (counted as
+  /// insertions, not hits). Format versions: 1 (results only) and 2 are
+  /// read; an unknown version is rejected with a clear error instead of
+  /// being mis-parsed. Entries that fail to parse are skipped; returns
+  /// false and sets \p Error only when the file is unreadable, not a
+  /// cache file, or of an unsupported version. Safe to call on a warm
+  /// session; existing entries are refreshed.
   bool loadCache(const std::string &Path, std::string &Error);
 
   /// The shared result cache (exposed for tests and tooling).
   ShardedResultCache &resultCache() { return Cache; }
+  /// The shared fixpoint store (exposed for tests and tooling).
+  SharedFixpointStore &fixpointStore() { return Fixpoints; }
+  /// The shared store of persisted optimized query forms.
+  OptimizeSeedStore &optimizeSeeds() { return OptSeeds; }
 
   SessionStats stats() const;
 
 private:
   SessionOptions Opts;
   ShardedResultCache Cache;
+  SharedFixpointStore Fixpoints;
+  OptimizeSeedStore OptSeeds;
   AtomicSessionStats Counters;
   AnalysisContext Main;
   std::vector<std::unique_ptr<AnalysisContext>> Workers;

@@ -1,14 +1,22 @@
 //===- BddSolver.cpp - Symbolic satisfiability solver (§7) -----------------===//
+//
+// The solver proper is the staged pipeline of Pipeline.h; this file keeps
+// the formula-level preprocessing (plunging, the single-mark constraint)
+// and the orchestration of one run: result cache, LeanPlan,
+// TransitionSystem, fixpoint-store seed lookup, FixpointLoop, model
+// extraction, fixpoint-store publish.
+//
+//===----------------------------------------------------------------------===//
 
 #include "solver/BddSolver.h"
 
 #include "bdd/Bdd.h"
+#include "bdd/Snapshot.h"
 #include "logic/CycleFree.h"
+#include "solver/Pipeline.h"
 
-#include <algorithm>
 #include <cassert>
 #include <chrono>
-#include <unordered_map>
 
 using namespace xsa;
 
@@ -41,397 +49,6 @@ Formula xsa::singleMarkFormula(FormulaFactory &FF) {
   return FF.mu({{Z, ZDef}, {O, ODef}}, FF.var(O));
 }
 
-namespace {
-
-/// A single binary tree node of a reconstructed model.
-struct ModelNode {
-  Symbol Label = 0;
-  bool Marked = false;
-  std::unique_ptr<ModelNode> Child1, Child2;
-};
-
-/// One solver run: owns the BDD manager, the Lean and all derived BDDs.
-class SymbolicRun {
-public:
-  SymbolicRun(FormulaFactory &FF, const SolverOptions &Opts, Formula Phi)
-      : FF(FF), Opts(Opts), Phi(Phi),
-        L(Lean::compute(FF, Phi, Opts.Order)),
-        NumBits(static_cast<unsigned>(L.size())) {
-    M.ensureVars(2 * NumBits);
-    XToY.resize(2 * NumBits);
-    for (unsigned I = 0; I < NumBits; ++I)
-      XToY[2 * I] = 2 * I + 1;
-  }
-
-  SolverResult run();
-
-  const Lean &lean() const { return L; }
-
-private:
-  unsigned xVar(unsigned I) const { return 2 * I; }
-  unsigned yVar(unsigned I) const { return 2 * I + 1; }
-
-  Bdd x(unsigned I) { return M.var(xVar(I)); }
-  Bdd y(unsigned I) { return M.var(yVar(I)); }
-
-  Bdd shiftToY(const Bdd &F) { return M.remapVars(F, XToY); }
-
-  Bdd statusBdd(Formula F, bool YCopy);
-  Bdd typesBdd();
-  void buildDeltaClauses(Program A);
-  Bdd witness(Program A, const Bdd &TY);
-  Bdd witnessEarlyQuantified(Program A, const Bdd &TY);
-  Bdd witnessMonolithic(Program A, const Bdd &TY);
-
-  DynBitset assignmentToType(const std::vector<bool> &Values, bool YCopy);
-  std::unique_ptr<ModelNode> rebuildNode(const DynBitset &T, int MaxSnapshot);
-  Document modelToDocument(const ModelNode &Root);
-
-  FormulaFactory &FF;
-  const SolverOptions &Opts;
-  Formula Phi;
-  Lean L;
-  unsigned NumBits;
-  BddManager M;
-  std::vector<unsigned> XToY;
-
-  std::unordered_map<Formula, Bdd> StatusMemo[2]; // [0]=x copy, [1]=y copy
-
-  // ∆a as equivalence clauses (index 0: program 1, index 1: program 2).
-  struct Clause {
-    Bdd R;                       ///< the clause over x and y variables
-    std::vector<unsigned> YDeps; ///< primed variables it depends on
-  };
-  std::vector<Clause> Delta[2];
-  Bdd MonolithicDelta[2];
-
-  std::vector<Bdd> Snapshots;  ///< T^1, T^2, ... (over x)
-  std::vector<Bdd> SnapshotsY; ///< lazily computed y-copies
-};
-
-Bdd SymbolicRun::statusBdd(Formula F, bool YCopy) {
-  auto &Memo = StatusMemo[YCopy];
-  auto It = Memo.find(F);
-  if (It != Memo.end())
-    return It->second;
-  auto Var = [&](unsigned I) { return YCopy ? y(I) : x(I); };
-  Bdd R;
-  switch (F->kind()) {
-  case FormulaKind::True:
-    R = M.one();
-    break;
-  case FormulaKind::False:
-    R = M.zero();
-    break;
-  case FormulaKind::Prop:
-    R = Var(L.propIndex(F->sym()));
-    break;
-  case FormulaKind::NegProp:
-    R = !Var(L.propIndex(F->sym()));
-    break;
-  case FormulaKind::Start:
-    R = Var(L.startIndex());
-    break;
-  case FormulaKind::NegStart:
-    R = !Var(L.startIndex());
-    break;
-  case FormulaKind::Var:
-    assert(false && "status of an open formula");
-    R = M.zero();
-    break;
-  case FormulaKind::And:
-    R = statusBdd(F->lhs(), YCopy) & statusBdd(F->rhs(), YCopy);
-    break;
-  case FormulaKind::Or:
-    R = statusBdd(F->lhs(), YCopy) | statusBdd(F->rhs(), YCopy);
-    break;
-  case FormulaKind::Exist: {
-    unsigned I = L.existIndex(F);
-    assert(I != ~0u && "modal formula outside the lean");
-    R = Var(I);
-    break;
-  }
-  case FormulaKind::NegExistTop:
-    R = !Var(L.diamTopIndex(F->program()));
-    break;
-  case FormulaKind::Mu:
-    R = statusBdd(FF.unfold(F), YCopy);
-    break;
-  }
-  Memo.emplace(F, R);
-  return R;
-}
-
-Bdd SymbolicRun::typesBdd() {
-  Bdd T = M.one();
-  // Modal consistency: ⟨a⟩φ ⇒ ⟨a⟩⊤.
-  for (unsigned I = 0; I < NumBits; ++I) {
-    Formula F = L.members()[I];
-    if (!F->is(FormulaKind::Exist) || F->lhs() == FF.trueF())
-      continue;
-    T &= x(I).implies(x(L.diamTopIndex(F->program())));
-  }
-  // Not both a first child and a second child.
-  T &= !(x(L.diamTopIndex(Program::ParentInv)) &
-         x(L.diamTopIndex(Program::SiblingInv)));
-  // Exactly one atomic proposition.
-  Bdd None = M.one(), One = M.zero();
-  for (Symbol S : L.props()) {
-    Bdd P = x(L.propIndex(S));
-    One = (One & !P) | (None & P);
-    None &= !P;
-  }
-  T &= One;
-  return T;
-}
-
-void SymbolicRun::buildDeltaClauses(Program A) {
-  int Idx = A == Program::Child ? 0 : 1;
-  Program ABar = converse(A);
-  for (unsigned I = 0; I < NumBits; ++I) {
-    Formula F = L.members()[I];
-    if (!F->is(FormulaKind::Exist))
-      continue;
-    Bdd R;
-    if (F->program() == A)
-      R = x(I).iff(statusBdd(F->lhs(), /*YCopy=*/true));
-    else if (F->program() == ABar)
-      R = y(I).iff(statusBdd(F->lhs(), /*YCopy=*/false));
-    else
-      continue;
-    std::vector<unsigned> YDeps;
-    for (unsigned V : M.support(R))
-      if (V & 1)
-        YDeps.push_back(V);
-    Delta[Idx].push_back({std::move(R), std::move(YDeps)});
-  }
-  if (!Opts.EarlyQuantification) {
-    Bdd D = M.one();
-    for (const Clause &C : Delta[Idx])
-      D &= C.R;
-    MonolithicDelta[Idx] = D;
-  }
-}
-
-Bdd SymbolicRun::witness(Program A, const Bdd &TY) {
-  Bdd H = Opts.EarlyQuantification ? witnessEarlyQuantified(A, TY)
-                                   : witnessMonolithic(A, TY);
-  // isparent_a(x) → ∃y [...]: nodes without an a-child need no witness.
-  return (!x(L.diamTopIndex(A))) | H;
-}
-
-Bdd SymbolicRun::witnessMonolithic(Program A, const Bdd &TY) {
-  int Idx = A == Program::Child ? 0 : 1;
-  std::vector<unsigned> AllY;
-  for (unsigned I = 0; I < NumBits; ++I)
-    AllY.push_back(yVar(I));
-  Bdd H = TY & y(L.diamTopIndex(converse(A)));
-  return M.andExists(H, MonolithicDelta[Idx], M.cube(AllY));
-}
-
-Bdd SymbolicRun::witnessEarlyQuantified(Program A, const Bdd &TY) {
-  // §7.3: order the clauses R_i so that primed variables can be
-  // quantified out as early as possible, choosing at each step the
-  // variable of minimum cost (sum of |D_i| over the clauses containing
-  // it), then fold with relational products.
-  int Idx = A == Program::Child ? 0 : 1;
-  const std::vector<Clause> &Clauses = Delta[Idx];
-  std::vector<bool> Used(Clauses.size(), false);
-  std::vector<size_t> Order;
-  for (;;) {
-    // Cost of each not-yet-consumed variable.
-    std::unordered_map<unsigned, size_t> Cost;
-    for (size_t I = 0; I < Clauses.size(); ++I) {
-      if (Used[I])
-        continue;
-      for (unsigned V : Clauses[I].YDeps)
-        Cost[V] += Clauses[I].YDeps.size();
-    }
-    if (Cost.empty()) {
-      // Remaining clauses have no primed variables: append them.
-      for (size_t I = 0; I < Clauses.size(); ++I)
-        if (!Used[I])
-          Order.push_back(I);
-      break;
-    }
-    unsigned Best = Cost.begin()->first;
-    for (const auto &[V, C] : Cost)
-      if (C < Cost[Best] || (C == Cost[Best] && V < Best))
-        Best = V;
-    for (size_t I = 0; I < Clauses.size(); ++I)
-      if (!Used[I] &&
-          std::find(Clauses[I].YDeps.begin(), Clauses[I].YDeps.end(), Best) !=
-              Clauses[I].YDeps.end()) {
-        Used[I] = true;
-        Order.push_back(I);
-      }
-  }
-  // E_p = D_ρ(p) \ ∪_{j>p} D_ρ(j).
-  std::vector<std::vector<unsigned>> Elim(Order.size());
-  std::unordered_map<unsigned, bool> SeenLater;
-  for (size_t P = Order.size(); P-- > 0;) {
-    for (unsigned V : Clauses[Order[P]].YDeps)
-      if (!SeenLater.count(V))
-        Elim[P].push_back(V);
-    for (unsigned V : Clauses[Order[P]].YDeps)
-      SeenLater.emplace(V, true);
-  }
-  Bdd H = TY & y(L.diamTopIndex(converse(A)));
-  for (size_t P = 0; P < Order.size(); ++P) {
-    const Clause &C = Clauses[Order[P]];
-    if (Elim[P].empty())
-      H &= C.R;
-    else
-      H = M.andExists(H, C.R, M.cube(Elim[P]));
-  }
-  // Quantify primed variables that appear in no clause (e.g. lean bits
-  // constrained only by χT).
-  std::vector<unsigned> Rest;
-  for (unsigned V : M.support(H))
-    if (V & 1)
-      Rest.push_back(V);
-  if (!Rest.empty())
-    H = M.exists(H, M.cube(Rest));
-  return H;
-}
-
-DynBitset SymbolicRun::assignmentToType(const std::vector<bool> &Values,
-                                        bool YCopy) {
-  DynBitset T(NumBits);
-  for (unsigned I = 0; I < NumBits; ++I)
-    if (Values[YCopy ? yVar(I) : xVar(I)])
-      T.set(I);
-  return T;
-}
-
-SolverResult SymbolicRun::run() {
-  SolverResult Result;
-  Bdd Types = typesBdd();
-  buildDeltaClauses(Program::Child);
-  buildDeltaClauses(Program::Sibling);
-  Bdd RootCond = (!x(L.diamTopIndex(Program::ParentInv))) &
-                 (!x(L.diamTopIndex(Program::SiblingInv)));
-  if (Opts.RequireSingleRoot)
-    RootCond &= !x(L.diamTopIndex(Program::Sibling));
-  Bdd StatusPhi = statusBdd(Phi, /*YCopy=*/false);
-  Bdd FinalCond = RootCond & StatusPhi;
-
-  Bdd T = M.zero();
-  Bdd Final = M.zero();
-  bool Sat = false;
-  for (;;) {
-    Bdd TY = shiftToY(T);
-    Bdd TNext =
-        T | (Types & witness(Program::Child, TY) &
-             witness(Program::Sibling, TY));
-    ++Result.Stats.Iterations;
-    Snapshots.push_back(TNext);
-    if (Opts.EarlyTermination) {
-      Final = TNext & FinalCond;
-      if (!Final.isZero()) {
-        Sat = true;
-        break;
-      }
-    }
-    if (TNext == T) {
-      if (!Opts.EarlyTermination) {
-        Final = TNext & FinalCond;
-        Sat = !Final.isZero();
-      }
-      break;
-    }
-    T = TNext;
-  }
-  Result.Satisfiable = Sat;
-  Result.Stats.LeanSize = NumBits;
-  Result.Stats.PeakBddNodes = M.peakNodes();
-
-  if (Sat && Opts.ExtractModel) {
-    // §7.2: pick a root type, then search successors in the earliest
-    // intermediate sets first to minimize model depth.
-    std::vector<bool> Values;
-    bool Ok = M.satOne(Final, Values);
-    assert(Ok && "final set nonempty but no assignment");
-    (void)Ok;
-    DynBitset RootType = assignmentToType(Values, /*YCopy=*/false);
-    std::unique_ptr<ModelNode> Root =
-        rebuildNode(RootType, static_cast<int>(Snapshots.size()) - 1);
-    Result.Model = modelToDocument(*Root);
-  }
-  return Result;
-}
-
-std::unique_ptr<ModelNode> SymbolicRun::rebuildNode(const DynBitset &T,
-                                                    int MaxSnapshot) {
-  auto Node = std::make_unique<ModelNode>();
-  for (Symbol S : L.props())
-    if (T.test(L.propIndex(S))) {
-      Node->Label = S;
-      break;
-    }
-  Node->Marked = T.test(L.startIndex());
-
-  for (Program A : {Program::Child, Program::Sibling}) {
-    if (!T.test(L.diamTopIndex(A)))
-      continue;
-    // Constraint on the a-child: ∆a with the parent fixed to T.
-    Bdd C = y(L.diamTopIndex(converse(A)));
-    Program ABar = converse(A);
-    for (unsigned I = 0; I < NumBits; ++I) {
-      Formula F = L.members()[I];
-      if (!F->is(FormulaKind::Exist))
-        continue;
-      if (F->program() == A) {
-        Bdd S = statusBdd(F->lhs(), /*YCopy=*/true);
-        C &= T.test(I) ? S : !S;
-      } else if (F->program() == ABar) {
-        C &= L.status(FF, F->lhs(), T) ? y(I) : !y(I);
-      }
-    }
-    // Earliest snapshot containing a compatible child.
-    std::unique_ptr<ModelNode> Child;
-    for (int J = 0; J < MaxSnapshot; ++J) {
-      if (SnapshotsY.size() <= static_cast<size_t>(J))
-        SnapshotsY.push_back(shiftToY(Snapshots[J]));
-      Bdd D = C & SnapshotsY[J];
-      if (D.isZero())
-        continue;
-      std::vector<bool> Values;
-      M.satOne(D, Values);
-      DynBitset ChildType = assignmentToType(Values, /*YCopy=*/true);
-      Child = rebuildNode(ChildType, J);
-      break;
-    }
-    assert(Child && "missing witness during model reconstruction");
-    if (A == Program::Child)
-      Node->Child1 = std::move(Child);
-    else
-      Node->Child2 = std::move(Child);
-  }
-  return Node;
-}
-
-Document SymbolicRun::modelToDocument(const ModelNode &Root) {
-  Document Doc;
-  Symbol Other = L.otherProp();
-  // Labels σx stand for "any name not in the formula": print as "_any".
-  Symbol AnyName = internSymbol("_any");
-  auto Emit = [&](auto &&Self, const ModelNode *N, NodeId Parent) -> void {
-    for (const ModelNode *Cur = N; Cur; Cur = Cur->Child2.get()) {
-      NodeId Id =
-          Doc.addNode(Cur->Label == Other ? AnyName : Cur->Label, Parent);
-      if (Cur->Marked)
-        Doc.setMark(Id);
-      if (Cur->Child1)
-        Self(Self, Cur->Child1.get(), Id);
-    }
-  };
-  Emit(Emit, &Root, InvalidNodeId);
-  return Doc;
-}
-
-} // namespace
-
 uint32_t xsa::solverOptionsKey(const SolverOptions &Opts) {
   uint32_t K = static_cast<uint32_t>(Opts.Order);
   K = (K << 1) | Opts.EarlyQuantification;
@@ -441,6 +58,29 @@ uint32_t xsa::solverOptionsKey(const SolverOptions &Opts) {
   K = (K << 1) | Opts.RequireSingleRoot;
   return K;
 }
+
+uint32_t xsa::fixpointOptionsKey(const SolverOptions &Opts) {
+  return Opts.EarlyQuantification;
+}
+
+namespace {
+
+/// Exports a finished run's iterate sequence over lean-member indices.
+std::shared_ptr<const FixpointSeedData>
+exportSequence(BddManager &M, const std::vector<Bdd> &Snapshots,
+               bool Converged) {
+  auto Data = std::make_shared<FixpointSeedData>();
+  Data->Converged = Converged;
+  Data->Snapshots.reserve(Snapshots.size());
+  for (const Bdd &T : Snapshots) {
+    BddSnapshot S = exportSnapshot(M, T);
+    S.mapVars([](unsigned V) { return V / 2; });
+    Data->Snapshots.push_back(std::move(S));
+  }
+  return Data;
+}
+
+} // namespace
 
 SolverResult BddSolver::solve(Formula Psi) {
   auto Start = std::chrono::steady_clock::now();
@@ -459,15 +99,58 @@ SolverResult BddSolver::solve(Formula Psi) {
   Formula Phi = plungeFormula(FF, Psi);
   if (Opts.EnforceSingleMark)
     Phi = FF.conj(singleMarkFormula(FF), Phi);
-  SymbolicRun Run(FF, Opts, Phi);
-  SolverResult R = Run.run();
-  R.Stats.TimeMs =
+
+  // Stage 1: lean, variable order, sharing key.
+  LeanPlan Plan(FF, Phi, Opts.Order);
+
+  // Stage 2: the transition system over this run's manager.
+  BddManager M;
+  TransitionSystem TS(FF, Plan, Opts, M);
+
+  // Seed lookup: a stored prefix of this lean's iterate sequence. The
+  // shared_ptr pins the entry for the whole run; the loop imports its
+  // snapshots lazily as it replays them.
+  FixpointCache *Store =
+      Opts.Fixpoints && Opts.Fixpoints->enabled() ? Opts.Fixpoints : nullptr;
+  std::shared_ptr<const FixpointSeedData> Seed;
+  if (Store)
+    Seed = Store->lookup(Plan.signature(), fixpointOptionsKey(Opts));
+
+  const Lean &L = Plan.lean();
+  Bdd RootCond = (!TS.x(L.diamTopIndex(Program::ParentInv))) &
+                 (!TS.x(L.diamTopIndex(Program::SiblingInv)));
+  if (Opts.RequireSingleRoot)
+    RootCond &= !TS.x(L.diamTopIndex(Program::Sibling));
+  Bdd FinalCond = RootCond & TS.statusBdd(Phi, /*YCopy=*/false);
+
+  // Stage 3: the Upd iteration, replaying the seed first.
+  FixpointLoop Loop(TS);
+  FixpointLoop::Outcome Out = Loop.run(FinalCond, Seed.get());
+
+  SolverResult Result;
+  Result.Satisfiable = Out.Sat;
+  Result.Stats.LeanSize = Plan.numBits();
+  Result.Stats.Iterations = Out.Iterations;
+  Result.Stats.IterationsReplayed = Out.Replayed;
+  Result.Stats.PeakBddNodes = M.peakNodes();
+
+  // Publish when this run extended what the store had (a run fully
+  // served by its seed has nothing new to offer).
+  if (Store && Out.Iterations > Out.Replayed)
+    Store->publish(Plan.signature(), fixpointOptionsKey(Opts),
+                   exportSequence(M, Loop.snapshots(), Out.Converged));
+
+  if (Out.Sat && Opts.ExtractModel) {
+    ModelExtractor Extractor(TS, Loop.snapshots());
+    Result.Model = Extractor.extract(Out.Final);
+  }
+  Result.Stats.TimeMs =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - Start)
           .count();
   if (Opts.StatsHook)
-    Opts.StatsHook(R.Stats);
+    Opts.StatsHook(Result.Stats);
   if (Opts.Cache)
-    Opts.Cache->store(Canonical, solverOptionsKey(Opts), R);
-  return R;
+    Opts.Cache->store(Canonical, solverOptionsKey(Opts), Result);
+  return Result;
 }

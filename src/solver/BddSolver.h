@@ -39,13 +39,17 @@
 #ifndef XSA_SOLVER_BDDSOLVER_H
 #define XSA_SOLVER_BDDSOLVER_H
 
+#include "bdd/Snapshot.h"
 #include "logic/Formula.h"
 #include "logic/Lean.h"
 #include "tree/Document.h"
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 namespace xsa {
 
@@ -66,6 +70,54 @@ public:
   virtual const SolverResult *lookup(Formula Canonical, uint32_t OptsKey) = 0;
   virtual void store(Formula Canonical, uint32_t OptsKey,
                      const SolverResult &R) = 0;
+};
+
+/// One lean's canonical iterate sequence T^1, T^2, ..., exported as
+/// portable snapshots over lean-member indices. The §7.1 update operator
+/// Upd is a function of the lean alone (χTypes, the ∆a clauses and the
+/// witness conditions never mention the input formula, which enters only
+/// through the final condition), so the sequence of iterates from ∅ is
+/// the same for every formula with the same lean signature. A stored
+/// prefix is therefore replayable verbatim by any such formula's run:
+/// replay is output-invisible (same snapshots, same verdict, same model,
+/// same iteration count as a cold run) and only skips the expensive
+/// image computations. See DESIGN.md for the soundness argument.
+struct FixpointSeedData {
+  /// T^1 .. T^k in iteration order. A converged sequence carries the
+  /// duplicated final iterate, exactly as the solver's loop records it.
+  std::vector<BddSnapshot> Snapshots;
+  /// True when the sequence ran to Upd's fixpoint (the lfp was reached);
+  /// false for the prefix of an early-terminated satisfiable run.
+  bool Converged = false;
+
+  size_t totalNodes() const {
+    size_t N = 0;
+    for (const BddSnapshot &S : Snapshots)
+      N += S.nodeCount();
+    return N;
+  }
+};
+
+/// Cross-request fixpoint store consulted by the solver when installed
+/// in SolverOptions. Keys are (lean signature, options fingerprint):
+/// factory-independent like the result-cache keys, so any worker's run
+/// can seed any other's. Implementations live above the solver (see
+/// service/FixpointStore.h) and must be safe to call from whatever
+/// thread solve() runs on.
+class FixpointCache {
+public:
+  virtual ~FixpointCache() = default;
+  /// Cheap dynamic switch: when false the solver skips signature
+  /// computation entirely (the session toggles sharing per batch).
+  virtual bool enabled() const { return true; }
+  /// The best stored sequence for the key, or null. Shared ownership:
+  /// entries are immutable once published.
+  virtual std::shared_ptr<const FixpointSeedData>
+  lookup(const std::string &LeanSig, uint32_t OptsKey) = 0;
+  /// Offers a sequence; the store keeps it only if it improves on what
+  /// it has (converged beats prefix, longer prefix beats shorter).
+  virtual void publish(const std::string &LeanSig, uint32_t OptsKey,
+                       std::shared_ptr<const FixpointSeedData> Data) = 0;
 };
 
 struct SolverOptions {
@@ -107,15 +159,38 @@ struct SolverOptions {
   /// uses relaxed counters; see service/Context.h for the memory-order
   /// discussion).
   std::function<void(const SolverStats &)> StatsHook;
+  /// Optional cross-request fixpoint store, not owned. When set (and
+  /// enabled), every actual run looks up its lean signature, replays a
+  /// stored iterate prefix instead of recomputing it, and publishes its
+  /// own sequence back at the end. Replay never changes the result —
+  /// verdict, model, and the Iterations stat are those of a cold run —
+  /// so, like Cache and StatsHook, Fixpoints is excluded from the
+  /// options fingerprint.
+  FixpointCache *Fixpoints = nullptr;
 };
 
 /// Fingerprint of the semantically relevant option bits, used to key
-/// cached results. Cache and StatsHook are deliberately excluded.
+/// cached results. Cache, StatsHook and Fixpoints are deliberately
+/// excluded.
 uint32_t solverOptionsKey(const SolverOptions &Opts);
+
+/// Fingerprint used to key fixpoint-store entries: only the bits that
+/// could change the iterate sequence itself. Order and EnforceSingleMark
+/// already show in the lean signature; RequireSingleRoot, ExtractModel
+/// and EarlyTermination only affect the final condition, model
+/// reconstruction, and how *far* the sequence is followed — none of
+/// which changes an iterate's value — so runs differing in those share
+/// sequences freely. EarlyQuantification is kept out of caution (both
+/// modes compute the same relational product).
+uint32_t fixpointOptionsKey(const SolverOptions &Opts);
 
 struct SolverStats {
   size_t LeanSize = 0;
   size_t Iterations = 0;
+  /// Of Iterations, how many were replayed from a fixpoint-store seed
+  /// rather than computed (0 for an unseeded run). Iterations itself is
+  /// seed-independent — it always reports the cold-equivalent count.
+  size_t IterationsReplayed = 0;
   size_t PeakBddNodes = 0;
   double TimeMs = 0;
 };

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bdd/Bdd.h"
+#include "bdd/Snapshot.h"
 
 #include <gtest/gtest.h>
 
@@ -280,5 +281,70 @@ TEST_P(BddRandomTest, AgreesWithTruthTable) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomTest, ::testing::Range(1, 9));
+
+//===----------------------------------------------------------------------===//
+// Portable snapshots
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, RoundTripsWithinAndAcrossManagers) {
+  BddManager M(6);
+  Bdd F = (M.var(0) & M.var(2)) | (!M.var(1) & M.var(4)) |
+          (M.var(3) ^ M.var(5));
+  BddSnapshot S = exportSnapshot(M, F);
+  EXPECT_GT(S.nodeCount(), 0u);
+  EXPECT_EQ(importSnapshot(M, S), F);
+
+  // A fresh manager rebuilds the same function over the same variables.
+  BddManager M2;
+  Bdd G = importSnapshot(M2, S);
+  for (unsigned Asg = 0; Asg < 64; ++Asg) {
+    std::vector<std::pair<unsigned, bool>> Assignment;
+    for (unsigned V = 0; V < 6; ++V)
+      Assignment.push_back({V, ((Asg >> V) & 1) != 0});
+    EXPECT_EQ(M2.restrict(G, Assignment).isOne(),
+              M.restrict(F, Assignment).isOne())
+        << "assignment " << Asg;
+  }
+}
+
+TEST(Snapshot, ConstantsAndVarRemap) {
+  BddManager M(4);
+  EXPECT_TRUE(importSnapshot(M, exportSnapshot(M, M.zero())).isZero());
+  EXPECT_TRUE(importSnapshot(M, exportSnapshot(M, M.one())).isOne());
+
+  // Export over even variables, compact to half indices and widen back:
+  // the solver's lean-member translation.
+  Bdd F = M.var(0) & !M.var(2);
+  BddSnapshot S = exportSnapshot(M, F);
+  S.mapVars([](unsigned V) { return V / 2; });
+  BddSnapshot Widened = S;
+  Widened.mapVars([](unsigned V) { return 2 * V; });
+  EXPECT_EQ(importSnapshot(M, Widened), F);
+}
+
+TEST(Snapshot, TextEncodingRoundTripsAndRejectsGarbage) {
+  BddManager M(5);
+  Bdd F = (M.var(0) | M.var(1)) & (!M.var(3) | M.var(4));
+  BddSnapshot S = exportSnapshot(M, F);
+  BddSnapshot Back;
+  ASSERT_TRUE(BddSnapshot::decode(S.encode(), Back));
+  EXPECT_EQ(importSnapshot(M, Back), F);
+
+  BddSnapshot Junk;
+  EXPECT_FALSE(BddSnapshot::decode("", Junk));
+  EXPECT_FALSE(BddSnapshot::decode("not numbers", Junk));
+  EXPECT_FALSE(BddSnapshot::decode("2 1 0 0 1 trailing", Junk));
+  // Child referencing a later entry (not topological).
+  EXPECT_FALSE(BddSnapshot::decode("2 1 0 3 1", Junk));
+  // Root out of range.
+  EXPECT_FALSE(BddSnapshot::decode("9 1 0 0 1", Junk));
+  // Low == High is never produced by a reduced BDD.
+  EXPECT_FALSE(BddSnapshot::decode("2 1 0 1 1", Junk));
+  // An absurd node count must not allocate.
+  EXPECT_FALSE(BddSnapshot::decode("0 4000000000", Junk));
+  // An absurd variable index must not become an ensureVars allocation
+  // on import (and would wrap the solver's 2x widening).
+  EXPECT_FALSE(BddSnapshot::decode("2 1 4000000000 0 1", Junk));
+}
 
 } // namespace

@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 using namespace xsa;
@@ -622,6 +623,77 @@ TEST(ShardedResultCache, SingleShardStressUnderContention) {
   EXPECT_EQ(S.Insertions - S.Evictions, Cache.size());
 }
 
+// Satellite of the fixpoint-sharing PR: saveCache walks the cache with
+// forEachEntry while a parallel batch may still be publishing. The walk
+// must stay coherent under concurrent stores — every visited entry is
+// internally consistent, and every entry present before the walk and
+// never evicted is visited.
+TEST(ShardedResultCache, ForEachEntryUnderConcurrentStores) {
+  ShardedResultCache Cache(512, 8);
+  // Pre-populate a stable set that eviction cannot touch (capacity is
+  // larger than everything the test inserts).
+  constexpr size_t Stable = 64, Churn = 256, Ops = 4000;
+  for (size_t I = 0; I < Stable; ++I) {
+    SolverResult R;
+    R.Satisfiable = true;
+    R.Stats.Iterations = I;
+    Cache.store("stable" + std::to_string(I), 1, R);
+  }
+  WorkerPool Pool(8);
+  std::atomic<size_t> Bad{0};
+  Pool.parallelFor(Ops, [&](size_t I, size_t W) {
+    if (W == 0) {
+      // One worker repeatedly walks while the others store.
+      size_t StableSeen = 0;
+      Cache.forEachEntry([&](const std::string &Key, uint32_t OptsKey,
+                             const SolverResult &R) {
+        if (OptsKey == 1) {
+          ++StableSeen;
+          // Stable entries must round-trip their payload.
+          if (Key != "stable" + std::to_string(R.Stats.Iterations))
+            Bad.fetch_add(1);
+        } else if (OptsKey != 2) {
+          Bad.fetch_add(1);
+        }
+      });
+      if (StableSeen != Stable)
+        Bad.fetch_add(1);
+    } else {
+      SolverResult R;
+      R.Stats.Iterations = I % Churn;
+      Cache.store("churn" + std::to_string(I % Churn), 2, R);
+    }
+  });
+  EXPECT_EQ(Bad.load(), 0u);
+}
+
+TEST(SharedFixpointStore, ForEachEntryUnderConcurrentPublishes) {
+  SharedFixpointStore Store(128, 8);
+  WorkerPool Pool(8);
+  std::atomic<size_t> Bad{0};
+  Pool.parallelFor(4000, [&](size_t I, size_t W) {
+    if (W == 0) {
+      Store.forEachEntry([&](const std::string &Sig, uint32_t,
+                             const FixpointSeedData &Data) {
+        // Every publisher of signature k offers exactly k % 7 + 1
+        // snapshots, so a coherent walk sees exactly that length.
+        size_t K = std::stoul(Sig.substr(3));
+        if (Data.Snapshots.size() != K % 7 + 1)
+          Bad.fetch_add(1);
+      });
+    } else {
+      size_t K = I % 100;
+      auto Data = std::make_shared<FixpointSeedData>();
+      Data->Converged = false;
+      for (size_t J = 0; J < K % 7 + 1; ++J)
+        Data->Snapshots.push_back(BddSnapshot{});
+      Store.publish("sig" + std::to_string(K), 0, std::move(Data));
+    }
+  });
+  EXPECT_EQ(Bad.load(), 0u);
+  EXPECT_LE(Store.size(), 128u);
+}
+
 TEST(ShardedResultCache, MultiShardConcurrentMixedUse) {
   ShardedResultCache Cache(256, 8);
   WorkerPool Pool(4);
@@ -814,6 +886,220 @@ TEST(PersistentCache, SaveLoadRoundTripPreservesEntryCount) {
   ASSERT_TRUE(B.loadCache(Path, Error)) << Error;
   EXPECT_EQ(B.resultCache().size(), Size);
   std::remove(Path.c_str());
+}
+
+TEST(PersistentCache, VersionHeaderIsEnforced) {
+  std::string Path = testing::TempDir() + "xsa_service_test_ver.jsonl";
+  auto WriteFile = [&](const std::string &Content) {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << Content;
+  };
+  std::string Error;
+
+  // A v1 file (results only) still loads.
+  WriteFile("{\"xsa_cache\":1}\n"
+            "{\"k\":\"legacy-key\",\"o\":3,\"sat\":true,\"lean\":4,"
+            "\"iter\":2,\"bdd\":10,\"time_ms\":0.5}\n");
+  AnalysisSession V1;
+  ASSERT_TRUE(V1.loadCache(Path, Error)) << Error;
+  EXPECT_EQ(V1.resultCache().size(), 1u);
+
+  // An unknown future version is rejected outright, not half-parsed.
+  WriteFile("{\"xsa_cache\":99}\n{\"k\":\"x\",\"o\":0,\"sat\":true}\n");
+  AnalysisSession V99;
+  EXPECT_FALSE(V99.loadCache(Path, Error));
+  EXPECT_NE(Error.find("unsupported"), std::string::npos) << Error;
+  EXPECT_EQ(V99.resultCache().size(), 0u);
+
+  // A non-numeric version is not a cache file.
+  WriteFile("{\"xsa_cache\":\"two\"}\n");
+  AnalysisSession Bad;
+  EXPECT_FALSE(Bad.loadCache(Path, Error));
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-request fixpoint sharing
+//===----------------------------------------------------------------------===//
+
+/// Same-shaped requests over per-index alphabets: textually distinct,
+/// semantically distinct, but every lean is isomorphic within a shape —
+/// the workload fixpoint sharing exists for.
+std::string nearDuplicateInput(size_t Groups, size_t Offset = 0) {
+  std::string In;
+  for (size_t I = Offset; I < Offset + Groups; ++I) {
+    std::string N = std::to_string(I);
+    In += "{\"id\":\"c" + N + "\",\"op\":\"contains\",\"e1\":\"/a" + N +
+          "/b" + N + "\",\"e2\":\"//b" + N + "\"}\n";
+    In += "{\"id\":\"o" + N + "\",\"op\":\"overlap\",\"e1\":\"//a" + N +
+          "/b" + N + "\",\"e2\":\"//b" + N + "[c" + N + "]\"}\n";
+  }
+  return In;
+}
+
+TEST(FixpointSharing, SharingIsOutputInvisibleAndSkipsIterations) {
+  std::string Input = nearDuplicateInput(4);
+  AnalysisSession Off;
+  std::string OutOff = runLinesRaw(Off, Input, /*Stable=*/true);
+
+  SessionOptions SOpts;
+  SOpts.ShareFixpoints = true;
+  AnalysisSession On(SOpts);
+  std::string OutOn = runLinesRaw(On, Input, /*Stable=*/true);
+  EXPECT_EQ(OutOff, OutOn) << "sharing must not change any response byte";
+
+  SessionStats S = On.stats();
+  EXPECT_GT(S.FixpointSeededRuns, 0u);
+  EXPECT_GT(S.FixpointIterationsReplayed, 0u);
+  EXPECT_GT(S.Fixpoints.Hits, 0u);
+  // The semantic iteration totals agree; only the computed share drops.
+  EXPECT_EQ(S.SolverIterations, Off.stats().SolverIterations);
+  EXPECT_LT(S.SolverIterations - S.FixpointIterationsReplayed,
+            S.SolverIterations);
+}
+
+TEST(FixpointSharing, ColdParallelSeededOutputMatchesSerial) {
+  // The acceptance criterion: with sharing on, an N-thread cold batch is
+  // byte-identical to the 1-thread run under --stable encoding, even
+  // though which runs get seeded differs with scheduling.
+  std::string Input = nearDuplicateInput(6);
+  SessionOptions Serial;
+  Serial.ShareFixpoints = true;
+  AnalysisSession S1(Serial);
+  std::string Out1 = runLinesRaw(S1, Input, /*Stable=*/true);
+
+  SessionOptions Parallel = Serial;
+  Parallel.Jobs = 4;
+  AnalysisSession S4(Parallel);
+  std::string Out4 = runLinesRaw(S4, Input, /*Stable=*/true);
+  EXPECT_EQ(Out1, Out4);
+}
+
+TEST(FixpointSharing, ConfigLineTogglesSharingMidStream) {
+  AnalysisSession Session;
+  EXPECT_FALSE(Session.shareFixpointsEnabled());
+  std::vector<JsonRef> Resps = runLines(
+      Session, "{\"op\":\"config\",\"share_fixpoints\":true}\n" +
+                   nearDuplicateInput(2));
+  ASSERT_GE(Resps.size(), 1u);
+  EXPECT_TRUE(Resps[0]->get("ok")->asBool());
+  EXPECT_TRUE(Resps[0]->get("share_fixpoints")->asBool());
+  EXPECT_TRUE(Session.shareFixpointsEnabled());
+  EXPECT_GT(Session.stats().FixpointSeededRuns, 0u);
+}
+
+TEST(FixpointSharing, PersistedSequencesSeedARestartedSession) {
+  // save → load → a batch of *unseen* same-shaped queries: the result
+  // cache misses (new texts) but every run seeds from the loaded store,
+  // and the --stable output is byte-identical to an unshared session's.
+  std::string Path = testing::TempDir() + "xsa_service_test_fx.jsonl";
+  std::remove(Path.c_str());
+  SessionOptions SOpts;
+  SOpts.ShareFixpoints = true;
+  {
+    AnalysisSession A(SOpts);
+    runLinesRaw(A, nearDuplicateInput(3));
+    EXPECT_GT(A.fixpointStore().size(), 0u);
+    std::string Error;
+    ASSERT_TRUE(A.saveCache(Path, Error)) << Error;
+  }
+
+  std::string Unseen = nearDuplicateInput(3, /*Offset=*/100);
+  AnalysisSession Plain;
+  std::string Expected = runLinesRaw(Plain, Unseen, /*Stable=*/true);
+
+  AnalysisSession B(SOpts);
+  std::string Error;
+  ASSERT_TRUE(B.loadCache(Path, Error)) << Error;
+  EXPECT_GT(B.fixpointStore().size(), 0u);
+  std::string Got = runLinesRaw(B, Unseen, /*Stable=*/true);
+  EXPECT_EQ(Expected, Got);
+  SessionStats S = B.stats();
+  EXPECT_EQ(S.Cache.Hits, 0u) << "unseen texts cannot hit the result cache";
+  EXPECT_GT(S.FixpointSeededRuns, 0u)
+      << "every run shares a lean with a persisted sequence";
+  std::remove(Path.c_str());
+}
+
+TEST(PersistentCache, OptimizedFormsSurviveARestart) {
+  // An optimize pre-pass session persists its proved rewrites; a
+  // restarted session applies them without a single proof obligation.
+  std::string Path = testing::TempDir() + "xsa_service_test_oq.jsonl";
+  std::remove(Path.c_str());
+  const std::string Input =
+      R"({"id":"q1","op":"empty","e1":"a//b"})" "\n";
+  SessionOptions SOpts;
+  SOpts.Optimize = true;
+  std::string Expected;
+  {
+    AnalysisSession A(SOpts);
+    Expected = runLinesRaw(A, Input, /*Stable=*/true);
+    EXPECT_GT(A.stats().RewriteChecks, 0u);
+    EXPECT_GT(A.optimizeSeeds().size(), 0u);
+    std::string Error;
+    ASSERT_TRUE(A.saveCache(Path, Error)) << Error;
+  }
+  AnalysisSession B(SOpts);
+  std::string Error;
+  ASSERT_TRUE(B.loadCache(Path, Error)) << Error;
+  // Fresh result cache entries were loaded too; the point here is that
+  // the *rewrite* is not re-derived.
+  EXPECT_EQ(runLinesRaw(B, Input, /*Stable=*/true), Expected);
+  SessionStats S = B.stats();
+  EXPECT_EQ(S.RewriteChecks, 0u) << "no proof obligations after restart";
+  EXPECT_GT(S.OptimizeSeedHits, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(PersistentCache, OptimizedFormsAreKeyedToDtdContent) {
+  // A persisted rewrite proved under one DTD file must not be applied
+  // after the file's content changes: the fingerprint misses and the
+  // pre-pass re-derives (and re-proves) under the new content.
+  std::string DtdPath = testing::TempDir() + "xsa_oq_test.dtd";
+  std::string Path = testing::TempDir() + "xsa_service_test_oq2.jsonl";
+  std::remove(Path.c_str());
+  auto WriteDtd = [&](const char *Content) {
+    std::ofstream Out(DtdPath, std::ios::trunc);
+    Out << Content;
+  };
+  const std::string Input = "{\"id\":\"q\",\"op\":\"empty\",\"e1\":"
+                            "\"r//x\",\"dtd\":\"" +
+                            DtdPath + "\"}\n";
+  SessionOptions SOpts;
+  SOpts.Optimize = true;
+
+  WriteDtd("<!ELEMENT r (x)>\n<!ELEMENT x EMPTY>\n");
+  {
+    AnalysisSession A(SOpts);
+    runLinesRaw(A, Input);
+    EXPECT_GT(A.optimizeSeeds().size(), 0u);
+    std::string Error;
+    ASSERT_TRUE(A.saveCache(Path, Error)) << Error;
+  }
+
+  // Same content: the seed applies, nothing is re-proved.
+  {
+    AnalysisSession B(SOpts);
+    std::string Error;
+    ASSERT_TRUE(B.loadCache(Path, Error)) << Error;
+    runLinesRaw(B, Input);
+    EXPECT_GT(B.stats().OptimizeSeedHits, 0u);
+    EXPECT_EQ(B.stats().RewriteChecks, 0u);
+  }
+
+  // Changed content under the same name: the seed must miss.
+  WriteDtd("<!ELEMENT r (x|y)>\n<!ELEMENT x EMPTY>\n<!ELEMENT y EMPTY>\n");
+  {
+    AnalysisSession C(SOpts);
+    std::string Error;
+    ASSERT_TRUE(C.loadCache(Path, Error)) << Error;
+    runLinesRaw(C, Input);
+    EXPECT_EQ(C.stats().OptimizeSeedHits, 0u)
+        << "a stale proof must not be resurrected";
+    EXPECT_GT(C.stats().QueriesOptimized, 0u) << "re-derived instead";
+  }
+  std::remove(Path.c_str());
+  std::remove(DtdPath.c_str());
 }
 
 } // namespace
