@@ -13,11 +13,14 @@
 #ifndef XSA_BENCH_BENCHJSON_H
 #define XSA_BENCH_BENCHJSON_H
 
+#include "obs/Metrics.h"
 #include "service/Json.h"
 #include "service/Session.h"
 
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace xsa_bench {
@@ -61,29 +64,71 @@ public:
     Results.push_back({Name, WallMs, CacheHitRate, std::move(Extra)});
   }
 
+  /// One result object per line (diff-friendly), each serialized through
+  /// the shared JsonValue emitter so names, extra-field keys and numbers
+  /// all go through one escaper — no hand-rolled member formatting here.
   void write() const {
     std::FILE *F = std::fopen(Path.c_str(), "w");
     if (!F)
       return;
     std::fprintf(F, "[\n");
     for (size_t I = 0; I < Results.size(); ++I) {
-      std::fprintf(F,
-                   "  {\"name\": %s, \"wall_ms\": %.3f, "
-                   "\"cache_hit_rate\": %.4f",
-                   xsa::jsonQuote(Results[I].Name).c_str(), Results[I].WallMs,
-                   Results[I].CacheHitRate);
+      xsa::JsonRef O = xsa::JsonValue::object();
+      O->set("name", xsa::JsonValue::string(Results[I].Name));
+      O->set("wall_ms", xsa::JsonValue::number(round4(Results[I].WallMs)));
+      O->set("cache_hit_rate",
+             xsa::JsonValue::number(round4(Results[I].CacheHitRate)));
       for (const auto &[K, V] : Results[I].Extra)
-        std::fprintf(F, ", %s: %.4f", xsa::jsonQuote(K).c_str(), V);
-      std::fprintf(F, "}%s\n", I + 1 < Results.size() ? "," : "");
+        O->set(K, xsa::JsonValue::number(round4(V)));
+      std::fprintf(F, "  %s%s\n", O->dump().c_str(),
+                   I + 1 < Results.size() ? "," : "");
     }
     std::fprintf(F, "]\n");
     std::fclose(F);
   }
 
 private:
+  /// Timing noise past 0.1µs is not signal; rounding also keeps the
+  /// emitted files free of 17-digit double tails.
+  static double round4(double V) { return std::round(V * 1e4) / 1e4; }
+
   std::string Path;
   std::vector<BenchResult> Results;
 };
+
+/// Brackets a measured region over one of the engine's latency
+/// histograms (obs/Metrics.h): snapshots at construction, and quantiles()
+/// reports p50/p99 of exactly the observations recorded since — which is
+/// how BENCH_*.json gains tail-latency fields without the benchmark
+/// keeping its own sample vector.
+class LatencyProbe {
+public:
+  explicit LatencyProbe(xsa::Histogram &H) : H(H), Before(H.snapshot()) {}
+
+  /// Extra-field pairs {p50_ms, p99_ms} for BenchJsonWriter::record().
+  std::vector<std::pair<std::string, double>> quantiles() const {
+    xsa::HistogramSnapshot D = H.snapshot().since(Before);
+    return {{"p50_ms", D.quantile(0.5)}, {"p99_ms", D.quantile(0.99)}};
+  }
+
+private:
+  xsa::Histogram &H;
+  xsa::HistogramSnapshot Before;
+};
+
+/// The request-latency histogram every AnalysisSession request observes
+/// into — the histogram service benches bracket with a LatencyProbe.
+inline xsa::Histogram &requestLatencyHistogram() {
+  return xsa::MetricRegistry::global().histogram(
+      "xsa_request_latency_ms", "End-to-end request latency");
+}
+
+/// The solver-run histogram (cache misses only) — what fixpoint/solver
+/// benches bracket.
+inline xsa::Histogram &solveLatencyHistogram() {
+  return xsa::MetricRegistry::global().histogram(
+      "xsa_solve_latency_ms", "Full solver-run latency (cache misses only)");
+}
 
 } // namespace xsa_bench
 

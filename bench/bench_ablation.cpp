@@ -69,6 +69,7 @@ Formula smilFormula(FormulaFactory &FF) {
 void runWith(const std::string &Name, benchmark::State &State,
              Formula (*Make)(FormulaFactory &), SolverOptions Opts,
              bool ExpectSat) {
+  xsa_bench::LatencyProbe Probe(xsa_bench::solveLatencyHistogram());
   size_t Lean = 0, Iters = 0, Peak = 0;
   double WallMs = 0;
   for (auto _ : State) {
@@ -89,10 +90,13 @@ void runWith(const std::string &Name, benchmark::State &State,
   State.counters["lean"] = static_cast<double>(Lean);
   State.counters["iters"] = static_cast<double>(Iters);
   State.counters["peak_nodes"] = static_cast<double>(Peak);
-  jsonOut().record(Name, WallMs, 0,
-                   {{"lean", static_cast<double>(Lean)},
-                    {"iters", static_cast<double>(Iters)},
-                    {"peak_nodes", static_cast<double>(Peak)}});
+  std::vector<std::pair<std::string, double>> Extra = {
+      {"lean", static_cast<double>(Lean)},
+      {"iters", static_cast<double>(Iters)},
+      {"peak_nodes", static_cast<double>(Peak)}};
+  for (auto &Q : Probe.quantiles())
+    Extra.push_back(std::move(Q));
+  jsonOut().record(Name, WallMs, 0, std::move(Extra));
 }
 
 SolverOptions baseOpts() {

@@ -20,7 +20,8 @@
 //
 // Results go to BENCH_fixpoint.json (name, wall_ms, cache_hit_rate,
 // solver_iterations, iterations_computed, iterations_replayed,
-// seeded_runs, seed_hit_rate).
+// seeded_runs, seed_hit_rate, p50_ms, p99_ms — the tail fields come
+// from the engine's request-latency histogram, bracketed per run).
 //
 //===----------------------------------------------------------------------===//
 
@@ -59,12 +60,16 @@ struct RunOutcome {
   std::string StableOut;
   double WallMs = 0;
   SessionStats Stats;
+  /// p50/p99 of the requests inside this run (request-latency histogram
+  /// delta), appended to the BENCH_fixpoint.json extras.
+  std::vector<std::pair<std::string, double>> Quantiles;
 };
 
 RunOutcome runBatchOn(AnalysisSession &Session, const std::string &Input) {
   RunOutcome Out;
   std::istringstream In(Input);
   std::ostringstream Os;
+  xsa_bench::LatencyProbe Probe(xsa_bench::requestLatencyHistogram());
   auto T0 = std::chrono::steady_clock::now();
   runBatchJsonLines(Session, In, Os, nullptr, /*StableOutput=*/true);
   Out.WallMs = std::chrono::duration<double, std::milli>(
@@ -72,6 +77,7 @@ RunOutcome runBatchOn(AnalysisSession &Session, const std::string &Input) {
                    .count();
   Out.StableOut = Os.str();
   Out.Stats = Session.stats();
+  Out.Quantiles = Probe.quantiles();
   return Out;
 }
 
@@ -80,15 +86,19 @@ double seedHitRate(const SessionStats &S) {
   return Lookups ? static_cast<double>(S.Fixpoints.Hits) / Lookups : 0;
 }
 
-std::vector<std::pair<std::string, double>> extras(const SessionStats &S) {
-  return {{"solver_iterations", static_cast<double>(S.SolverIterations)},
-          {"iterations_computed",
-           static_cast<double>(S.SolverIterations -
-                               S.FixpointIterationsReplayed)},
-          {"iterations_replayed",
-           static_cast<double>(S.FixpointIterationsReplayed)},
-          {"seeded_runs", static_cast<double>(S.FixpointSeededRuns)},
-          {"seed_hit_rate", seedHitRate(S)}};
+std::vector<std::pair<std::string, double>>
+extras(const SessionStats &S, const RunOutcome &Run) {
+  std::vector<std::pair<std::string, double>> E = {
+      {"solver_iterations", static_cast<double>(S.SolverIterations)},
+      {"iterations_computed",
+       static_cast<double>(S.SolverIterations -
+                           S.FixpointIterationsReplayed)},
+      {"iterations_replayed",
+       static_cast<double>(S.FixpointIterationsReplayed)},
+      {"seeded_runs", static_cast<double>(S.FixpointSeededRuns)},
+      {"seed_hit_rate", seedHitRate(S)}};
+  E.insert(E.end(), Run.Quantiles.begin(), Run.Quantiles.end());
+  return E;
 }
 
 } // namespace
@@ -107,7 +117,7 @@ int main() {
   AnalysisSession Off;
   RunOutcome Base = runBatchOn(Off, Batch);
   Json.record("near-dup-batch/share=off", Base.WallMs,
-              xsa_bench::sessionHitRate(Off), extras(Base.Stats));
+              xsa_bench::sessionHitRate(Off), extras(Base.Stats, Base));
 
   // Sharing on, serial.
   SessionOptions ShareOpts;
@@ -115,7 +125,7 @@ int main() {
   AnalysisSession On(ShareOpts);
   RunOutcome Shared = runBatchOn(On, Batch);
   Json.record("near-dup-batch/share=on", Shared.WallMs,
-              xsa_bench::sessionHitRate(On), extras(Shared.Stats));
+              xsa_bench::sessionHitRate(On), extras(Shared.Stats, Shared));
 
   if (Shared.StableOut != Base.StableOut)
     Fail("sharing changed the stable batch output");
@@ -141,7 +151,7 @@ int main() {
   AnalysisSession Par(ParOpts);
   RunOutcome Parallel = runBatchOn(Par, Batch);
   Json.record("near-dup-batch/share=on-jobs=4", Parallel.WallMs,
-              xsa_bench::sessionHitRate(Par), extras(Parallel.Stats));
+              xsa_bench::sessionHitRate(Par), extras(Parallel.Stats, Parallel));
   if (Parallel.StableOut != Base.StableOut)
     Fail("jobs=4 seeded output differs from the serial run");
 
@@ -161,7 +171,7 @@ int main() {
   Delta.Fixpoints.Misses =
       Warm.Stats.Fixpoints.Misses - Before.Fixpoints.Misses;
   Json.record("warm-store-batch/share=on", Warm.WallMs,
-              xsa_bench::sessionHitRate(On), extras(Delta));
+              xsa_bench::sessionHitRate(On), extras(Delta, Warm));
   size_t WarmSolves = Warm.Stats.Solves - Before.Solves;
   if (Delta.FixpointSeededRuns < WarmSolves)
     Fail("a warm-store run went unseeded");

@@ -107,6 +107,7 @@ int main() {
   // --- Rewrite throughput: cold, then memoized on the same session. ---
   std::vector<AnalysisRequest> Opt = optimizeWorkload();
   AnalysisSession Session;
+  xsa_bench::LatencyProbe ColdProbe(xsa_bench::requestLatencyHistogram());
   auto T0 = std::chrono::steady_clock::now();
   std::vector<AnalysisResponse> Cold = runBatch(Session, Opt);
   double ColdMs = msSince(T0);
@@ -126,9 +127,10 @@ int main() {
               "obligation cache-hit rate %.2f)\n",
               Opt.size(), ColdMs, 1e3 * Opt.size() / ColdMs, Checks, Rewrites,
               ColdRate);
-  Json.record("optimize-cold", ColdMs, ColdRate);
+  Json.record("optimize-cold", ColdMs, ColdRate, ColdProbe.quantiles());
 
   SessionStats Before = Session.stats();
+  xsa_bench::LatencyProbe WarmProbe(xsa_bench::requestLatencyHistogram());
   T0 = std::chrono::steady_clock::now();
   runBatch(Session, Opt);
   double WarmMs = msSince(T0);
@@ -142,30 +144,32 @@ int main() {
   std::printf("optimize-memoized:  %3zu queries  %8.1f ms  "
               "(%.0f q/s, optimize-memo hit rate %.2f)\n",
               Opt.size(), WarmMs, 1e3 * Opt.size() / WarmMs, MemoRate);
-  Json.record("optimize-memoized", WarmMs, MemoRate);
+  Json.record("optimize-memoized", WarmMs, MemoRate, WarmProbe.quantiles());
 
   // --- Pre-pass cache-hit-rate uplift on near-duplicates. ---
   std::vector<AnalysisRequest> Dup = nearDuplicateWorkload();
 
   AnalysisSession Plain;
+  xsa_bench::LatencyProbe OffProbe(xsa_bench::requestLatencyHistogram());
   T0 = std::chrono::steady_clock::now();
   double OffRate = responseHitRate(runBatch(Plain, Dup));
   double OffMs = msSince(T0);
   std::printf("batch-prepass-off:  %3zu requests %8.1f ms  "
               "(response cache-hit rate %.2f)\n",
               Dup.size(), OffMs, OffRate);
-  Json.record("batch-prepass-off", OffMs, OffRate);
+  Json.record("batch-prepass-off", OffMs, OffRate, OffProbe.quantiles());
 
   SessionOptions WithOpt;
   WithOpt.Optimize = true;
   AnalysisSession Optimized(WithOpt);
+  xsa_bench::LatencyProbe OnProbe(xsa_bench::requestLatencyHistogram());
   T0 = std::chrono::steady_clock::now();
   double OnRate = responseHitRate(runBatch(Optimized, Dup));
   double OnMs = msSince(T0);
   std::printf("batch-prepass-on:   %3zu requests %8.1f ms  "
               "(response cache-hit rate %.2f)\n",
               Dup.size(), OnMs, OnRate);
-  Json.record("batch-prepass-on", OnMs, OnRate);
+  Json.record("batch-prepass-on", OnMs, OnRate, OnProbe.quantiles());
 
   std::printf("pre-pass uplift:    +%.0f%% cache-hit rate\n",
               100 * (OnRate - OffRate));

@@ -40,6 +40,7 @@ xsa_bench::BenchJsonWriter &jsonOut() {
 template <typename Fn>
 void timedRecord(const std::string &Name, benchmark::State &State, Fn Body,
                  size_t *LeanOut, size_t *ItersOut = nullptr) {
+  xsa_bench::LatencyProbe Probe(xsa_bench::solveLatencyHistogram());
   double WallMs = 0;
   for (auto _ : State) {
     auto T0 = std::chrono::steady_clock::now();
@@ -52,6 +53,8 @@ void timedRecord(const std::string &Name, benchmark::State &State, Fn Body,
       {"lean", static_cast<double>(*LeanOut)}};
   if (ItersOut)
     Extra.push_back({"iters", static_cast<double>(*ItersOut)});
+  for (auto &Q : Probe.quantiles())
+    Extra.push_back(std::move(Q));
   jsonOut().record(Name, WallMs, 0, std::move(Extra));
 }
 

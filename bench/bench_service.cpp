@@ -81,6 +81,7 @@ std::vector<AnalysisRequest> mixedWorkload(size_t N = 100) {
 void BM_ColdBatch(benchmark::State &State) {
   size_t Jobs = static_cast<size_t>(State.range(0));
   std::vector<AnalysisRequest> Reqs = mixedWorkload();
+  xsa_bench::LatencyProbe Probe(xsa_bench::requestLatencyHistogram());
   double WallMs = 0, HitRate = 0;
   for (auto _ : State) {
     SessionOptions Opts;
@@ -97,7 +98,8 @@ void BM_ColdBatch(benchmark::State &State) {
   State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
                           static_cast<int64_t>(Reqs.size()));
   State.counters["cache_hit_rate"] = HitRate;
-  jsonOut().record("cold-batch/jobs=" + std::to_string(Jobs), WallMs, HitRate);
+  jsonOut().record("cold-batch/jobs=" + std::to_string(Jobs), WallMs, HitRate,
+                   Probe.quantiles());
 }
 
 void BM_WarmBatch(benchmark::State &State) {
@@ -107,6 +109,7 @@ void BM_WarmBatch(benchmark::State &State) {
   Opts.Jobs = Jobs;
   AnalysisSession Session(Opts);
   runBatch(Session, Reqs); // warm the shared cache once
+  xsa_bench::LatencyProbe Probe(xsa_bench::requestLatencyHistogram());
   double WallMs = 0;
   for (auto _ : State) {
     auto T0 = std::chrono::steady_clock::now();
@@ -120,7 +123,8 @@ void BM_WarmBatch(benchmark::State &State) {
                           static_cast<int64_t>(Reqs.size()));
   double HitRate = xsa_bench::sessionHitRate(Session);
   State.counters["cache_hit_rate"] = HitRate;
-  jsonOut().record("warm-batch/jobs=" + std::to_string(Jobs), WallMs, HitRate);
+  jsonOut().record("warm-batch/jobs=" + std::to_string(Jobs), WallMs, HitRate,
+                   Probe.quantiles());
 }
 
 } // namespace

@@ -26,6 +26,8 @@
 
 #include "analysis/Problems.h"
 #include "logic/CycleFree.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "service/Batch.h"
 #include "service/Session.h"
 #include "logic/Parser.h"
@@ -58,6 +60,7 @@ int usage() {
       "  xsolve optimize '<xpath>' [dtd]\n"
       "  xsolve batch [file|-] [--jobs N] [--cache-file F] [--stable]\n"
       "               [--optimize] [--share-fixpoints]\n"
+      "               [--trace-file F] [--metrics-file F]\n"
       "where [dtd] is a file path or one of: wikipedia, smil, xhtml.\n"
       "optimize rewrites the query rule by rule, accepting a candidate\n"
       "only when the solver proves it equivalent under the DTD, and\n"
@@ -81,7 +84,15 @@ int usage() {
       "  --share-fixpoints\n"
       "                  share solver fixpoint sets across requests:\n"
       "                  runs with the same lean replay stored iterates\n"
-      "                  instead of recomputing them (output unchanged)\n");
+      "                  instead of recomputing them (output unchanged)\n"
+      "  --trace-file F  record spans for every pipeline stage and write\n"
+      "                  them as Chrome trace-event JSON to F (open in\n"
+      "                  Perfetto / chrome://tracing); response output is\n"
+      "                  unchanged\n"
+      "  --metrics-file F\n"
+      "                  write the process metric registry to F in\n"
+      "                  Prometheus text format on exit (see also the\n"
+      "                  {\"op\":\"metrics\"} protocol line)\n");
   return 2;
 }
 
@@ -143,6 +154,8 @@ int main(int argc, char **argv) {
   if (Cmd == "batch") {
     std::string Path = "-";
     std::string CacheFile;
+    std::string TraceFile;
+    std::string MetricsFile;
     bool Stable = false;
     bool HaveJobs = false;
     size_t Jobs = 1;
@@ -159,6 +172,10 @@ int main(int argc, char **argv) {
         HaveJobs = true;
       } else if (Arg == "--cache-file" && I + 1 < argc) {
         CacheFile = argv[++I];
+      } else if (Arg == "--trace-file" && I + 1 < argc) {
+        TraceFile = argv[++I];
+      } else if (Arg == "--metrics-file" && I + 1 < argc) {
+        MetricsFile = argv[++I];
       } else if (Arg == "--stable") {
         Stable = true;
       } else if (Arg == "--optimize") {
@@ -182,6 +199,12 @@ int main(int argc, char **argv) {
       if (Probe && !Session.loadCache(CacheFile, Error))
         std::fprintf(stderr, "warning: %s\n", Error.c_str());
     }
+    // Tracing starts before the first request and stops (quiescently —
+    // runBatchJsonLines has returned, so no spans are in flight) before
+    // export. With no --trace-file the tracer stays disabled and every
+    // span is a single relaxed load.
+    if (!TraceFile.empty())
+      Tracer::global().start();
     size_t Failed = 0;
     if (Path == "-") {
       runBatchJsonLines(Session, std::cin, std::cout, &Failed, Stable);
@@ -192,6 +215,20 @@ int main(int argc, char **argv) {
         return 1;
       }
       runBatchJsonLines(Session, In, std::cout, &Failed, Stable);
+    }
+    if (!TraceFile.empty()) {
+      Tracer::global().stop();
+      if (!Tracer::global().writeChromeTrace(TraceFile))
+        std::fprintf(stderr, "warning: cannot write trace file %s\n",
+                     TraceFile.c_str());
+    }
+    if (!MetricsFile.empty()) {
+      std::ofstream MOut(MetricsFile);
+      if (MOut)
+        MOut << MetricRegistry::global().prometheusText();
+      else
+        std::fprintf(stderr, "warning: cannot write metrics file %s\n",
+                     MetricsFile.c_str());
     }
     if (!CacheFile.empty()) {
       std::string Error;

@@ -164,10 +164,13 @@ uint32_t BddManager::mk(uint32_t Var, uint32_t Low, uint32_t High) {
   assert(Nodes[High].Var == TerminalVar || Nodes[High].Var > Var);
   size_t Mask = UniqueTable.size() - 1;
   size_t Bucket = hash3(Var, Low, High) & Mask;
+  ++UniqueLookups;
   for (uint32_t N = UniqueTable[Bucket]; N != InvalidNode; N = Nodes[N].Next) {
     const Node &Nd = Nodes[N];
-    if (Nd.Var == Var && Nd.Low == Low && Nd.High == High)
+    if (Nd.Var == Var && Nd.Low == Low && Nd.High == High) {
+      ++UniqueHits;
       return N;
+    }
   }
   uint32_t N = allocNode();
   Nodes[N] = {Var, Low, High, UniqueTable[Bucket], 0, false};
@@ -292,9 +295,12 @@ uint32_t BddManager::notRec(uint32_t F) {
   if (F <= 1)
     return F ^ 1;
   {
+    ++OpCacheLookups;
     CacheEntry &E = cacheSlot(TagNot, F, 0, 0);
-    if (E.OpTag == TagNot && E.A == F && E.B == 0 && E.C == 0)
+    if (E.OpTag == TagNot && E.A == F && E.B == 0 && E.C == 0) {
+      ++OpCacheHits;
       return E.Result;
+    }
   }
   const Node Nd = Nodes[F];
   uint32_t R = mk(Nd.Var, notRec(Nd.Low), notRec(Nd.High));
@@ -344,9 +350,12 @@ uint32_t BddManager::applyRec(Op O, uint32_t A, uint32_t B) {
     std::swap(A, B); // commutative: canonicalize for the cache
   uint8_t Tag = static_cast<uint8_t>(O);
   {
+    ++OpCacheLookups;
     CacheEntry &E = cacheSlot(Tag, A, B, 0);
-    if (E.OpTag == Tag && E.A == A && E.B == B && E.C == 0)
+    if (E.OpTag == Tag && E.A == A && E.B == B && E.C == 0) {
+      ++OpCacheHits;
       return E.Result;
+    }
   }
   const Node NA = Nodes[A], NB = Nodes[B];
   uint32_t V = std::min(NA.Var, NB.Var);
@@ -373,9 +382,12 @@ uint32_t BddManager::iteRec(uint32_t F, uint32_t G, uint32_t H) {
   if (G == 0 && H == 1)
     return notRec(F);
   {
+    ++OpCacheLookups;
     CacheEntry &E = cacheSlot(TagIte, F, G, H);
-    if (E.OpTag == TagIte && E.A == F && E.B == G && E.C == H)
+    if (E.OpTag == TagIte && E.A == F && E.B == G && E.C == H) {
+      ++OpCacheHits;
       return E.Result;
+    }
   }
   const Node NF = Nodes[F], NG = Nodes[G], NH = Nodes[H];
   uint32_t V = NF.Var;
@@ -402,9 +414,12 @@ uint32_t BddManager::existsRec(uint32_t F, uint32_t Cube, bool Universal) {
     return F;
   uint8_t Tag = Universal ? TagForall : TagExists;
   {
+    ++OpCacheLookups;
     CacheEntry &E = cacheSlot(Tag, F, Cube, 0);
-    if (E.OpTag == Tag && E.A == F && E.B == Cube && E.C == 0)
+    if (E.OpTag == Tag && E.A == F && E.B == Cube && E.C == 0) {
+      ++OpCacheHits;
       return E.Result;
+    }
   }
   const Node NF = Nodes[F];
   uint32_t R;
@@ -446,9 +461,12 @@ uint32_t BddManager::andExistsRec(uint32_t F, uint32_t G, uint32_t Cube) {
   if (Cube <= 1)
     return applyRec(Op::And, F, G);
   {
+    ++OpCacheLookups;
     CacheEntry &E = cacheSlot(TagAndExists, F, G, Cube);
-    if (E.OpTag == TagAndExists && E.A == F && E.B == G && E.C == Cube)
+    if (E.OpTag == TagAndExists && E.A == F && E.B == G && E.C == Cube) {
+      ++OpCacheHits;
       return E.Result;
+    }
   }
   uint32_t F0 = NF.Var == V ? NF.Low : F, F1 = NF.Var == V ? NF.High : F;
   uint32_t G0 = NG.Var == V ? NG.Low : G, G1 = NG.Var == V ? NG.High : G;
@@ -475,9 +493,12 @@ uint32_t BddManager::cofactorRec(uint32_t F, uint32_t Var, bool Val) {
     return Val ? NF.High : NF.Low;
   uint8_t Tag = Val ? TagCofactor1 : TagCofactor0;
   {
+    ++OpCacheLookups;
     CacheEntry &E = cacheSlot(Tag, F, Var, 0);
-    if (E.OpTag == Tag && E.A == F && E.B == Var && E.C == 0)
+    if (E.OpTag == Tag && E.A == F && E.B == Var && E.C == 0) {
+      ++OpCacheHits;
       return E.Result;
+    }
   }
   uint32_t R = mk(NF.Var, cofactorRec(NF.Low, Var, Val),
                   cofactorRec(NF.High, Var, Val));

@@ -164,6 +164,16 @@ public:
   size_t peakNodes() const { return PeakNodeCount; }
   size_t gcRuns() const { return GcRuns; }
 
+  /// Probe statistics for the hash-consing unique table (mk chain walks)
+  /// and the direct-mapped operation cache. Plain counters: the manager
+  /// is single-threaded by design (one per solver run), so no atomics.
+  /// The solver samples these into observability gauges at span
+  /// boundaries (obs/Metrics.h).
+  size_t uniqueLookups() const { return UniqueLookups; }
+  size_t uniqueHits() const { return UniqueHits; }
+  size_t opCacheLookups() const { return OpCacheLookups; }
+  size_t opCacheHits() const { return OpCacheHits; }
+
   /// Forces a mark-and-sweep collection. Called automatically when the
   /// node store grows past an adaptive threshold.
   void gc();
@@ -228,6 +238,10 @@ private:
   size_t PeakNodeCount = 0;
   size_t GcThreshold;
   size_t GcRuns = 0;
+  size_t UniqueLookups = 0;
+  size_t UniqueHits = 0;
+  size_t OpCacheLookups = 0;
+  size_t OpCacheHits = 0;
   bool GcEnabled = true;
   unsigned NumVars = 0;
   std::vector<uint32_t> VarNodes; // cached single-variable nodes

@@ -2,12 +2,17 @@
 
 #include "service/Batch.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/KeyEncoding.h"
 
 #include "logic/CycleFree.h"
 #include "logic/Parser.h"
 #include "tree/Xml.h"
 
+#include <algorithm>
+#include <array>
+#include <chrono>
 #include <istream>
 #include <ostream>
 #include <unordered_map>
@@ -135,10 +140,10 @@ std::string requestSignature(const AnalysisRequest &Req) {
   return S;
 }
 
-} // namespace
-
-AnalysisResponse xsa::runRequest(AnalysisContext &Ctx,
-                                 const AnalysisRequest &Req) {
+/// The uninstrumented request dispatch — the wrapper below brackets it
+/// with the request span, stage aggregation, and latency metrics.
+AnalysisResponse runRequestImpl(AnalysisContext &Ctx,
+                                const AnalysisRequest &Req) {
   AnalysisResponse R;
   R.Kind = Req.Kind;
   R.Id = Req.Id;
@@ -263,6 +268,56 @@ AnalysisResponse xsa::runRequest(AnalysisContext &Ctx,
   return R;
 }
 
+/// Per-kind request tallies: `xsa_requests_total{op="..."}`. Registered
+/// once; the per-request path is one relaxed fetch_add.
+Counter &requestCounter(RequestKind K) {
+  static const std::array<Counter *, 8> ByKind = [] {
+    std::array<Counter *, 8> A{};
+    for (size_t I = 0; I < A.size(); ++I)
+      A[I] = &MetricRegistry::global().counter(
+          labeledMetricName("xsa_requests_total", "op",
+                            requestKindName(static_cast<RequestKind>(I))),
+          "Requests answered, by operation");
+    return A;
+  }();
+  return *ByKind[static_cast<size_t>(K)];
+}
+
+} // namespace
+
+AnalysisResponse xsa::runRequest(AnalysisContext &Ctx,
+                                 const AnalysisRequest &Req) {
+  static Histogram &Latency = MetricRegistry::global().histogram(
+      "xsa_request_latency_ms",
+      "End-to-end per-request latency including cache hits");
+  static Counter &ErrorsTotal = MetricRegistry::global().counter(
+      "xsa_request_errors_total", "Requests answered with ok=false");
+  auto T0 = std::chrono::steady_clock::now();
+  AnalysisResponse R;
+  if (Tracer::global().enabled()) {
+    // The request span's own total doubles as the wall-time row of the
+    // per-request breakdown; nested spans add their stage rows.
+    StageTotals Totals;
+    {
+      StageScope Scope(Totals);
+      Span ReqSpan("request");
+      ReqSpan.arg("op", requestKindName(Req.Kind));
+      R = runRequestImpl(Ctx, Req);
+      ReqSpan.arg("ok", R.Ok ? 1 : 0);
+    }
+    R.StageMs = Totals.toMs();
+  } else {
+    R = runRequestImpl(Ctx, Req);
+  }
+  Latency.observe(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count());
+  requestCounter(Req.Kind).add();
+  if (!R.Ok)
+    ErrorsTotal.add();
+  return R;
+}
+
 AnalysisResponse xsa::runRequest(AnalysisSession &Session,
                                  const AnalysisRequest &Req) {
   return runRequest(Session.mainContext(), Req);
@@ -361,8 +416,21 @@ JsonRef xsa::responseToJson(const AnalysisResponse &Resp,
   if (!Resp.Id.empty())
     O->set("id", JsonValue::string(Resp.Id));
   O->set("ok", JsonValue::boolean(Resp.Ok));
+  // Stage breakdown (populated only under tracing) and everything else
+  // execution-dependent rides the volatile side: scheduling, cache and
+  // store state vary run to run, and `--stable` promises byte-stable
+  // bytes.
+  auto EmitStages = [&] {
+    if (!IncludeVolatile || Resp.StageMs.empty())
+      return;
+    JsonRef St = JsonValue::object();
+    for (const auto &[Name, Ms] : Resp.StageMs)
+      St->set(Name, JsonValue::number(Ms));
+    O->set("stages", St);
+  };
   if (!Resp.Ok) {
     O->set("error", JsonValue::string(Resp.Error));
+    EmitStages();
     return O;
   }
   if (Resp.Kind == RequestKind::Optimize) {
@@ -389,7 +457,10 @@ JsonRef xsa::responseToJson(const AnalysisResponse &Resp,
       Trace->push(T);
     }
     O->set("rewrites", JsonValue::number(static_cast<double>(Accepted)));
+    O->set("checks",
+           JsonValue::number(static_cast<double>(Resp.Trace.size())));
     O->set("trace", Trace);
+    EmitStages();
     return O;
   }
   O->set("holds", JsonValue::boolean(Resp.Holds));
@@ -399,10 +470,18 @@ JsonRef xsa::responseToJson(const AnalysisResponse &Resp,
   O->set("lean", JsonValue::number(static_cast<double>(Resp.Stats.LeanSize)));
   O->set("iterations",
          JsonValue::number(static_cast<double>(Resp.Stats.Iterations)));
-  if (IncludeVolatile)
+  if (IncludeVolatile) {
+    // Replay counts depend on what the shared fixpoint store held when
+    // this request ran — scheduling-dependent at jobs > 1, hence
+    // volatile.
+    O->set("iterations_replayed",
+           JsonValue::number(
+               static_cast<double>(Resp.Stats.IterationsReplayed)));
     O->set("time_ms", JsonValue::number(Resp.Stats.TimeMs));
+  }
   if (!Resp.ModelXml.empty())
     O->set("model", JsonValue::string(Resp.ModelXml));
+  EmitStages();
   return O;
 }
 
@@ -516,6 +595,33 @@ size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
       Flush();
       AnalysisResponse Resp;
       Resp.Id = Obj->str("id");
+      // Unknown keys are rejected with a structured error rather than
+      // silently ignored — a misspelled switch ("share_fixpoint") must
+      // not read as an applied one.
+      static constexpr const char *KnownKeys[] = {"op", "id", "jobs",
+                                                  "optimize",
+                                                  "share_fixpoints"};
+      std::string UnknownKey;
+      for (const auto &[K, V] : Obj->members())
+        if (std::find_if(std::begin(KnownKeys), std::end(KnownKeys),
+                         [&](const char *Known) { return K == Known; }) ==
+            std::end(KnownKeys)) {
+          UnknownKey = K;
+          break;
+        }
+      if (!UnknownKey.empty()) {
+        JsonRef O = JsonValue::object();
+        if (!Resp.Id.empty())
+          O->set("id", JsonValue::string(Resp.Id));
+        O->set("ok", JsonValue::boolean(false));
+        O->set("error", JsonValue::string("unknown config key '" +
+                                          UnknownKey + "'"));
+        O->set("error_kind", JsonValue::string("unknown_config_key"));
+        O->set("key", JsonValue::string(UnknownKey));
+        ++Errors;
+        Out << O->dump() << "\n";
+        continue;
+      }
       JsonRef Jobs = Obj->get("jobs");
       JsonRef Optimize = Obj->get("optimize");
       JsonRef Share = Obj->get("share_fixpoints");
@@ -552,6 +658,24 @@ size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
         ++Answered;
         Out << O->dump() << "\n";
       }
+      continue;
+    } else if (Obj->str("op") == "metrics") {
+      // Control line: the process-wide metric registry as JSON, after a
+      // flush so in-flight requests of this segment are counted. The
+      // registry's members (schema version first) are spliced into the
+      // response object, so clients key on response["schema"].
+      Flush();
+      JsonRef O = JsonValue::object();
+      std::string Id = Obj->str("id");
+      if (!Id.empty())
+        O->set("id", JsonValue::string(Id));
+      O->set("ok", JsonValue::boolean(true));
+      JsonRef M = MetricRegistry::global().toJson(
+          /*IncludeVolatile=*/!StableOutput);
+      for (const auto &[K, V] : M->members())
+        O->set(K, V);
+      ++Answered;
+      Out << O->dump() << "\n";
       continue;
     } else {
       AnalysisRequest Req;

@@ -2,6 +2,7 @@
 
 #include "service/Cache.h"
 
+#include "obs/Trace.h"
 #include "support/KeyEncoding.h"
 
 using namespace xsa;
@@ -71,17 +72,20 @@ ShardedResultCache::ShardedResultCache(size_t Capacity, size_t Shards)
 
 bool ShardedResultCache::lookup(const std::string &KeyText, uint32_t OptsKey,
                                 SolverResult &Out) {
+  Span ProbeSpan("cache.probe");
   KeyView K{KeyText, OptsKey};
   Shard &S = shardFor(K);
   std::lock_guard<std::mutex> Lock(S.M);
   auto It = S.Entries.find(K);
   if (It == S.Entries.end()) {
     Misses.fetch_add(1, std::memory_order_relaxed);
+    ProbeSpan.arg("hit", 0);
     return false;
   }
   Hits.fetch_add(1, std::memory_order_relaxed);
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
   Out = It->second->Result;
+  ProbeSpan.arg("hit", 1);
   return true;
 }
 
@@ -89,6 +93,7 @@ void ShardedResultCache::store(const std::string &KeyText, uint32_t OptsKey,
                                const SolverResult &R) {
   if (Capacity == 0)
     return;
+  Span PublishSpan("cache.publish");
   KeyView K{KeyText, OptsKey};
   Shard &S = shardFor(K);
   std::lock_guard<std::mutex> Lock(S.M);

@@ -2,6 +2,7 @@
 
 #include "service/Context.h"
 
+#include "obs/Trace.h"
 #include "support/KeyEncoding.h"
 
 #include "xpath/Compile.h"
@@ -102,7 +103,10 @@ ExprRef AnalysisContext::query(const std::string &XPath, std::string &Error) {
     return It->second.E;
   }
   QueryEntry Entry;
-  Entry.E = parseXPath(XPath, Entry.Error);
+  {
+    Span ParseSpan("parse.query");
+    Entry.E = parseXPath(XPath, Entry.Error);
+  }
   if (Stats)
     Stats->QueriesParsed.fetch_add(1, std::memory_order_relaxed);
   auto &Stored = QueryMemo.emplace(XPath, std::move(Entry)).first->second;
@@ -118,6 +122,8 @@ AnalysisContext::DtdEntry &AnalysisContext::loadDtd(const std::string &Name) {
     return It->second;
   }
   DtdEntry Entry;
+  Span DtdSpan("parse.dtd");
+  DtdSpan.arg("name", Name);
   const Dtd *D = nullptr;
   Dtd Parsed;
   if (Name == "wikipedia") {
@@ -217,8 +223,14 @@ AnalysisContext::optimized(const std::string &XPath, const std::string &Dtd,
   if (E) {
     Formula Chi = typeContext(Dtd, Entry->Error);
     if (Chi) {
+      Span RewriteSpan("rewrite.optimize");
       Rewriter RW(*An);
       Entry->Result = RW.optimize(E, Chi);
+      RewriteSpan.arg("checked",
+                      static_cast<double>(Entry->Result.CheckedCandidates));
+      RewriteSpan.arg("accepted",
+                      static_cast<double>(Entry->Result.AcceptedSteps));
+      RewriteSpan.end();
       Entry->Ok = true;
       if (Stats) {
         Stats->QueriesOptimized.fetch_add(1, std::memory_order_relaxed);

@@ -2,6 +2,8 @@
 
 #include "service/FixpointStore.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 
 using namespace xsa;
@@ -23,16 +25,22 @@ SharedFixpointStore::SharedFixpointStore(size_t Capacity, size_t Shards,
 
 std::shared_ptr<const FixpointSeedData>
 SharedFixpointStore::lookup(const std::string &LeanSig, uint32_t OptsKey) {
+  Span ProbeSpan("fixstore.probe");
   KeyView K{LeanSig, OptsKey};
   Shard &S = shardFor(K);
   std::lock_guard<std::mutex> Lock(S.M);
   auto It = S.Entries.find(K);
   if (It == S.Entries.end()) {
     Misses.fetch_add(1, std::memory_order_relaxed);
+    ProbeSpan.arg("hit", 0);
     return nullptr;
   }
   Hits.fetch_add(1, std::memory_order_relaxed);
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+  ProbeSpan.arg("hit", 1);
+  ProbeSpan.arg("snapshots", static_cast<double>(It->second->Data
+                                                     ? It->second->Data->Snapshots.size()
+                                                     : 0));
   return It->second->Data;
 }
 
@@ -41,6 +49,7 @@ bool SharedFixpointStore::publish(const std::string &LeanSig, uint32_t OptsKey,
   if (Capacity == 0 || !Data || Data->Snapshots.empty() ||
       Data->totalNodes() > MaxEntryNodes)
     return false;
+  Span PublishSpan("fixstore.publish");
   KeyView K{LeanSig, OptsKey};
   Shard &S = shardFor(K);
   std::lock_guard<std::mutex> Lock(S.M);

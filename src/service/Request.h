@@ -74,6 +74,11 @@ struct AnalysisResponse {
   double CostBefore = 0;
   double CostAfter = 0;
   std::vector<RewriteStep> Trace;
+  /// Per-stage wall-time breakdown (span name → ms), collected only when
+  /// tracing is enabled (obs/Trace.h). Serialized on the volatile side of
+  /// responseToJson so `--stable` output is identical with tracing on or
+  /// off.
+  std::vector<std::pair<std::string, double>> StageMs;
 };
 
 } // namespace xsa

@@ -13,6 +13,8 @@
 #include "bdd/Bdd.h"
 #include "bdd/Snapshot.h"
 #include "logic/CycleFree.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "solver/Pipeline.h"
 
 #include <cassert>
@@ -80,6 +82,52 @@ exportSequence(BddManager &M, const std::vector<Bdd> &Snapshots,
   return Data;
 }
 
+/// Samples the run's BDD manager statistics into the global gauges and
+/// counters at a span boundary (end of solve). Gauges report the last
+/// run's state; the counters accumulate across runs so exported hit
+/// rates are process-wide.
+void sampleBddMetrics(const BddManager &M, Span &S) {
+  MetricRegistry &R = MetricRegistry::global();
+  // Volatile: at --jobs > 1 which duplicate request wins the result-cache
+  // race — and therefore how many solver runs these tallies cover — varies
+  // with scheduling, so they are excluded from --stable metrics output.
+  static Gauge &Live = R.gauge("xsa_bdd_live_nodes",
+                               "Live BDD nodes of the last solver run",
+                               /*Volatile=*/true);
+  static Gauge &Peak = R.gauge("xsa_bdd_peak_nodes",
+                               "Peak BDD nodes of the last solver run",
+                               /*Volatile=*/true);
+  static Counter &ULook =
+      R.counter("xsa_bdd_unique_lookups_total",
+                "Unique-table (hash-cons) probes", /*Volatile=*/true);
+  static Counter &UHit = R.counter("xsa_bdd_unique_hits_total",
+                                   "Unique-table probe hits",
+                                   /*Volatile=*/true);
+  static Counter &OLook = R.counter("xsa_bdd_opcache_lookups_total",
+                                    "BDD operation-cache probes",
+                                    /*Volatile=*/true);
+  static Counter &OHit = R.counter("xsa_bdd_opcache_hits_total",
+                                   "BDD operation-cache hits",
+                                   /*Volatile=*/true);
+  Live.set(static_cast<double>(M.numNodes()));
+  Peak.set(static_cast<double>(M.peakNodes()));
+  ULook.add(M.uniqueLookups());
+  UHit.add(M.uniqueHits());
+  OLook.add(M.opCacheLookups());
+  OHit.add(M.opCacheHits());
+  if (S.active()) {
+    S.arg("bdd_peak_nodes", static_cast<double>(M.peakNodes()));
+    S.arg("bdd_unique_hit_rate",
+          M.uniqueLookups()
+              ? static_cast<double>(M.uniqueHits()) / M.uniqueLookups()
+              : 0);
+    S.arg("bdd_opcache_hit_rate",
+          M.opCacheLookups()
+              ? static_cast<double>(M.opCacheHits()) / M.opCacheLookups()
+              : 0);
+  }
+}
+
 } // namespace
 
 SolverResult BddSolver::solve(Formula Psi) {
@@ -96,16 +144,22 @@ SolverResult BddSolver::solve(Formula Psi) {
       return R;
     }
   }
+  Span SolveSpan("solver.solve");
   Formula Phi = plungeFormula(FF, Psi);
   if (Opts.EnforceSingleMark)
     Phi = FF.conj(singleMarkFormula(FF), Phi);
 
   // Stage 1: lean, variable order, sharing key.
+  Span LeanSpan("solver.lean");
   LeanPlan Plan(FF, Phi, Opts.Order);
+  LeanSpan.arg("bits", static_cast<double>(Plan.numBits()));
+  LeanSpan.end();
 
   // Stage 2: the transition system over this run's manager.
+  Span ChiSpan("solver.chi");
   BddManager M;
   TransitionSystem TS(FF, Plan, Opts, M);
+  ChiSpan.end();
 
   // Seed lookup: a stored prefix of this lean's iterate sequence. The
   // shared_ptr pins the entry for the whole run; the loop imports its
@@ -124,8 +178,12 @@ SolverResult BddSolver::solve(Formula Psi) {
   Bdd FinalCond = RootCond & TS.statusBdd(Phi, /*YCopy=*/false);
 
   // Stage 3: the Upd iteration, replaying the seed first.
+  Span FixSpan("solver.fixpoint");
   FixpointLoop Loop(TS);
   FixpointLoop::Outcome Out = Loop.run(FinalCond, Seed.get());
+  FixSpan.arg("iterations", static_cast<double>(Out.Iterations));
+  FixSpan.arg("replayed", static_cast<double>(Out.Replayed));
+  FixSpan.end();
 
   SolverResult Result;
   Result.Satisfiable = Out.Sat;
@@ -136,11 +194,14 @@ SolverResult BddSolver::solve(Formula Psi) {
 
   // Publish when this run extended what the store had (a run fully
   // served by its seed has nothing new to offer).
-  if (Store && Out.Iterations > Out.Replayed)
+  if (Store && Out.Iterations > Out.Replayed) {
+    Span PubSpan("solver.publish");
     Store->publish(Plan.signature(), fixpointOptionsKey(Opts),
                    exportSequence(M, Loop.snapshots(), Out.Converged));
+  }
 
   if (Out.Sat && Opts.ExtractModel) {
+    Span ExtractSpan("solver.extract");
     ModelExtractor Extractor(TS, Loop.snapshots());
     Result.Model = Extractor.extract(Out.Final);
   }
@@ -148,6 +209,11 @@ SolverResult BddSolver::solve(Formula Psi) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - Start)
           .count();
+  static Histogram &SolveLatency = MetricRegistry::global().histogram(
+      "xsa_solve_latency_ms", "Full solver-run latency (cache misses only)");
+  SolveLatency.observe(Result.Stats.TimeMs);
+  SolveSpan.arg("sat", Out.Sat ? 1 : 0);
+  sampleBddMetrics(M, SolveSpan);
   if (Opts.StatsHook)
     Opts.StatsHook(Result.Stats);
   if (Opts.Cache)

@@ -2,6 +2,8 @@
 
 #include "solver/Pipeline.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -121,8 +123,12 @@ void TransitionSystem::ensureDelta() {
   if (DeltaBuilt)
     return;
   DeltaBuilt = true;
+  Span DeltaSpan("solver.delta");
   buildDeltaClauses(Program::Child);
   buildDeltaClauses(Program::Sibling);
+  if (DeltaSpan.active())
+    DeltaSpan.arg("clauses",
+                  static_cast<double>(Delta[0].size() + Delta[1].size()));
 }
 
 void TransitionSystem::buildDeltaClauses(Program A) {
@@ -251,8 +257,14 @@ FixpointLoop::Outcome FixpointLoop::run(const Bdd &FinalCond,
   size_t SeedIdx = 0;
   size_t SeedLen = Seed ? Seed->Snapshots.size() : 0;
   for (;;) {
+    Span RoundSpan("fixpoint.round");
+    bool Replaying = SeedIdx < SeedLen;
+    if (RoundSpan.active()) {
+      RoundSpan.arg("round", static_cast<double>(Out.Iterations));
+      RoundSpan.arg("replayed", Replaying ? 1 : 0);
+    }
     Bdd TNext;
-    if (SeedIdx < SeedLen) {
+    if (Replaying) {
       // Replay hook: the stored iterate stands in for the computed one.
       // By lean-determinism of Upd this is the value the relational
       // products below would have produced, so everything downstream —

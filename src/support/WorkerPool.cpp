@@ -2,6 +2,8 @@
 
 #include "support/WorkerPool.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 
 using namespace xsa;
@@ -55,7 +57,13 @@ void WorkerPool::workerMain(size_t Id) {
     if (ShuttingDown)
       return;
     Seen = TaskSeq;
+    uint64_t Submitted = SubmitNs;
     Lock.unlock();
+    // Queue wait: submit stamp to this worker picking the task up. The
+    // stamp is 0 when tracing was off at submit, keeping the disabled
+    // path free of clock reads.
+    if (Submitted)
+      Tracer::global().recordSpanFrom("pool.queue_wait", Submitted);
     runChunks(Id);
     Lock.lock();
     if (--ActiveWorkers == 0)
@@ -77,6 +85,7 @@ void WorkerPool::parallelFor(
   Next.store(0, std::memory_order_relaxed);
   FirstError = nullptr;
   ActiveWorkers = Workers.size();
+  SubmitNs = Tracer::global().enabled() ? Tracer::nowNs() : 0;
   ++TaskSeq;
   WakeWorkers.notify_all();
   TaskDone.wait(Lock, [&] { return ActiveWorkers == 0; });

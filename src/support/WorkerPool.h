@@ -77,6 +77,7 @@ private:
   size_t Chunk = 1;
   uint64_t TaskSeq = 0;      ///< bumped per parallelFor; workers wait on it
   size_t ActiveWorkers = 0;  ///< workers still inside the current task
+  uint64_t SubmitNs = 0;     ///< task submit stamp (0 = tracing off); under M
   std::atomic<size_t> Next{0}; ///< next unclaimed index (lock-free claim)
   std::exception_ptr FirstError;
   bool ShuttingDown = false;

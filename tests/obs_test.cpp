@@ -1,0 +1,462 @@
+//===- obs_test.cpp - Observability layer (metrics + tracer) --------------===//
+//
+// Tests src/obs/: the MetricRegistry (counter sharding under concurrent
+// increments — the TSan stress —, gauge semantics, histogram quantile
+// math and snapshot deltas, Prometheus text and JSON export shape,
+// volatile-metric exclusion) and the span tracer (disabled fast path
+// records nothing, parent linkage and nesting, correctness across
+// WorkerPool threads, stage accumulation, Chrome trace-event export
+// parsed back through the project's own JSON parser). The batch
+// protocol surface — {"op":"metrics"} schema field, unknown-config-key
+// rejection — rides on the same fixtures.
+//
+// The tracer is a process-global singleton; every test that enables it
+// stops it before returning so tests stay order-independent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include "service/Batch.h"
+#include "service/Json.h"
+#include "service/Session.h"
+#include "support/WorkerPool.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace xsa;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Counter / Gauge
+//===----------------------------------------------------------------------===//
+
+TEST(Counter, ExactUnderConcurrentIncrements) {
+  // 8 threads × 10k adds on one sharded counter: the total must be
+  // exact once writers join (and TSan must see no race on the slots).
+  Counter C;
+  constexpr size_t NumThreads = 8, PerThread = 10000;
+  std::vector<std::thread> Ts;
+  for (size_t T = 0; T < NumThreads; ++T)
+    Ts.emplace_back([&C] {
+      for (size_t I = 0; I < PerThread; ++I)
+        C.add();
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(C.value(), NumThreads * PerThread);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge G;
+  EXPECT_EQ(G.value(), 0.0);
+  G.set(3.5);
+  G.set(-1.25);
+  EXPECT_EQ(G.value(), -1.25);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, QuantilesInterpolateWithinOwningBucket) {
+  Histogram H({1, 2, 4, 8});
+  // 4 observations spread one per bucket below 8.
+  H.observe(0.5);
+  H.observe(1.5);
+  H.observe(3);
+  H.observe(6);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 4u);
+  EXPECT_DOUBLE_EQ(S.Sum, 11.0);
+  // p50: rank 2 of 4 lands at the end of the (1,2] bucket.
+  EXPECT_DOUBLE_EQ(S.quantile(0.5), 2.0);
+  // p25 exhausts exactly the first bucket.
+  EXPECT_DOUBLE_EQ(S.quantile(0.25), 1.0);
+  // p100 lands at the top of the (4,8] bucket.
+  EXPECT_DOUBLE_EQ(S.quantile(1.0), 8.0);
+}
+
+TEST(Histogram, OverflowBucketReportsLastFiniteBound) {
+  Histogram H({1, 2});
+  H.observe(100); // +Inf bucket
+  EXPECT_DOUBLE_EQ(H.snapshot().quantile(0.99), 2.0);
+}
+
+TEST(Histogram, SnapshotDeltaIsolatesABracketedRegion) {
+  Histogram H({1, 10, 100});
+  H.observe(0.5);
+  H.observe(50);
+  HistogramSnapshot Before = H.snapshot();
+  H.observe(5);
+  H.observe(5);
+  HistogramSnapshot Delta = H.snapshot().since(Before);
+  EXPECT_EQ(Delta.Count, 2u);
+  EXPECT_DOUBLE_EQ(Delta.Sum, 10.0);
+  // Both delta observations live in the (1,10] bucket; rank 1.98 of 2
+  // interpolates to 1 + 9·0.99.
+  EXPECT_NEAR(Delta.quantile(0.99), 9.91, 1e-9);
+  EXPECT_GT(Delta.quantile(0.5), 1.0);
+}
+
+TEST(Histogram, ConcurrentObservationsAreAllCounted) {
+  Histogram H({1, 2, 4});
+  constexpr size_t NumThreads = 4, PerThread = 5000;
+  std::vector<std::thread> Ts;
+  for (size_t T = 0; T < NumThreads; ++T)
+    Ts.emplace_back([&H, T] {
+      for (size_t I = 0; I < PerThread; ++I)
+        H.observe(static_cast<double>(T % 3));
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(H.snapshot().Count, NumThreads * PerThread);
+}
+
+//===----------------------------------------------------------------------===//
+// MetricRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricRegistry, GetOrCreateReturnsStableHandles) {
+  MetricRegistry R;
+  Counter &A = R.counter("t_total", "help");
+  Counter &B = R.counter("t_total");
+  EXPECT_EQ(&A, &B);
+  A.add(3);
+  EXPECT_EQ(B.value(), 3u);
+}
+
+TEST(MetricRegistry, ConcurrentRegistrationAndUseIsSafe) {
+  // The TSan stress for the registry itself: threads race get-or-create
+  // of overlapping names while hammering the returned handles.
+  MetricRegistry R;
+  constexpr size_t NumThreads = 8, PerThread = 2000;
+  std::vector<std::thread> Ts;
+  for (size_t T = 0; T < NumThreads; ++T)
+    Ts.emplace_back([&R, T] {
+      for (size_t I = 0; I < PerThread; ++I) {
+        R.counter("shared_total").add();
+        R.counter("mine_" + std::to_string(T % 3) + "_total").add();
+        R.gauge("g_shared").set(static_cast<double>(I));
+        R.histogram("h_shared").observe(static_cast<double>(I % 7));
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(R.counter("shared_total").value(), NumThreads * PerThread);
+  EXPECT_EQ(R.histogram("h_shared").snapshot().Count, NumThreads * PerThread);
+}
+
+TEST(MetricRegistry, PrometheusTextShape) {
+  MetricRegistry R;
+  R.counter(labeledMetricName("req_total", "op", "a"), "Requests").add(2);
+  R.counter(labeledMetricName("req_total", "op", "b")).add(5);
+  R.gauge("nodes", "Live nodes").set(7);
+  Histogram &H = R.histogram("lat_ms", "Latency", {1, 10});
+  H.observe(0.5);
+  H.observe(5);
+  H.observe(50);
+  std::string Text = R.prometheusText();
+
+  // One HELP/TYPE block per base name, label sets as series under it.
+  EXPECT_EQ(Text.find("# TYPE req_total counter"),
+            Text.rfind("# TYPE req_total counter"));
+  EXPECT_NE(Text.find("req_total{op=\"a\"} 2"), std::string::npos);
+  EXPECT_NE(Text.find("req_total{op=\"b\"} 5"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE nodes gauge"), std::string::npos);
+  EXPECT_NE(Text.find("nodes 7"), std::string::npos);
+  // Cumulative buckets with the +Inf terminal, then sum and count.
+  EXPECT_NE(Text.find("# TYPE lat_ms histogram"), std::string::npos);
+  EXPECT_NE(Text.find("lat_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(Text.find("lat_ms_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(Text.find("lat_ms_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(Text.find("lat_ms_sum 55.5"), std::string::npos);
+  EXPECT_NE(Text.find("lat_ms_count 3"), std::string::npos);
+}
+
+TEST(MetricRegistry, LabeledNameEscapesValue) {
+  EXPECT_EQ(labeledMetricName("m", "op", "a\"b\\c"),
+            "m{op=\"a\\\"b\\\\c\"}");
+}
+
+TEST(MetricRegistry, JsonExportShapeAndSchema) {
+  MetricRegistry R;
+  R.counter("c_total").add(4);
+  R.gauge("g").set(1.5);
+  R.histogram("h_ms", "", {1, 2}).observe(1.5);
+  JsonRef J = R.toJson();
+  EXPECT_EQ(J->str("schema"), MetricRegistry::SchemaVersion);
+  EXPECT_EQ(J->get("counters")->get("c_total")->asNumber(), 4);
+  EXPECT_EQ(J->get("gauges")->get("g")->asNumber(), 1.5);
+  JsonRef H = J->get("histograms")->get("h_ms");
+  EXPECT_EQ(H->get("count")->asNumber(), 1);
+  EXPECT_TRUE(H->has("p50"));
+  EXPECT_TRUE(H->has("p99"));
+  // Buckets are cumulative and end with +Inf.
+  JsonRef Buckets = H->get("buckets");
+  EXPECT_EQ(Buckets->items().size(), 3u);
+  EXPECT_EQ(Buckets->items().back()->str("le"), "+Inf");
+}
+
+TEST(MetricRegistry, StableExportDropsVolatileMetrics) {
+  MetricRegistry R;
+  R.counter("det_total").add(1);
+  R.counter("sched_total", "", /*Volatile=*/true).add(1);
+  R.gauge("sched_g", "", /*Volatile=*/true).set(9);
+  R.histogram("lat_ms").observe(1);
+  JsonRef Stable = R.toJson(/*IncludeVolatile=*/false);
+  EXPECT_TRUE(Stable->get("counters")->has("det_total"));
+  EXPECT_FALSE(Stable->get("counters")->has("sched_total"));
+  EXPECT_FALSE(Stable->get("gauges")->has("sched_g"));
+  // Histograms (latency distributions) are volatile wholesale.
+  EXPECT_FALSE(Stable->has("histograms"));
+  // The full export still carries everything.
+  JsonRef Full = R.toJson();
+  EXPECT_TRUE(Full->get("counters")->has("sched_total"));
+  EXPECT_TRUE(Full->get("histograms")->has("lat_ms"));
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer / Span
+//===----------------------------------------------------------------------===//
+
+/// Collects the tracer's buffered events into a span-id-keyed map.
+std::map<uint64_t, Tracer::Event> eventsById() {
+  std::map<uint64_t, Tracer::Event> M;
+  Tracer::global().forEachEvent(
+      [&](const Tracer::Event &E) { M[E.Id] = E; });
+  return M;
+}
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  Tracer &T = Tracer::global();
+  T.start();
+  T.stop();          // clears buffers, then disables
+  size_t Before = T.eventCount();
+  {
+    Span S("never");
+    S.arg("k", 1.0);
+    EXPECT_FALSE(S.active());
+  }
+  T.recordSpanFrom("never-either", Tracer::nowNs());
+  EXPECT_EQ(T.eventCount(), Before);
+}
+
+TEST(Tracer, NestingLinksParents) {
+  Tracer &T = Tracer::global();
+  T.start();
+  uint64_t OuterId = 0, InnerId = 0;
+  {
+    Span Outer("outer");
+    {
+      Span Inner("inner");
+      Span Sibling("sibling");
+      Inner.end(); // explicit end before the sibling closes is tolerated
+    }
+    Outer.arg("n", 2.0);
+  }
+  T.stop();
+  auto Events = eventsById();
+  ASSERT_EQ(Events.size(), 3u);
+  for (const auto &[Id, E] : Events) {
+    if (std::string(E.Name) == "outer")
+      OuterId = Id;
+    if (std::string(E.Name) == "inner")
+      InnerId = Id;
+  }
+  ASSERT_NE(OuterId, 0u);
+  ASSERT_NE(InnerId, 0u);
+  EXPECT_EQ(Events[OuterId].Parent, 0u); // root
+  EXPECT_EQ(Events[InnerId].Parent, OuterId);
+  EXPECT_EQ(Events[OuterId].NumArgs, 1);
+  EXPECT_EQ(std::string(Events[OuterId].Args[0].Key), "n");
+  // Start/duration are epoch-relative and nested inside the parent.
+  EXPECT_GE(Events[InnerId].StartNs, Events[OuterId].StartNs);
+}
+
+TEST(Tracer, SpansNestCorrectlyAcrossWorkerPoolThreads) {
+  Tracer &T = Tracer::global();
+  WorkerPool Pool(4);
+  T.start();
+  constexpr size_t N = 64;
+  Pool.parallelFor(N, [](size_t Index, size_t) {
+    Span Task("task");
+    Task.arg("index", static_cast<double>(Index));
+    Span Child("task.child");
+  });
+  T.stop();
+
+  // The pool barrier is the happens-before edge: all worker buffers are
+  // readable now. Every child's parent must be a task span on the SAME
+  // thread, and ids must be globally unique.
+  auto Events = eventsById();
+  size_t Tasks = 0, Children = 0;
+  for (const auto &[Id, E] : Events) {
+    std::string Name = E.Name;
+    if (Name == "task") {
+      ++Tasks;
+      EXPECT_EQ(E.Parent, 0u) << "task spans are roots";
+    } else if (Name == "task.child") {
+      ++Children;
+      auto It = Events.find(E.Parent);
+      ASSERT_NE(It, Events.end()) << "child's parent was recorded";
+      EXPECT_STREQ(It->second.Name, "task");
+      EXPECT_EQ(It->second.Tid, E.Tid) << "parent lives on the same thread";
+    }
+  }
+  EXPECT_EQ(Tasks, N);
+  EXPECT_EQ(Children, N);
+  // Queue-wait intervals were recorded by the workers that woke.
+  size_t QueueWaits = 0;
+  T.forEachEvent([&](const Tracer::Event &E) {
+    QueueWaits += std::string(E.Name) == "pool.queue_wait";
+  });
+  EXPECT_GT(QueueWaits, 0u);
+}
+
+TEST(Tracer, StageScopeAccumulatesByName) {
+  Tracer &T = Tracer::global();
+  T.start();
+  StageTotals Totals;
+  {
+    StageScope Scope(Totals);
+    { Span A("alpha"); }
+    { Span A("alpha"); }
+    { Span B("beta"); }
+  }
+  { Span Outside("gamma"); } // after the scope: not accumulated
+  T.stop();
+  auto Rows = Totals.toMs();
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[0].first, "alpha");
+  EXPECT_EQ(Rows[1].first, "beta");
+  EXPECT_GE(Rows[0].second, 0.0);
+}
+
+TEST(Tracer, ChromeTraceParsesAndCoversAllSpans) {
+  Tracer &T = Tracer::global();
+  T.start();
+  {
+    Span Outer("req");
+    Span Inner("req.step");
+    Inner.arg("detail", std::string("x\"y"));
+  }
+  T.stop();
+  std::string Doc = T.chromeTraceJson();
+  std::string Err;
+  JsonRef J = parseJson(Doc, Err);
+  ASSERT_NE(J, nullptr) << Err;
+  JsonRef Events = J->get("traceEvents");
+  size_t Complete = 0, Meta = 0;
+  for (const JsonRef &E : Events->items()) {
+    std::string Ph = E->str("ph");
+    if (Ph == "X") {
+      ++Complete;
+      EXPECT_TRUE(E->has("ts"));
+      EXPECT_TRUE(E->has("dur"));
+      EXPECT_TRUE(E->has("tid"));
+      EXPECT_TRUE(E->get("args")->has("span"));
+      EXPECT_TRUE(E->get("args")->has("parent"));
+    } else if (Ph == "M") {
+      ++Meta;
+    }
+  }
+  EXPECT_EQ(Complete, T.eventCount());
+  EXPECT_GE(Complete, 2u);
+  EXPECT_GE(Meta, 1u); // thread_name metadata per registered thread
+}
+
+TEST(Tracer, RestartClearsEarlierEvents) {
+  Tracer &T = Tracer::global();
+  T.start();
+  { Span S("first"); }
+  T.stop();
+  EXPECT_GT(T.eventCount(), 0u);
+  T.start();
+  T.stop();
+  EXPECT_EQ(T.eventCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch protocol surface
+//===----------------------------------------------------------------------===//
+
+std::string runLines(AnalysisSession &Session, const std::string &Input,
+                     bool Stable = false) {
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  runBatchJsonLines(Session, In, Out, nullptr, Stable);
+  return Out.str();
+}
+
+TEST(BatchProtocol, MetricsOpCarriesSchemaVersion) {
+  AnalysisSession Session;
+  std::string Out = runLines(
+      Session,
+      "{\"id\":\"q\",\"op\":\"empty\",\"e1\":\"a/b[parent::c]\"}\n"
+      "{\"id\":\"m\",\"op\":\"metrics\"}\n");
+  std::istringstream Parse(Out);
+  std::string Line, Err;
+  ASSERT_TRUE(std::getline(Parse, Line)); // the decision response
+  ASSERT_TRUE(std::getline(Parse, Line)); // the metrics response
+  JsonRef M = parseJson(Line, Err);
+  ASSERT_NE(M, nullptr) << Err;
+  EXPECT_EQ(M->str("id"), "m");
+  EXPECT_TRUE(M->get("ok")->asBool());
+  EXPECT_EQ(M->str("schema"), MetricRegistry::SchemaVersion);
+  EXPECT_TRUE(M->has("counters"));
+  // The request just answered is visible in the tallies.
+  EXPECT_GE(
+      M->get("counters")->get("xsa_requests_total{op=\"empty\"}")->asNumber(),
+      1);
+}
+
+TEST(BatchProtocol, StableMetricsOpOmitsVolatileSections) {
+  AnalysisSession Session;
+  std::string Out = runLines(Session,
+                             "{\"id\":\"m\",\"op\":\"metrics\"}\n",
+                             /*Stable=*/true);
+  std::string Err;
+  JsonRef M = parseJson(Out, Err);
+  ASSERT_NE(M, nullptr) << Err;
+  EXPECT_EQ(M->str("schema"), MetricRegistry::SchemaVersion);
+  EXPECT_FALSE(M->has("histograms"));
+}
+
+TEST(BatchProtocol, UnknownConfigKeyIsRejectedStructurally) {
+  AnalysisSession Session;
+  std::string Out = runLines(
+      Session, "{\"id\":\"c\",\"op\":\"config\",\"share_fixpoint\":true}\n");
+  std::string Err;
+  JsonRef R = parseJson(Out, Err);
+  ASSERT_NE(R, nullptr) << Err;
+  EXPECT_EQ(R->str("id"), "c");
+  EXPECT_FALSE(R->get("ok")->asBool());
+  EXPECT_EQ(R->str("error_kind"), "unknown_config_key");
+  EXPECT_EQ(R->str("key"), "share_fixpoint");
+  // The near-miss did NOT silently enable sharing.
+  EXPECT_FALSE(Session.shareFixpointsEnabled());
+}
+
+TEST(BatchProtocol, KnownConfigKeysStillApply) {
+  AnalysisSession Session;
+  std::string Out = runLines(
+      Session,
+      "{\"op\":\"config\",\"jobs\":2,\"share_fixpoints\":true}\n");
+  std::string Err;
+  JsonRef R = parseJson(Out, Err);
+  ASSERT_NE(R, nullptr) << Err;
+  EXPECT_TRUE(R->get("ok")->asBool());
+  EXPECT_TRUE(Session.shareFixpointsEnabled());
+  EXPECT_EQ(Session.jobs(), 2u);
+}
+
+} // namespace

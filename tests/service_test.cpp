@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
 #include "service/Batch.h"
 #include "service/Cache.h"
 #include "service/Session.h"
@@ -765,6 +766,41 @@ TEST(ParallelBatch, ColdStableOutputIndependentOfJobCount) {
   std::string OutParallel =
       runLinesRaw(Parallel, mixedInput(), /*Stable=*/true);
   EXPECT_EQ(OutSerial, OutParallel);
+}
+
+TEST(ParallelBatch, StableOutputByteIdenticalWithTracingEnabled) {
+  // The tracer's determinism contract (obs/Trace.h): spans observe, they
+  // never decide, so --stable output at any job count must be
+  // byte-identical with tracing on or off.
+  SessionOptions Opts;
+  Opts.Jobs = 4;
+  AnalysisSession Untraced(Opts);
+  std::string OutUntraced =
+      runLinesRaw(Untraced, mixedInput(), /*Stable=*/true);
+
+  Tracer::global().start();
+  AnalysisSession Traced(Opts);
+  std::string OutTraced = runLinesRaw(Traced, mixedInput(), /*Stable=*/true);
+  Tracer::global().stop();
+
+  EXPECT_EQ(OutUntraced, OutTraced);
+  // Tracing did actually happen — the batch produced spans.
+  EXPECT_GT(Tracer::global().eventCount(), 0u);
+}
+
+TEST(ParallelBatch, TracingAddsStageBreakdownToVolatileOutputOnly) {
+  // Non-stable responses gain a per-request "stages" object while the
+  // tracer runs; stable responses never carry it.
+  SessionOptions Opts;
+  Opts.Jobs = 2;
+  Tracer::global().start();
+  AnalysisSession Session(Opts);
+  std::string Volatile = runLinesRaw(Session, mixedInput());
+  AnalysisSession Stable(Opts);
+  std::string StableOut = runLinesRaw(Stable, mixedInput(), /*Stable=*/true);
+  Tracer::global().stop();
+  EXPECT_NE(Volatile.find("\"stages\""), std::string::npos);
+  EXPECT_EQ(StableOut.find("\"stages\""), std::string::npos);
 }
 
 TEST(ParallelBatch, DuplicateRequestsReportedAsHitsLikeSerial) {
