@@ -60,6 +60,7 @@ int usage() {
       "  xsolve optimize '<xpath>' [dtd]\n"
       "  xsolve batch [file|-] [--jobs N] [--cache-file F] [--stable]\n"
       "               [--optimize] [--share-fixpoints]\n"
+      "               [--fixpoint-strategy S]\n"
       "               [--trace-file F] [--metrics-file F]\n"
       "where [dtd] is a file path or one of: wikipedia, smil, xhtml.\n"
       "optimize rewrites the query rule by rule, accepting a candidate\n"
@@ -70,7 +71,7 @@ int usage() {
       "\"e2\":\"//b\",\"dtd\":\"xhtml\"}\n"
       "(ops: sat empty contains overlap cover equiv typecheck optimize;\n"
       " {\"op\":\"config\",\"jobs\":N,\"optimize\":B,"
-      "\"share_fixpoints\":B}\n"
+      "\"share_fixpoints\":B,\"fixpoint_strategy\":S}\n"
       " reconfigures mid-stream)\n"
       "batch flags:\n"
       "  --jobs N        dispatch across N worker threads (0 = all cores)\n"
@@ -85,6 +86,11 @@ int usage() {
       "                  share solver fixpoint sets across requests:\n"
       "                  runs with the same lean replay stored iterates\n"
       "                  instead of recomputing them (output unchanged)\n"
+      "  --fixpoint-strategy S\n"
+      "                  schedule the fixpoint iteration: bfs (default),\n"
+      "                  chaining, saturation, or auto (pick per lean,\n"
+      "                  remembered in the cache file); verdicts and\n"
+      "                  models are strategy-independent\n"
       "  --trace-file F  record spans for every pipeline stage and write\n"
       "                  them as Chrome trace-event JSON to F (open in\n"
       "                  Perfetto / chrome://tracing); response output is\n"
@@ -182,6 +188,16 @@ int main(int argc, char **argv) {
         Session.setOptimize(true);
       } else if (Arg == "--share-fixpoints") {
         Session.setShareFixpoints(true);
+      } else if (Arg == "--fixpoint-strategy" && I + 1 < argc) {
+        FixpointStrategy S;
+        if (!parseFixpointStrategy(argv[++I], S)) {
+          std::fprintf(stderr,
+                       "error: --fixpoint-strategy needs one of bfs, "
+                       "chaining, saturation, auto (got %s)\n",
+                       argv[I]);
+          return usage();
+        }
+        Session.setFixpointStrategy(S);
       } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
         std::fprintf(stderr, "error: unknown batch flag %s\n", Arg.c_str());
         return usage();

@@ -21,13 +21,14 @@
 /// When the session is configured with jobs > 1, runBatch dispatches
 /// requests over the session's WorkerPool, one AnalysisContext per
 /// worker. Responses always come back in input order, and the semantic
-/// payload of every response (verdict, model, lean size, iteration
-/// count) is deterministic — independent of the worker count and of the
-/// dispatch interleaving — because every context derives the same
-/// canonical problems and the solver itself is deterministic. The
-/// `cache` and `time_ms` fields describe *execution* (who hit the shared
-/// cache, how long the winning run took) and may differ between a
-/// parallel and a serial cold run; textually identical requests are
+/// payload of every response (verdict, model, lean size) is
+/// deterministic — independent of the worker count and of the dispatch
+/// interleaving — because every context derives the same canonical
+/// problems and the solver itself is deterministic. The `cache`,
+/// `time_ms`, `iterations` and `strategy` fields describe *execution*
+/// (who hit the shared cache, how long the winning run took, how the
+/// fixpoint was scheduled) and may differ between a parallel and a
+/// serial cold run; textually identical requests are
 /// deduplicated before dispatch and reported exactly as a serial run
 /// would (first one solves, the rest are cache hits). On a warm session
 /// every field, timing included, is byte-identical at any job count.
@@ -76,13 +77,14 @@ bool requestFromJson(const JsonValue &Obj, AnalysisRequest &Req,
                      std::string &Error);
 
 /// Encodes a response as a JSON object (id, ok, error, holds,
-/// satisfiable, cache, lean, iterations, time_ms, model; optimize
-/// responses instead carry optimized, cost_before, cost_after, rewrites
-/// and the proof trace). With \p IncludeVolatile false the
-/// execution-dependent fields (cache, time_ms — in trace entries too)
-/// are omitted — the remaining payload is deterministic, which is what
-/// `xsolve batch --stable` uses to make output byte-comparable across
-/// job counts and runs.
+/// satisfiable, cache, lean, iterations, iterations_replayed, substeps,
+/// strategy, time_ms, model; optimize responses instead carry optimized,
+/// cost_before, cost_after, rewrites and the proof trace). With
+/// \p IncludeVolatile false the execution-dependent fields (cache,
+/// iterations, iterations_replayed, substeps, strategy, time_ms — in
+/// trace entries too) are omitted — the remaining payload is
+/// deterministic, which is what `xsolve batch --stable` uses to make
+/// output byte-comparable across job counts, strategies and runs.
 JsonRef responseToJson(const AnalysisResponse &Resp,
                        bool IncludeVolatile = true);
 

@@ -34,7 +34,8 @@ size_t resolveJobs(size_t Jobs) {
 AnalysisSession::AnalysisSession(SessionOptions SOpts)
     : Opts(SOpts), Cache(SOpts.CacheCapacity, SOpts.CacheShards),
       Fixpoints(SOpts.FixpointCapacity, SOpts.CacheShards),
-      Main(SOpts.Solver, &Cache, &Counters, &Fixpoints, &OptSeeds) {
+      Main(SOpts.Solver, &Cache, &Counters, &Fixpoints, &OptSeeds,
+           &StratChoices) {
   Opts.Jobs = resolveJobs(Opts.Jobs);
   Main.setOptimizePrePass(Opts.Optimize);
   Main.setShareFixpoints(Opts.ShareFixpoints);
@@ -56,6 +57,13 @@ void AnalysisSession::setShareFixpoints(bool On) {
   Main.setShareFixpoints(On);
   for (auto &W : Workers)
     W->setShareFixpoints(On);
+}
+
+void AnalysisSession::setFixpointStrategy(FixpointStrategy S) {
+  Opts.Solver.Strategy = S;
+  Main.setFixpointStrategy(S);
+  for (auto &W : Workers)
+    W->setFixpointStrategy(S);
 }
 
 AnalysisResult AnalysisSession::emptiness(const ExprRef &E, Formula Chi) {
@@ -122,7 +130,8 @@ WorkerPool &AnalysisSession::pool() {
     Pool = std::make_unique<WorkerPool>(Opts.Jobs);
   while (Workers.size() < Opts.Jobs) {
     Workers.push_back(std::make_unique<AnalysisContext>(
-        Opts.Solver, &Cache, &Counters, &Fixpoints, &OptSeeds));
+        Opts.Solver, &Cache, &Counters, &Fixpoints, &OptSeeds,
+        &StratChoices));
     Workers.back()->setOptimizePrePass(Opts.Optimize);
     Workers.back()->setShareFixpoints(Opts.ShareFixpoints);
   }
@@ -134,7 +143,9 @@ WorkerPool &AnalysisSession::pool() {
 //===----------------------------------------------------------------------===//
 
 /// Persistent format versions. v1 carried result entries only; v2 adds
-/// fixpoint-store sequences ("fx") and optimized query forms ("oq").
+/// fixpoint-store sequences ("fx"), optimized query forms ("oq") and —
+/// later, without a version bump, since readers skip line shapes they
+/// do not recognize — per-lean strategy choices ("st").
 /// Bump CacheFormatVersion when a line shape changes incompatibly;
 /// loadCache rejects versions it does not know instead of guessing.
 static constexpr int CacheFormatVersion = 2;
@@ -203,6 +214,21 @@ bool AnalysisSession::saveCache(const std::string &Path,
     O->set("dtd", JsonValue::string(D));
     O->set("dfp", JsonValue::string(Fp));
     O->set("opt", JsonValue::string(T));
+    Out << O->dump() << "\n";
+  }
+  // Remembered per-lean Auto strategy choices, sorted for
+  // reproducibility like the optimize seeds. Readers predating this
+  // line shape skip it (no key they recognize), so the format version
+  // stays 2.
+  std::vector<std::pair<std::string, FixpointStrategy>> StratEntries;
+  StratChoices.forEachEntry([&](const std::string &Sig, FixpointStrategy S) {
+    StratEntries.push_back({Sig, S});
+  });
+  std::sort(StratEntries.begin(), StratEntries.end());
+  for (const auto &[Sig, S] : StratEntries) {
+    JsonRef O = JsonValue::object();
+    O->set("st", JsonValue::string(Sig));
+    O->set("strategy", JsonValue::string(fixpointStrategyName(S)));
     Out << O->dump() << "\n";
   }
   if (!Out) {
@@ -290,6 +316,16 @@ bool AnalysisSession::loadCache(const std::string &Path, std::string &Error) {
         OptSeeds.store(OptQuery, Obj->str("dtd"), Fp, OptText);
       continue;
     }
+    // Remembered strategy choice. An Auto or unrecognized strategy name
+    // is dropped: stored choices must be concrete.
+    std::string StratSig = Obj->str("st");
+    if (!StratSig.empty()) {
+      FixpointStrategy S;
+      if (parseFixpointStrategy(Obj->str("strategy"), S) &&
+          S != FixpointStrategy::Auto)
+        StratChoices.remember(StratSig, S);
+      continue;
+    }
     std::string Key = Obj->str("k");
     if (Key.empty())
       continue;
@@ -344,5 +380,8 @@ SessionStats AnalysisSession::stats() const {
       Counters.FixpointSeededRuns.load(std::memory_order_relaxed);
   S.FixpointIterationsReplayed =
       Counters.FixpointIterationsReplayed.load(std::memory_order_relaxed);
+  S.SolverSubSteps = Counters.SolverSubSteps.load(std::memory_order_relaxed);
+  for (size_t I = 0; I < Counters.StrategyRuns.size(); ++I)
+    S.StrategyRuns[I] = Counters.StrategyRuns[I].load(std::memory_order_relaxed);
   return S;
 }

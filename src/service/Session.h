@@ -75,6 +75,12 @@ struct SessionStats {
   CacheStats Fixpoints;
   size_t FixpointSeededRuns = 0;
   size_t FixpointIterationsReplayed = 0;
+  /// Fixpoint scheduling: total relational-image sub-steps across all
+  /// runs, and actual solver runs by the concrete strategy executed
+  /// (indexed by FixpointStrategy; the Auto slot stays zero — Auto
+  /// always resolves to a concrete strategy before the run).
+  size_t SolverSubSteps = 0;
+  size_t StrategyRuns[4] = {0, 0, 0, 0};
 };
 
 /// Knobs of an AnalysisSession. Solver options are the per-context
@@ -180,6 +186,12 @@ public:
   bool shareFixpointsEnabled() const { return Opts.ShareFixpoints; }
   void setShareFixpoints(bool On);
 
+  /// The fixpoint scheduling strategy (SolverOptions::Strategy), applied
+  /// to every context; Auto resolves per lean through the shared
+  /// StrategyChoiceStore. Not thread-safe against a running batch.
+  FixpointStrategy fixpointStrategy() const { return Opts.Solver.Strategy; }
+  void setFixpointStrategy(FixpointStrategy S);
+
   /// The dispatcher's pool, sized to jobs() threads, with one warm
   /// AnalysisContext per worker. Lazily constructed on first use so
   /// jobs=1 sessions never spawn a thread.
@@ -197,8 +209,11 @@ public:
   /// version header {"xsa_cache":2}, then one entry per line — cached
   /// results ("k": canonical-text key, options fingerprint, verdict,
   /// stats, model XML), fixpoint-store sequences ("fx": lean signature,
-  /// options fingerprint, encoded snapshots), and optimized query forms
-  /// ("oq"). Returns false and sets \p Error on I/O failure.
+  /// options fingerprint, encoded snapshots), optimized query forms
+  /// ("oq"), and remembered per-lean fixpoint-strategy choices ("st").
+  /// Line shapes a reader does not recognize are skipped, so the "st"
+  /// lines did not bump the format version — older readers ignore them.
+  /// Returns false and sets \p Error on I/O failure.
   bool saveCache(const std::string &Path, std::string &Error) const;
 
   /// Loads entries saved by saveCache into the shared stores (counted as
@@ -216,6 +231,8 @@ public:
   SharedFixpointStore &fixpointStore() { return Fixpoints; }
   /// The shared store of persisted optimized query forms.
   OptimizeSeedStore &optimizeSeeds() { return OptSeeds; }
+  /// The shared store of remembered per-lean Auto strategy choices.
+  StrategyChoiceStore &strategyChoices() { return StratChoices; }
 
   SessionStats stats() const;
 
@@ -224,6 +241,7 @@ private:
   ShardedResultCache Cache;
   SharedFixpointStore Fixpoints;
   OptimizeSeedStore OptSeeds;
+  StrategyChoiceStore StratChoices;
   AtomicSessionStats Counters;
   AnalysisContext Main;
   std::vector<std::unique_ptr<AnalysisContext>> Workers;

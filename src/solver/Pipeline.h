@@ -20,10 +20,15 @@
 ///    fixpoint is fully replayed from a seed never builds ∆a at all.
 ///
 ///  * FixpointLoop (stage 3): the two-line Upd iteration of §7.1 with
-///    seed/snapshot hooks. A seed is a prefix of the lean's canonical
-///    iterate sequence T^1, T^2, ...; the loop replays it — checking the
-///    final condition against each replayed iterate exactly as a cold
-///    run would — before computing further iterates. Replay is
+///    seed/snapshot hooks, scheduled by a FixpointStrategy: Bfs runs one
+///    full Upd image per round; Chaining and Saturation decompose a
+///    round into per-program sub-steps that reuse a held witness so
+///    whole sibling (and child) chains collapse into one round. All
+///    strategies reach the same least fixpoint (DESIGN.md "Strategy
+///    soundness"). A seed is a prefix of the lean's canonical per-
+///    strategy iterate sequence T^1, T^2, ...; the loop replays it —
+///    checking the final condition against each replayed iterate exactly
+///    as a cold run would — before computing further iterates. Replay is
 ///    output-invisible: snapshots, verdict, model and iteration count
 ///    are identical to a cold run (DESIGN.md proves why), only the
 ///    expensive relational products are skipped.
@@ -129,25 +134,35 @@ public:
 
   struct Outcome {
     bool Sat = false;
-    /// TNext ∧ FinalCond of the terminating iteration (zero when unsat).
+    /// TNext ∧ FinalCond of the terminating sub-step (zero when unsat).
     Bdd Final;
-    /// Loop steps taken — replay included, so this is the count a cold
-    /// run reports.
+    /// Rounds taken — replay included, so this is the count a cold run
+    /// reports. One round is one Upd image under Bfs and one pass of
+    /// the sub-step schedule under Chaining/Saturation.
     size_t Iterations = 0;
-    /// Of Iterations, how many came from the seed.
+    /// Of Iterations, how many rounds came entirely from the seed.
     size_t Replayed = 0;
+    /// Relational-image sub-steps across all rounds (== Iterations
+    /// under Bfs).
+    size_t SubSteps = 0;
     /// True when the loop ended by reaching Upd's fixpoint (as opposed
     /// to an early satisfiable exit).
     bool Converged = false;
   };
 
-  /// Runs the iteration. \p Seed (may be null) is a stored prefix of
-  /// the lean's canonical iterate sequence; elements are imported into
-  /// TS's manager lazily — only when actually replayed, since an
-  /// early-terminating run may consume one iterate of a long sequence —
-  /// and stand in for computed iterates under the exact cold control
-  /// flow. Early termination follows TS.options().EarlyTermination.
-  Outcome run(const Bdd &FinalCond, const FixpointSeedData *Seed);
+  /// Runs the iteration under \p Strategy (must be a concrete strategy,
+  /// not Auto — the solver resolves Auto before the loop). \p Seed (may
+  /// be null) is a stored sequence of *sub-step* iterates recorded under
+  /// the same strategy; elements are imported into TS's manager lazily —
+  /// only when actually replayed, since an early-terminating run may
+  /// consume one iterate of a long sequence — and stand in for computed
+  /// iterates under the exact cold control flow (every control decision
+  /// is a pure function of the iterate values, so replay walks the same
+  /// rounds, phases and exits as the cold run; see DESIGN.md "Strategy
+  /// soundness"). Early termination follows
+  /// TS.options().EarlyTermination and is checked after every sub-step.
+  Outcome run(const Bdd &FinalCond, const FixpointSeedData *Seed,
+              FixpointStrategy Strategy = FixpointStrategy::Bfs);
 
   /// T^1, T^2, ... as retained for model reconstruction; identical to a
   /// cold run's sequence whether or not a seed was replayed.

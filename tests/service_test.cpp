@@ -1138,4 +1138,118 @@ TEST(PersistentCache, OptimizedFormsAreKeyedToDtdContent) {
   std::remove(DtdPath.c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// Fixpoint scheduling strategies (service surface)
+//===----------------------------------------------------------------------===//
+
+TEST(FixpointStrategyService, StableOutputByteIdenticalAcrossStrategiesAndJobs) {
+  // The acceptance criterion of the strategy engine: --stable responses
+  // (verdict, lean, model) must be byte-identical under every strategy,
+  // Auto included, at jobs 1 and 4.
+  std::string Input = nearDuplicateInput(4);
+  AnalysisSession Base;
+  std::string Expected = runLinesRaw(Base, Input, /*Stable=*/true);
+  for (FixpointStrategy S :
+       {FixpointStrategy::Bfs, FixpointStrategy::Chaining,
+        FixpointStrategy::Saturation, FixpointStrategy::Auto}) {
+    for (size_t Jobs : {1, 4}) {
+      SessionOptions SOpts;
+      SOpts.Solver.Strategy = S;
+      SOpts.Jobs = Jobs;
+      AnalysisSession Session(SOpts);
+      std::string Got = runLinesRaw(Session, Input, /*Stable=*/true);
+      EXPECT_EQ(Expected, Got)
+          << fixpointStrategyName(S) << " at jobs=" << Jobs;
+    }
+  }
+}
+
+TEST(FixpointStrategyService, ConfigLineSwitchesStrategyMidStream) {
+  AnalysisSession Session;
+  EXPECT_EQ(Session.fixpointStrategy(), FixpointStrategy::Bfs);
+  std::vector<JsonRef> Resps = runLines(
+      Session,
+      "{\"id\":\"cfg\",\"op\":\"config\",\"fixpoint_strategy\":"
+      "\"chaining\"}\n" +
+          nearDuplicateInput(2));
+  ASSERT_GE(Resps.size(), 2u);
+  EXPECT_TRUE(Resps[0]->get("ok")->asBool());
+  EXPECT_EQ(Resps[0]->str("fixpoint_strategy"), "chaining");
+  EXPECT_EQ(Session.fixpointStrategy(), FixpointStrategy::Chaining);
+  // Every solver run after the switch executed under Chaining, and the
+  // cumulative stats say so.
+  SessionStats S = Session.stats();
+  EXPECT_GT(S.Solves, 0u);
+  EXPECT_EQ(S.StrategyRuns[static_cast<size_t>(FixpointStrategy::Chaining)],
+            S.Solves);
+  EXPECT_GT(S.SolverSubSteps, 0u);
+  EXPECT_GE(S.SolverSubSteps, S.SolverIterations)
+      << "chained rounds take at least one sub-step each";
+}
+
+TEST(FixpointStrategyService, InvalidStrategyValueIsStructurallyRejected) {
+  AnalysisSession Session;
+  std::vector<JsonRef> Resps = runLines(
+      Session,
+      "{\"id\":\"bad\",\"op\":\"config\",\"fixpoint_strategy\":"
+      "\"chainning\"}\n"
+      "{\"id\":\"worse\",\"op\":\"config\",\"fixpoint_strategy\":7}\n");
+  ASSERT_EQ(Resps.size(), 2u);
+  for (const JsonRef &R : Resps) {
+    EXPECT_FALSE(R->get("ok")->asBool());
+    EXPECT_EQ(R->str("error_kind"), "invalid_config_value");
+    EXPECT_EQ(R->str("key"), "fixpoint_strategy");
+    EXPECT_NE(R->str("error").find("expected bfs"), std::string::npos);
+  }
+  EXPECT_EQ(Resps[0]->str("value"), "chainning");
+  // The typo must not have left a half-applied strategy in force.
+  EXPECT_EQ(Session.fixpointStrategy(), FixpointStrategy::Bfs);
+
+  // Volatile responses carry the strategy actually used per request.
+  std::vector<JsonRef> Run = runLines(Session, nearDuplicateInput(1));
+  ASSERT_GE(Run.size(), 1u);
+  EXPECT_EQ(Run[0]->str("strategy"), "bfs");
+}
+
+TEST(PersistentCache, RememberedStrategyChoicesSurviveARestart) {
+  // An Auto session memoizes its per-lean choice in the shared store;
+  // save → load must hand the same choices to a restarted session so
+  // its runs are keyed (and replayed) consistently from the start.
+  std::string Path = testing::TempDir() + "xsa_service_test_st.jsonl";
+  std::remove(Path.c_str());
+  SessionOptions SOpts;
+  SOpts.Solver.Strategy = FixpointStrategy::Auto;
+  std::vector<std::pair<std::string, FixpointStrategy>> Saved;
+  {
+    AnalysisSession A(SOpts);
+    runLinesRaw(A, nearDuplicateInput(3));
+    A.strategyChoices().forEachEntry(
+        [&](const std::string &Sig, FixpointStrategy S) {
+          Saved.emplace_back(Sig, S);
+        });
+    ASSERT_GT(Saved.size(), 0u) << "Auto must remember its choices";
+    std::string Error;
+    ASSERT_TRUE(A.saveCache(Path, Error)) << Error;
+  }
+
+  AnalysisSession B(SOpts);
+  std::string Error;
+  ASSERT_TRUE(B.loadCache(Path, Error)) << Error;
+  EXPECT_EQ(B.strategyChoices().size(), Saved.size());
+  for (const auto &[Sig, S] : Saved) {
+    FixpointStrategy Loaded;
+    ASSERT_TRUE(B.strategyChoices().lookup(Sig, Loaded)) << Sig;
+    EXPECT_EQ(Loaded, S) << Sig;
+  }
+
+  // And the choices are actually honoured: an unseen same-shaped batch
+  // resolves through the loaded memo, with output identical to a plain
+  // session's.
+  std::string Unseen = nearDuplicateInput(3, /*Offset=*/200);
+  AnalysisSession Plain;
+  std::string Expected = runLinesRaw(Plain, Unseen, /*Stable=*/true);
+  EXPECT_EQ(runLinesRaw(B, Unseen, /*Stable=*/true), Expected);
+  std::remove(Path.c_str());
+}
+
 } // namespace
