@@ -1,0 +1,249 @@
+//===- bench_server.cpp - xsolved load generator ---------------------------===//
+//
+// Load generator for the long-lived analysis server (server/Server.h).
+// Runs an in-process XsolvedServer on an ephemeral TCP port and drives
+// it over real sockets, so accept/framing/admission/sequencing are all
+// on the measured path — only the process boundary is elided.
+//
+// Rows written to BENCH_server.json (closed loop = one outstanding
+// request per client, latency measured per request at the client):
+//
+//   closed_cold_jobsN   4 clients x 100 mixed requests, fresh server
+//   closed_warm_jobsN   the same clients' workload repeated against the
+//                       now-warm shared cache (the multi-tenant payoff:
+//                       hit rate > 0.5 and a wall-clock speedup)
+//   open_burst          one client floods 200 requests into a paused
+//                       dispatcher with a small admission bound, then
+//                       the dispatcher resumes — exercises the
+//                       overloaded backpressure path under load
+//
+// Each closed-loop row records wall_ms, cache_hit_rate, client-measured
+// p50_ms/p99_ms and throughput_rps; open_burst records the admitted /
+// rejected split. CI gates on the p50/p99 fields being present and on
+// warm beating cold.
+//
+// Standalone on purpose (no google-benchmark): CI runs it in every
+// Release build the way bench_rewrite and bench_fixpoint already run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+#include "server/Client.h"
+#include "server/Server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace xsa;
+using xsa_bench::BenchJsonWriter;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// The bench_service mixed workload as protocol lines: four request
+/// shapes over per-index alphabets, so a 100-line pass holds 100
+/// distinct decision problems and a repeat pass holds zero new ones.
+std::vector<std::string> workloadLines(size_t N) {
+  std::vector<std::string> Lines;
+  Lines.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    std::string A = "a" + std::to_string(I);
+    std::string B = "b" + std::to_string(I);
+    std::string C = "c" + std::to_string(I);
+    std::string Id = "q" + std::to_string(I);
+    switch (I % 4) {
+    case 0:
+      Lines.push_back("{\"id\":\"" + Id + "\",\"op\":\"contains\",\"e1\":\"/" +
+                      A + "/" + B + "\",\"e2\":\"//" + B + "\"}");
+      break;
+    case 1:
+      Lines.push_back("{\"id\":\"" + Id + "\",\"op\":\"contains\",\"e1\":\"//" +
+                      B + "\",\"e2\":\"/" + A + "/" + B + "\"}");
+      break;
+    case 2:
+      Lines.push_back("{\"id\":\"" + Id + "\",\"op\":\"overlap\",\"e1\":\"//" +
+                      A + "/" + B + "[" + C + "]\",\"e2\":\"//" + B + "\"}");
+      break;
+    default:
+      Lines.push_back("{\"id\":\"" + Id + "\",\"op\":\"empty\",\"e1\":\"/" +
+                      A + "[" + B + " and " + C + "]\"}");
+      break;
+    }
+  }
+  return Lines;
+}
+
+struct ClientResult {
+  std::vector<double> LatenciesMs; ///< closed loop: per-request RTT
+  size_t Ok = 0;
+  size_t Failed = 0;
+};
+
+/// Closed loop: send one request, wait for its response, measure the
+/// round trip, repeat. One outstanding request per client.
+ClientResult runClosedLoop(int Port, const std::vector<std::string> &Lines) {
+  ClientResult R;
+  LineClient C;
+  std::string Error;
+  if (!C.connectTcp("127.0.0.1", Port, Error)) {
+    std::fprintf(stderr, "bench_server: connect failed: %s\n", Error.c_str());
+    return R;
+  }
+  R.LatenciesMs.reserve(Lines.size());
+  std::string Resp;
+  for (const std::string &L : Lines) {
+    auto T0 = std::chrono::steady_clock::now();
+    if (!C.sendLine(L) || !C.recvLine(Resp)) {
+      ++R.Failed;
+      break;
+    }
+    R.LatenciesMs.push_back(msSince(T0));
+    if (Resp.find("\"ok\":true") != std::string::npos)
+      ++R.Ok;
+    else
+      ++R.Failed;
+  }
+  return R;
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(Sorted.size() - 1));
+  return Sorted[Idx];
+}
+
+/// One closed-loop pass: \p Clients threads each run the full workload
+/// against the server, latencies merged across clients.
+void closedLoopRow(BenchJsonWriter &Out, const std::string &Name,
+                   XsolvedServer &Server,
+                   const std::vector<std::string> &Lines, size_t Clients) {
+  SessionStats Before = Server.session().stats();
+  std::vector<ClientResult> Results(Clients);
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I < Clients; ++I)
+    Threads.emplace_back([&, I] {
+      Results[I] = runClosedLoop(Server.tcpPort(), Lines);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  double WallMs = msSince(T0);
+
+  std::vector<double> All;
+  size_t Ok = 0, Failed = 0;
+  for (const ClientResult &R : Results) {
+    All.insert(All.end(), R.LatenciesMs.begin(), R.LatenciesMs.end());
+    Ok += R.Ok;
+    Failed += R.Failed;
+  }
+  std::sort(All.begin(), All.end());
+
+  // Hit rate of THIS pass, not of the session's whole life — the warm
+  // row must report warm hits, not an average with its own cold pass.
+  SessionStats After = Server.session().stats();
+  size_t Hits = After.Cache.Hits - Before.Cache.Hits;
+  size_t Lookups = Hits + (After.Cache.Misses - Before.Cache.Misses);
+  double HitRate = Lookups ? static_cast<double>(Hits) / Lookups : 0;
+
+  double Rps = WallMs > 0 ? 1000.0 * static_cast<double>(Ok + Failed) / WallMs
+                          : 0;
+  Out.record(Name, WallMs, HitRate,
+             {{"clients", static_cast<double>(Clients)},
+              {"requests", static_cast<double>(Ok + Failed)},
+              {"failed", static_cast<double>(Failed)},
+              {"p50_ms", percentile(All, 0.5)},
+              {"p99_ms", percentile(All, 0.99)},
+              {"throughput_rps", Rps}});
+  std::printf("%-22s wall %8.1f ms  hit %.2f  p50 %6.2f ms  p99 %6.2f ms  "
+              "%7.0f req/s\n",
+              Name.c_str(), WallMs, HitRate, percentile(All, 0.5),
+              percentile(All, 0.99), Rps);
+}
+
+/// Open loop: pipeline the whole burst without waiting, against a
+/// paused dispatcher and a small admission bound, then resume. The
+/// interesting numbers are the admitted/rejected split and that the
+/// server stays responsive (every request gets exactly one answer).
+void openBurstRow(BenchJsonWriter &Out) {
+  ServerOptions Opts;
+  Opts.TcpPort = 0;
+  Opts.QueueLimit = 16;
+  Opts.Session.Jobs = 2;
+  XsolvedServer Server(Opts);
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::fprintf(stderr, "bench_server: %s\n", Error.c_str());
+    return;
+  }
+  std::vector<std::string> Lines = workloadLines(200);
+  Server.debugPauseDispatch(true);
+  LineClient C;
+  if (!C.connectTcp("127.0.0.1", Server.tcpPort(), Error)) {
+    std::fprintf(stderr, "bench_server: connect failed: %s\n", Error.c_str());
+    Server.drainAndWait();
+    return;
+  }
+  auto T0 = std::chrono::steady_clock::now();
+  for (const std::string &L : Lines)
+    if (!C.sendLine(L))
+      break;
+  Server.debugPauseDispatch(false);
+  size_t Answered = 0, Overloaded = 0;
+  std::string Resp;
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    if (!C.recvLine(Resp))
+      break;
+    if (Resp.find("\"code\":\"overloaded\"") != std::string::npos)
+      ++Overloaded;
+    else
+      ++Answered;
+  }
+  double WallMs = msSince(T0);
+  Server.drainAndWait();
+  Out.record("open_burst", WallMs, 0,
+             {{"requests", static_cast<double>(Lines.size())},
+              {"answered", static_cast<double>(Answered)},
+              {"rejected_overloaded", static_cast<double>(Overloaded)},
+              {"queue_limit", static_cast<double>(Opts.QueueLimit)}});
+  std::printf("%-22s wall %8.1f ms  answered %zu  overloaded %zu (limit "
+              "%zu)\n",
+              "open_burst", WallMs, Answered, Overloaded, Opts.QueueLimit);
+}
+
+} // namespace
+
+int main() {
+  BenchJsonWriter Out("BENCH_server.json");
+  const size_t Clients = 4;
+  std::vector<std::string> Lines = workloadLines(100);
+
+  for (size_t Jobs : {size_t(1), size_t(4)}) {
+    ServerOptions Opts;
+    Opts.TcpPort = 0;
+    Opts.Session.Jobs = Jobs;
+    XsolvedServer Server(Opts);
+    std::string Error;
+    if (!Server.start(Error)) {
+      std::fprintf(stderr, "bench_server: %s\n", Error.c_str());
+      return 1;
+    }
+    std::string Suffix = "_jobs" + std::to_string(Jobs);
+    closedLoopRow(Out, "closed_cold" + Suffix, Server, Lines, Clients);
+    closedLoopRow(Out, "closed_warm" + Suffix, Server, Lines, Clients);
+    Server.drainAndWait();
+  }
+
+  openBurstRow(Out);
+  Out.write();
+  return 0;
+}

@@ -37,8 +37,11 @@
 #include "xtype/BuiltinDtds.h"
 #include "xtype/Validate.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -46,6 +49,26 @@
 using namespace xsa;
 
 namespace {
+
+/// SIGINT/SIGTERM request a graceful batch drain: the stream driver
+/// stops reading at the next line boundary, answers everything already
+/// read, and the normal exit path (cache save, metrics, stats) runs.
+std::atomic<bool> GStopRequested{false};
+
+extern "C" void onStopSignal(int) { GStopRequested.store(true); }
+
+/// Installed without SA_RESTART so a blocking stdin read fails with
+/// EINTR instead of resuming — that is what lets the driver notice the
+/// flag while parked in a read.
+void installStopHandler() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onStopSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0;
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+}
 
 int usage() {
   std::fprintf(
@@ -221,17 +244,28 @@ int main(int argc, char **argv) {
     // span is a single relaxed load.
     if (!TraceFile.empty())
       Tracer::global().start();
+    // An interrupted batch drains instead of aborting: the handler flips
+    // the stop flag, the driver answers what it already read, and the
+    // cache file is still flushed below.
+    installStopHandler();
+    BatchStreamOptions StreamOpts;
+    StreamOpts.Stable = Stable;
+    StreamOpts.Stop = &GStopRequested;
     size_t Failed = 0;
     if (Path == "-") {
-      runBatchJsonLines(Session, std::cin, std::cout, &Failed, Stable);
+      runBatchJsonLines(Session, std::cin, std::cout, &Failed, StreamOpts);
     } else {
       std::ifstream In(Path);
       if (!In) {
         std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
         return 1;
       }
-      runBatchJsonLines(Session, In, std::cout, &Failed, Stable);
+      runBatchJsonLines(Session, In, std::cout, &Failed, StreamOpts);
     }
+    if (GStopRequested.load())
+      std::fprintf(stderr,
+                   "interrupted: drained in-flight requests; flushing "
+                   "cache/metrics before exit\n");
     if (!TraceFile.empty()) {
       Tracer::global().stop();
       if (!Tracer::global().writeChromeTrace(TraceFile))

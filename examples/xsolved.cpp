@@ -1,0 +1,242 @@
+//===- xsolved.cpp - Long-lived analysis server daemon ---------------------===//
+//
+// The daemon front end to server/Server.h:
+//
+//   xsolved [--tcp PORT] [--unix PATH] [--jobs N] [--queue-limit N]
+//           [--cache-file F] [--stable] [--optimize] [--share-fixpoints]
+//           [--fixpoint-strategy S] [--port-file F]
+//   xsolved client (--tcp HOST:PORT | --unix PATH) [file|-]
+//
+// The server wraps ONE shared AnalysisSession: every client's requests
+// read through (and warm) the same sharded result cache, fixpoint store
+// and strategy-choice store. Protocol: one JSON request per line, one
+// JSON response per line, same request schema as `xsolve batch`, plus
+// per-request "priority" and "deadline_ms" fields and the ops config
+// (with "ns"/"stable"), metrics, stats, ping and drain. An HTTP
+// `GET /metrics` on either socket answers the Prometheus text format.
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting, finish everything
+// admitted, deliver the responses, persist --cache-file, exit 0.
+//
+// The client subcommand pipes a JSON-lines file (or stdin) to a running
+// server and prints the responses — what the CI smoke test drives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+#include "server/Server.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+using namespace xsa;
+
+namespace {
+
+std::atomic<bool> GStopRequested{false};
+
+extern "C" void onStopSignal(int) { GStopRequested.store(true); }
+
+void installStopHandler() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onStopSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0;
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  xsolved [--tcp PORT] [--unix PATH] [--jobs N] [--queue-limit N]\n"
+      "          [--cache-file F] [--stable] [--optimize]\n"
+      "          [--share-fixpoints] [--fixpoint-strategy S]\n"
+      "          [--port-file F]\n"
+      "  xsolved client (--tcp HOST:PORT | --unix PATH) [file|-]\n"
+      "server flags:\n"
+      "  --tcp PORT      listen on 127.0.0.1:PORT (0 = ephemeral port)\n"
+      "  --unix PATH     listen on a unix-domain socket at PATH\n"
+      "  --jobs N        worker threads of the shared session (0 = cores)\n"
+      "  --queue-limit N admission-control bound on queued requests\n"
+      "  --cache-file F  load F at start if present; persist on drain\n"
+      "  --stable        default connections to the deterministic\n"
+      "                  response encoding (clients can override with\n"
+      "                  {\"op\":\"config\",\"stable\":...})\n"
+      "  --port-file F   write the bound TCP port to F (for scripts\n"
+      "                  using --tcp 0)\n"
+      "protocol: xsolve-batch JSON-lines, plus per-request \"priority\"\n"
+      "and \"deadline_ms\", config keys \"ns\"/\"stable\", and the ops\n"
+      "metrics, stats, ping, drain. HTTP GET /metrics is answered in\n"
+      "Prometheus text format.\n");
+  return 2;
+}
+
+int runClient(int argc, char **argv) {
+  std::string TcpHost;
+  int TcpPort = -1;
+  std::string UnixPath;
+  std::string Path = "-";
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--tcp" && I + 1 < argc) {
+      std::string HostPort = argv[++I];
+      size_t Colon = HostPort.rfind(':');
+      if (Colon == std::string::npos) {
+        TcpHost = "127.0.0.1";
+        TcpPort = std::atoi(HostPort.c_str());
+      } else {
+        TcpHost = HostPort.substr(0, Colon);
+        TcpPort = std::atoi(HostPort.c_str() + Colon + 1);
+      }
+    } else if (Arg == "--unix" && I + 1 < argc) {
+      UnixPath = argv[++I];
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      std::fprintf(stderr, "error: unknown client flag %s\n", Arg.c_str());
+      return usage();
+    } else {
+      Path = Arg;
+    }
+  }
+  if (TcpPort < 0 && UnixPath.empty())
+    return usage();
+
+  LineClient Client;
+  std::string Error;
+  bool Connected = UnixPath.empty() ? Client.connectTcp(TcpHost, TcpPort, Error)
+                                    : Client.connectUnix(UnixPath, Error);
+  if (!Connected) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  std::ifstream FileIn;
+  std::istream *In = &std::cin;
+  if (Path != "-") {
+    FileIn.open(Path);
+    if (!FileIn) {
+      std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+      return 1;
+    }
+    In = &FileIn;
+  }
+
+  // Pipelined: send everything, then read exactly one response per
+  // request line (the server preserves request order per connection).
+  size_t Sent = 0;
+  std::string Line;
+  while (std::getline(*In, Line)) {
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string::npos || Line[First] == '#')
+      continue; // the server assigns no response to blank/comment lines
+    if (!Client.sendLine(Line)) {
+      std::fprintf(stderr, "error: send failed\n");
+      return 1;
+    }
+    ++Sent;
+  }
+  size_t Failed = 0;
+  for (size_t I = 0; I < Sent; ++I) {
+    std::string Resp;
+    if (!Client.recvLine(Resp)) {
+      std::fprintf(stderr, "error: server closed after %zu/%zu responses\n", I,
+                   Sent);
+      return 1;
+    }
+    std::printf("%s\n", Resp.c_str());
+    if (Resp.find("\"ok\":false") != std::string::npos)
+      ++Failed;
+  }
+  return Failed == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc >= 2 && std::string(argv[1]) == "client")
+    return runClient(argc, argv);
+
+  ServerOptions Opts;
+  std::string PortFile;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--tcp" && I + 1 < argc) {
+      Opts.TcpPort = std::atoi(argv[++I]);
+    } else if (Arg == "--unix" && I + 1 < argc) {
+      Opts.UnixPath = argv[++I];
+    } else if (Arg == "--jobs" && I + 1 < argc) {
+      char *End = nullptr;
+      long N = std::strtol(argv[++I], &End, 10);
+      if (N < 0 || End == argv[I] || *End != '\0') {
+        std::fprintf(stderr, "error: --jobs needs a non-negative integer\n");
+        return usage();
+      }
+      Opts.Session.Jobs = static_cast<size_t>(N);
+    } else if (Arg == "--queue-limit" && I + 1 < argc) {
+      Opts.QueueLimit = static_cast<size_t>(std::atoi(argv[++I]));
+    } else if (Arg == "--cache-file" && I + 1 < argc) {
+      Opts.CacheFile = argv[++I];
+    } else if (Arg == "--stable") {
+      Opts.DefaultStable = true;
+    } else if (Arg == "--optimize") {
+      Opts.Session.Optimize = true;
+    } else if (Arg == "--share-fixpoints") {
+      Opts.Session.ShareFixpoints = true;
+    } else if (Arg == "--fixpoint-strategy" && I + 1 < argc) {
+      FixpointStrategy S;
+      if (!parseFixpointStrategy(argv[++I], S)) {
+        std::fprintf(stderr,
+                     "error: --fixpoint-strategy needs one of bfs, chaining, "
+                     "saturation, auto (got %s)\n",
+                     argv[I]);
+        return usage();
+      }
+      Opts.Session.Solver.Strategy = S;
+    } else if (Arg == "--port-file" && I + 1 < argc) {
+      PortFile = argv[++I];
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", Arg.c_str());
+      return usage();
+    }
+  }
+  if (Opts.TcpPort < 0 && Opts.UnixPath.empty())
+    return usage();
+
+  installStopHandler();
+  XsolvedServer Server(Opts);
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (Opts.TcpPort >= 0)
+    std::fprintf(stderr, "xsolved: listening on %s:%d\n", Opts.Host.c_str(),
+                 Server.tcpPort());
+  if (!Opts.UnixPath.empty())
+    std::fprintf(stderr, "xsolved: listening on %s\n", Opts.UnixPath.c_str());
+  if (!PortFile.empty()) {
+    std::ofstream PF(PortFile);
+    PF << Server.tcpPort() << "\n";
+  }
+
+  // Park until SIGTERM/SIGINT or a client {"op":"drain"} stops the
+  // server. The signal handler only flips a flag; drain and teardown
+  // run here, on a normal thread.
+  while (!GStopRequested.load() && !Server.draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "xsolved: draining\n");
+  Server.drainAndWait();
+  std::fprintf(stderr, "xsolved: drained, exiting\n");
+  return 0;
+}

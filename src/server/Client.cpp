@@ -1,0 +1,110 @@
+//===- Client.cpp - JSON-lines socket client -------------------------------===//
+
+#include "server/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace xsa;
+
+bool LineClient::connectTcp(const std::string &Host, int Port,
+                            std::string &Error) {
+  closeConn();
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = "socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Error = "bad host address " + Host;
+    closeConn();
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "connect " + Host + ":" + std::to_string(Port) + ": " +
+            std::strerror(errno);
+    closeConn();
+    return false;
+  }
+  return true;
+}
+
+bool LineClient::connectUnix(const std::string &Path, std::string &Error) {
+  closeConn();
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "unix socket path too long";
+    return false;
+  }
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = "socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "connect " + Path + ": " + std::strerror(errno);
+    closeConn();
+    return false;
+  }
+  return true;
+}
+
+bool LineClient::sendLine(const std::string &Line) {
+  if (Fd < 0)
+    return false;
+  std::string Out = Line;
+  Out += '\n';
+  const char *Data = Out.data();
+  size_t Len = Out.size();
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += static_cast<size_t>(N);
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool LineClient::recvLine(std::string &Line) {
+  Line.clear();
+  if (Fd < 0)
+    return false;
+  while (true) {
+    size_t Nl = Buf.find('\n');
+    if (Nl != std::string::npos) {
+      Line = Buf.substr(0, Nl);
+      Buf.erase(0, Nl + 1);
+      return true;
+    }
+    char Chunk[4096];
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return false;
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+void LineClient::closeConn() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buf.clear();
+}

@@ -1,0 +1,907 @@
+//===- Server.cpp - Long-lived multi-tenant analysis server ----------------===//
+
+#include "server/Server.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "service/Batch.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <queue>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace xsa;
+
+namespace {
+
+/// All queue timestamps (deadlines, waits) share the tracer's timebase,
+/// so the same stamp feeds the deadline check, the wait histogram and
+/// the cross-thread "server.queue_wait" span.
+uint64_t nowSteadyNs() { return Tracer::nowNs(); }
+
+/// Sends all of \p Data on \p Fd (MSG_NOSIGNAL: a peer that closed mid-
+/// write must surface as an error on this thread, not kill the process
+/// with SIGPIPE). False on any failure.
+bool sendAll(int Fd, const char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += static_cast<size_t>(N);
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+Counter &rejectionCounter(const char *Reason) {
+  return MetricRegistry::global().counter(
+      labeledMetricName("xsa_server_rejections_total", "reason", Reason),
+      "Requests rejected at admission, by reason", /*Volatile=*/true);
+}
+
+Counter &deadlineMissCounter() {
+  return MetricRegistry::global().counter(
+      "xsa_server_deadline_misses_total",
+      "Admitted requests dropped because their deadline expired in queue",
+      /*Volatile=*/true);
+}
+
+Gauge &queueDepthGauge() {
+  return MetricRegistry::global().gauge(
+      "xsa_server_queue_depth", "Analysis requests currently queued",
+      /*Volatile=*/true);
+}
+
+Histogram &queueWaitHistogram() {
+  return MetricRegistry::global().histogram(
+      "xsa_server_queue_wait_ms",
+      "Admission-to-dispatch wait of analysis requests");
+}
+
+} // namespace
+
+NamespaceState::NamespaceState(std::string N) : Name(std::move(N)) {
+  RequestsMetric = &MetricRegistry::global().counter(
+      labeledMetricName("xsa_server_requests_total", "ns", Name),
+      "Analysis requests admitted, by namespace", /*Volatile=*/true);
+}
+
+//===----------------------------------------------------------------------===//
+// Internal types
+//===----------------------------------------------------------------------===//
+
+/// One client connection. The reader thread owns Fd reads and seq
+/// assignment; writes and the reorder buffer are guarded by WriteMu
+/// (reader thread for control responses, dispatcher thread for analysis
+/// responses).
+struct XsolvedServer::Connection {
+  int Fd = -1;
+  uint64_t Id = 0;
+  std::thread Reader;
+  std::atomic<bool> Open{true};
+
+  /// Reader-thread-only: next sequence number to assign to a line that
+  /// gets a response.
+  uint64_t NextSeq = 0;
+
+  std::mutex WriteMu;
+  uint64_t NextDeliver = 0;                ///< guarded by WriteMu
+  std::map<uint64_t, std::string> Pending; ///< guarded by WriteMu
+
+  /// Per-connection protocol state: current namespace and response
+  /// encoding. Written by the reader thread on a config line; the
+  /// values a job uses are snapshotted into the job at admission, so
+  /// the dispatcher never reads these directly.
+  std::shared_ptr<NamespaceState> Ns;
+  bool Stable = false;
+};
+
+/// An admitted analysis request, carrying everything the dispatcher
+/// needs — including the namespace-config snapshot taken at admission,
+/// so a later config change never races a queued job.
+struct XsolvedServer::Job {
+  std::shared_ptr<Connection> Conn;
+  std::shared_ptr<NamespaceState> Ns;
+  uint64_t Seq = 0;
+  AnalysisRequest Req;
+  int Priority = 0;
+  uint64_t DeadlineNs = 0; ///< absolute steady-clock ns; 0 = none
+  uint64_t EnqueueNs = 0;
+  uint64_t AdmitSeq = 0;
+  bool Stable = false;
+  bool Optimize = false;
+  bool Share = false;
+  FixpointStrategy Strategy = FixpointStrategy::Bfs;
+};
+
+struct XsolvedServer::JobQueue {
+  /// Higher priority first; FIFO (admission order) within a priority.
+  struct Order {
+    bool operator()(const Job &A, const Job &B) const {
+      if (A.Priority != B.Priority)
+        return A.Priority < B.Priority;
+      return A.AdmitSeq > B.AdmitSeq;
+    }
+  };
+  std::priority_queue<Job, std::vector<Job>, Order> Q;
+};
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+XsolvedServer::XsolvedServer(ServerOptions O) : Opts(std::move(O)) {
+  Queue = std::make_unique<JobQueue>();
+}
+
+XsolvedServer::~XsolvedServer() {
+  if (Started.load())
+    drainAndWait();
+}
+
+bool XsolvedServer::start(std::string &Error) {
+  if (Opts.TcpPort < 0 && Opts.UnixPath.empty()) {
+    Error = "server needs a TCP port and/or a unix socket path";
+    return false;
+  }
+  Sess = std::make_unique<AnalysisSession>(Opts.Session);
+  if (!Opts.CacheFile.empty()) {
+    std::ifstream Probe(Opts.CacheFile);
+    if (Probe) {
+      Probe.close();
+      std::string LoadError;
+      if (!Sess->loadCache(Opts.CacheFile, LoadError)) {
+        Error = "cache file: " + LoadError;
+        return false;
+      }
+    }
+  }
+  // Build the pool (and the per-worker contexts) once, on this thread:
+  // AnalysisSession::pool() is not thread-safe and every later caller
+  // is the dispatcher alone.
+  Sess->pool();
+
+  if (Opts.TcpPort >= 0) {
+    TcpFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (TcpFd < 0) {
+      Error = "socket: " + std::string(std::strerror(errno));
+      return false;
+    }
+    int One = 1;
+    ::setsockopt(TcpFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Opts.TcpPort));
+    if (::inet_pton(AF_INET, Opts.Host.c_str(), &Addr.sin_addr) != 1) {
+      Error = "bad host address " + Opts.Host;
+      closeListeners();
+      return false;
+    }
+    if (::bind(TcpFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+        ::listen(TcpFd, 64) < 0) {
+      Error = "bind/listen " + Opts.Host + ":" + std::to_string(Opts.TcpPort) +
+              ": " + std::strerror(errno);
+      closeListeners();
+      return false;
+    }
+    sockaddr_in Bound{};
+    socklen_t BoundLen = sizeof(Bound);
+    if (::getsockname(TcpFd, reinterpret_cast<sockaddr *>(&Bound),
+                      &BoundLen) == 0)
+      BoundPort = ntohs(Bound.sin_port);
+  }
+
+  if (!Opts.UnixPath.empty()) {
+    sockaddr_un Addr{};
+    if (Opts.UnixPath.size() >= sizeof(Addr.sun_path)) {
+      Error = "unix socket path too long";
+      closeListeners();
+      return false;
+    }
+    UnixFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (UnixFd < 0) {
+      Error = "socket: " + std::string(std::strerror(errno));
+      closeListeners();
+      return false;
+    }
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Opts.UnixPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    ::unlink(Opts.UnixPath.c_str());
+    if (::bind(UnixFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+            0 ||
+        ::listen(UnixFd, 64) < 0) {
+      Error = "bind/listen " + Opts.UnixPath + ": " + std::strerror(errno);
+      closeListeners();
+      return false;
+    }
+  }
+
+  // The default namespace exists from the start so /metrics has its
+  // series before the first request.
+  namespaceState("default");
+
+  Started.store(true);
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  DispatchThread = std::thread([this] { dispatchLoop(); });
+  return true;
+}
+
+void XsolvedServer::requestDrain() {
+  Draining.store(true);
+  QueueCv.notify_all();
+}
+
+void XsolvedServer::drainAndWait() {
+  requestDrain();
+  wait();
+}
+
+void XsolvedServer::wait() {
+  std::lock_guard<std::mutex> L(StopMu);
+  if (Stopped.load() || !Started.load())
+    return;
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  if (DispatchThread.joinable())
+    DispatchThread.join();
+  // The dispatcher has delivered everything admitted; now unblock and
+  // join the readers (clients holding connections open must not stall
+  // the drain).
+  shutdownConnections();
+  {
+    std::lock_guard<std::mutex> CL(ConnsMu);
+    for (auto &C : Conns) {
+      if (C->Reader.joinable())
+        C->Reader.join();
+      if (C->Fd >= 0) {
+        ::close(C->Fd);
+        C->Fd = -1;
+      }
+    }
+    Conns.clear();
+  }
+  if (!Opts.CacheFile.empty()) {
+    std::string SaveError;
+    Sess->saveCache(Opts.CacheFile, SaveError);
+  }
+  if (!Opts.UnixPath.empty())
+    ::unlink(Opts.UnixPath.c_str());
+  Stopped.store(true);
+}
+
+void XsolvedServer::debugPauseDispatch(bool P) {
+  Paused.store(P);
+  QueueCv.notify_all();
+}
+
+void XsolvedServer::closeListeners() {
+  if (TcpFd >= 0) {
+    ::close(TcpFd);
+    TcpFd = -1;
+  }
+  if (UnixFd >= 0) {
+    ::close(UnixFd);
+    UnixFd = -1;
+  }
+}
+
+void XsolvedServer::shutdownConnections() {
+  std::lock_guard<std::mutex> L(ConnsMu);
+  for (auto &C : Conns) {
+    C->Open.store(false);
+    if (C->Fd >= 0)
+      ::shutdown(C->Fd, SHUT_RDWR);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Namespaces
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<NamespaceState>
+XsolvedServer::namespaceState(const std::string &Name) {
+  std::lock_guard<std::mutex> L(NsMu);
+  auto It = Namespaces.find(Name);
+  if (It != Namespaces.end())
+    return It->second;
+  auto Ns = std::make_shared<NamespaceState>(Name);
+  Namespaces.emplace(Name, Ns);
+  return Ns;
+}
+
+JsonRef XsolvedServer::namespacesJson() {
+  JsonRef O = JsonValue::object();
+  std::lock_guard<std::mutex> L(NsMu);
+  for (const auto &[Name, Ns] : Namespaces) {
+    JsonRef N = JsonValue::object();
+    auto Num = [](uint64_t V) {
+      return JsonValue::number(static_cast<double>(V));
+    };
+    N->set("requests", Num(Ns->Requests.load(std::memory_order_relaxed)));
+    N->set("errors", Num(Ns->Errors.load(std::memory_order_relaxed)));
+    N->set("cache_hits", Num(Ns->CacheHits.load(std::memory_order_relaxed)));
+    N->set("cache_misses",
+           Num(Ns->CacheMisses.load(std::memory_order_relaxed)));
+    N->set("deadline_misses",
+           Num(Ns->DeadlineMisses.load(std::memory_order_relaxed)));
+    N->set("rejections", Num(Ns->Rejections.load(std::memory_order_relaxed)));
+    N->set("solver_time_ms",
+           JsonValue::number(
+               Ns->SolverTimeUs.load(std::memory_order_relaxed) / 1000.0));
+    O->set(Name, N);
+  }
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Accept loop
+//===----------------------------------------------------------------------===//
+
+bool XsolvedServer::acceptOne(int ListenFd) {
+  Span AcceptSpan("server.accept");
+  int ClientFd = ::accept(ListenFd, nullptr, nullptr);
+  if (ClientFd < 0)
+    return false;
+  auto Conn = std::make_shared<Connection>();
+  Conn->Fd = ClientFd;
+  Conn->Ns = namespaceState("default");
+  Conn->Stable = Opts.DefaultStable;
+  {
+    std::lock_guard<std::mutex> L(ConnsMu);
+    Conn->Id = NextConnId++;
+    Conns.push_back(Conn);
+  }
+  Conn->Reader = std::thread([this, Conn] { readerLoop(Conn); });
+  return true;
+}
+
+void XsolvedServer::acceptLoop() {
+  while (!Draining.load()) {
+    pollfd Fds[2];
+    nfds_t N = 0;
+    if (TcpFd >= 0)
+      Fds[N++] = {TcpFd, POLLIN, 0};
+    if (UnixFd >= 0)
+      Fds[N++] = {UnixFd, POLLIN, 0};
+    int R = ::poll(Fds, N, 200);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (R == 0)
+      continue;
+    for (nfds_t I = 0; I < N; ++I)
+      if (Fds[I].revents & POLLIN)
+        acceptOne(Fds[I].fd);
+  }
+  // Final sweep before the listeners close: a connection the kernel
+  // already established (the client's connect() returned and it may
+  // have pipelined requests) but this loop never accepted must not be
+  // reset by close() — accept it, so its requests get structured
+  // "draining" rejections instead of a dead socket.
+  for (int Fd : {TcpFd, UnixFd}) {
+    if (Fd < 0)
+      continue;
+    while (true) {
+      pollfd P{Fd, POLLIN, 0};
+      if (::poll(&P, 1, 0) <= 0 || !(P.revents & POLLIN))
+        break;
+      if (!acceptOne(Fd))
+        break;
+    }
+  }
+  closeListeners();
+}
+
+//===----------------------------------------------------------------------===//
+// Reader: line framing, control ops, admission
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Incremental bounded line framing over a raw fd. An overlong line is
+/// consumed (never buffered past the bound) and reported Truncated.
+struct FdLineReader {
+  int Fd;
+  size_t MaxBytes;
+  std::string Buf;
+  size_t Pos = 0;
+  bool Eof = false;
+
+  /// True with one line in \p Line (newline stripped, \r kept for the
+  /// caller's trimming); false at EOF/error with nothing pending.
+  bool next(std::string &Line, bool &Truncated) {
+    Line.clear();
+    Truncated = false;
+    bool Discarding = false;
+    while (true) {
+      while (Pos < Buf.size()) {
+        char C = Buf[Pos++];
+        if (C == '\n') {
+          if (Discarding)
+            return true; // Truncated already set
+          return true;
+        }
+        if (Discarding)
+          continue;
+        if (MaxBytes && Line.size() >= MaxBytes) {
+          Truncated = true;
+          Discarding = true;
+          continue;
+        }
+        Line += C;
+      }
+      Buf.clear();
+      Pos = 0;
+      if (Eof)
+        return !Line.empty() || Truncated;
+      char Chunk[4096];
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0) {
+        Eof = true;
+        continue;
+      }
+      Buf.assign(Chunk, static_cast<size_t>(N));
+    }
+  }
+};
+
+} // namespace
+
+void XsolvedServer::readerLoop(std::shared_ptr<Connection> Conn) {
+  FdLineReader Reader{Conn->Fd, Opts.MaxLineBytes};
+  std::string Line;
+  bool Truncated = false;
+  size_t LineNo = 0;
+  bool FirstLine = true;
+  while (Conn->Open.load() && Reader.next(Line, Truncated)) {
+    ++LineNo;
+    // A browser or Prometheus scraper speaking HTTP gets the text
+    // exposition and a close — detected on the very first line only.
+    if (FirstLine && !Truncated && Line.rfind("GET ", 0) == 0) {
+      serveHttpMetrics(*Conn);
+      break;
+    }
+    FirstLine = false;
+    handleLine(*Conn, Line, LineNo, Truncated);
+  }
+  Conn->Open.store(false);
+  if (Conn->Fd >= 0)
+    ::shutdown(Conn->Fd, SHUT_RDWR);
+  // The fd itself is closed at server teardown (wait()), after the
+  // dispatcher can no longer deliver to it.
+}
+
+void XsolvedServer::serveHttpMetrics(Connection &Conn) {
+  std::string Body = MetricRegistry::global().prometheusText();
+  std::string Resp = "HTTP/1.0 200 OK\r\n"
+                     "Content-Type: text/plain; version=0.0.4\r\n"
+                     "Content-Length: " +
+                     std::to_string(Body.size()) + "\r\n\r\n" + Body;
+  std::lock_guard<std::mutex> L(Conn.WriteMu);
+  sendAll(Conn.Fd, Resp.data(), Resp.size());
+}
+
+void XsolvedServer::handleLine(Connection &Conn, const std::string &Line,
+                               size_t LineNo, bool Truncated) {
+  if (Truncated) {
+    uint64_t Seq = Conn.NextSeq++;
+    AnalysisResponse R;
+    R.Ok = false;
+    R.Error =
+        "input line exceeds " + std::to_string(Opts.MaxLineBytes) + " bytes";
+    R.ErrorLine = LineNo;
+    R.ErrorByte = static_cast<long>(Opts.MaxLineBytes);
+    deliver(Conn, Seq,
+            responseToJson(R, /*IncludeVolatile=*/!Conn.Stable)->dump());
+    return;
+  }
+  size_t First = Line.find_first_not_of(" \t\r");
+  if (First == std::string::npos || Line[First] == '#')
+    return; // blank/comment lines get no response and no seq
+  std::string Error;
+  size_t ErrByte = 0;
+  JsonRef Obj = parseJson(Line, Error, &ErrByte);
+  uint64_t Seq = Conn.NextSeq++;
+  if (!Obj) {
+    AnalysisResponse R;
+    R.Ok = false;
+    R.Error = "bad JSON: " + Error;
+    R.ErrorLine = LineNo;
+    R.ErrorByte = static_cast<long>(ErrByte);
+    deliver(Conn, Seq,
+            responseToJson(R, /*IncludeVolatile=*/!Conn.Stable)->dump());
+    return;
+  }
+  std::string Op = Obj->str("op");
+  if (Op == "config") {
+    handleConfig(Conn, Seq, *Obj);
+  } else if (Op == "metrics") {
+    handleMetrics(Conn, Seq, *Obj);
+  } else if (Op == "stats") {
+    handleStats(Conn, Seq, *Obj);
+  } else if (Op == "ping") {
+    JsonRef O = JsonValue::object();
+    std::string Id = Obj->str("id");
+    if (!Id.empty())
+      O->set("id", JsonValue::string(Id));
+    O->set("ok", JsonValue::boolean(true));
+    O->set("op", JsonValue::string("ping"));
+    deliver(Conn, Seq, O->dump());
+  } else if (Op == "drain") {
+    JsonRef O = JsonValue::object();
+    std::string Id = Obj->str("id");
+    if (!Id.empty())
+      O->set("id", JsonValue::string(Id));
+    O->set("ok", JsonValue::boolean(true));
+    O->set("draining", JsonValue::boolean(true));
+    deliver(Conn, Seq, O->dump());
+    requestDrain();
+  } else {
+    admit(Conn, Seq, *Obj, LineNo);
+  }
+}
+
+void XsolvedServer::handleConfig(Connection &Conn, uint64_t Seq,
+                                 const JsonValue &Obj) {
+  std::string Id = Obj.str("id");
+  auto Reject = [&](const std::string &Code, const std::string &Message,
+                    const std::string &Key, const std::string &Value) {
+    JsonRef O = JsonValue::object();
+    if (!Id.empty())
+      O->set("id", JsonValue::string(Id));
+    O->set("ok", JsonValue::boolean(false));
+    JsonRef E = errorObjectJson(Code, Message);
+    if (!Key.empty())
+      E->set("key", JsonValue::string(Key));
+    if (!Value.empty())
+      E->set("value", JsonValue::string(Value));
+    O->set("error", E);
+    Conn.Ns->Errors.fetch_add(1, std::memory_order_relaxed);
+    deliver(Conn, Seq, O->dump());
+  };
+
+  static constexpr const char *KnownKeys[] = {
+      "op", "id", "ns", "stable", "optimize", "share_fixpoints",
+      "fixpoint_strategy"};
+  for (const auto &[K, V] : Obj.members()) {
+    if (K == "jobs") {
+      Reject("invalid_config_value",
+             "jobs is fixed at server start (the worker pool is shared by "
+             "every client)",
+             "jobs", "");
+      return;
+    }
+    const std::string &Key = K;
+    if (std::find_if(std::begin(KnownKeys), std::end(KnownKeys),
+                     [&Key](const char *Known) { return Key == Known; }) ==
+        std::end(KnownKeys)) {
+      Reject("unknown_config_key", "unknown config key '" + K + "'", K, "");
+      return;
+    }
+  }
+
+  JsonRef NsName = Obj.get("ns");
+  if (!NsName->isNull()) {
+    if (NsName->type() != JsonValue::Type::String ||
+        NsName->asString().empty()) {
+      Reject("invalid_config_value", "ns must be a non-empty string", "ns",
+             NsName->type() == JsonValue::Type::String ? NsName->asString()
+                                                       : NsName->dump());
+      return;
+    }
+    Conn.Ns = namespaceState(NsName->asString());
+  }
+  JsonRef Stable = Obj.get("stable");
+  if (!Stable->isNull()) {
+    if (Stable->type() != JsonValue::Type::Bool) {
+      Reject("invalid_config_value", "stable must be a boolean", "stable",
+             Stable->dump());
+      return;
+    }
+    Conn.Stable = Stable->asBool();
+  }
+  JsonRef Optimize = Obj.get("optimize");
+  if (!Optimize->isNull() && Optimize->type() != JsonValue::Type::Bool) {
+    Reject("invalid_config_value", "optimize must be a boolean", "optimize",
+           Optimize->dump());
+    return;
+  }
+  JsonRef Share = Obj.get("share_fixpoints");
+  if (!Share->isNull() && Share->type() != JsonValue::Type::Bool) {
+    Reject("invalid_config_value", "share_fixpoints must be a boolean",
+           "share_fixpoints", Share->dump());
+    return;
+  }
+  JsonRef Strat = Obj.get("fixpoint_strategy");
+  FixpointStrategy StratVal = FixpointStrategy::Bfs;
+  bool HaveStrat = false;
+  if (!Strat->isNull()) {
+    if (Strat->type() != JsonValue::Type::String ||
+        !parseFixpointStrategy(Strat->asString(), StratVal)) {
+      std::string Given = Strat->type() == JsonValue::Type::String
+                              ? Strat->asString()
+                              : Strat->dump();
+      Reject("invalid_config_value",
+             "invalid fixpoint_strategy '" + Given +
+                 "' (expected bfs, chaining, saturation or auto)",
+             "fixpoint_strategy", Given);
+      return;
+    }
+    HaveStrat = true;
+  }
+
+  NamespaceState &Ns = *Conn.Ns;
+  bool EffOptimize, EffShare;
+  FixpointStrategy EffStrategy;
+  {
+    std::lock_guard<std::mutex> L(Ns.Mu);
+    if (!Optimize->isNull()) {
+      Ns.HaveOptimize = true;
+      Ns.Optimize = Optimize->asBool();
+    }
+    if (!Share->isNull()) {
+      Ns.HaveShare = true;
+      Ns.Share = Share->asBool();
+    }
+    if (HaveStrat) {
+      Ns.HaveStrategy = true;
+      Ns.Strategy = StratVal;
+    }
+    EffOptimize = Ns.HaveOptimize ? Ns.Optimize : Opts.Session.Optimize;
+    EffShare = Ns.HaveShare ? Ns.Share : Opts.Session.ShareFixpoints;
+    EffStrategy =
+        Ns.HaveStrategy ? Ns.Strategy : Opts.Session.Solver.Strategy;
+  }
+
+  JsonRef O = JsonValue::object();
+  if (!Id.empty())
+    O->set("id", JsonValue::string(Id));
+  O->set("ok", JsonValue::boolean(true));
+  O->set("ns", JsonValue::string(Ns.Name));
+  O->set("stable", JsonValue::boolean(Conn.Stable));
+  O->set("jobs", JsonValue::number(static_cast<double>(Sess->jobs())));
+  O->set("optimize", JsonValue::boolean(EffOptimize));
+  O->set("share_fixpoints", JsonValue::boolean(EffShare));
+  O->set("fixpoint_strategy",
+         JsonValue::string(fixpointStrategyName(EffStrategy)));
+  deliver(Conn, Seq, O->dump());
+}
+
+void XsolvedServer::handleMetrics(Connection &Conn, uint64_t Seq,
+                                  const JsonValue &Obj) {
+  JsonRef O = JsonValue::object();
+  std::string Id = Obj.str("id");
+  if (!Id.empty())
+    O->set("id", JsonValue::string(Id));
+  O->set("ok", JsonValue::boolean(true));
+  JsonRef M = MetricRegistry::global().toJson(
+      /*IncludeVolatile=*/!Conn.Stable);
+  for (const auto &[K, V] : M->members())
+    O->set(K, V);
+  O->set("namespaces", namespacesJson());
+  deliver(Conn, Seq, O->dump());
+}
+
+void XsolvedServer::handleStats(Connection &Conn, uint64_t Seq,
+                                const JsonValue &Obj) {
+  JsonRef O = JsonValue::object();
+  std::string Id = Obj.str("id");
+  if (!Id.empty())
+    O->set("id", JsonValue::string(Id));
+  O->set("ok", JsonValue::boolean(true));
+  O->set("stats", statsToJson(Sess->stats()));
+  O->set("namespaces", namespacesJson());
+  deliver(Conn, Seq, O->dump());
+}
+
+void XsolvedServer::reject(Connection &Conn, uint64_t Seq,
+                           const std::string &Id, const std::string &Code,
+                           const std::string &Message) {
+  AnalysisResponse R;
+  R.Id = Id;
+  R.Ok = false;
+  R.ErrorCode = Code;
+  R.Error = Message;
+  deliver(Conn, Seq,
+          responseToJson(R, /*IncludeVolatile=*/!Conn.Stable)->dump());
+}
+
+void XsolvedServer::admit(Connection &Conn, uint64_t Seq, const JsonValue &Obj,
+                          size_t LineNo) {
+  AnalysisRequest Req;
+  std::string Error;
+  if (!requestFromJson(Obj, Req, Error)) {
+    AnalysisResponse R;
+    R.Id = Obj.str("id");
+    R.Ok = false;
+    R.Error = Error;
+    R.ErrorLine = LineNo;
+    Conn.Ns->Errors.fetch_add(1, std::memory_order_relaxed);
+    deliver(Conn, Seq,
+            responseToJson(R, /*IncludeVolatile=*/!Conn.Stable)->dump());
+    return;
+  }
+
+  Job J;
+  J.Seq = Seq;
+  J.Req = std::move(Req);
+  J.Stable = Conn.Stable;
+  J.Ns = Conn.Ns;
+  JsonRef Priority = Obj.get("priority");
+  if (Priority->type() == JsonValue::Type::Number)
+    J.Priority = static_cast<int>(Priority->asNumber());
+  J.EnqueueNs = nowSteadyNs();
+  JsonRef Deadline = Obj.get("deadline_ms");
+  if (Deadline->type() == JsonValue::Type::Number &&
+      Deadline->asNumber() >= 0)
+    J.DeadlineNs =
+        J.EnqueueNs + static_cast<uint64_t>(Deadline->asNumber() * 1e6);
+  {
+    std::lock_guard<std::mutex> L(Conn.Ns->Mu);
+    J.Optimize =
+        Conn.Ns->HaveOptimize ? Conn.Ns->Optimize : Opts.Session.Optimize;
+    J.Share =
+        Conn.Ns->HaveShare ? Conn.Ns->Share : Opts.Session.ShareFixpoints;
+    J.Strategy = Conn.Ns->HaveStrategy ? Conn.Ns->Strategy
+                                       : Opts.Session.Solver.Strategy;
+  }
+
+  // Find this connection's shared_ptr (deliver from the dispatcher needs
+  // shared ownership; the reader only has the raw ref).
+  {
+    std::lock_guard<std::mutex> L(ConnsMu);
+    for (const auto &C : Conns)
+      if (C.get() == &Conn) {
+        J.Conn = C;
+        break;
+      }
+  }
+  if (!J.Conn)
+    return; // connection already torn down
+
+  std::shared_ptr<NamespaceState> Ns = J.Ns;
+  {
+    std::unique_lock<std::mutex> L(QueueMu);
+    // Checked under QueueMu: once the dispatcher can observe
+    // "Draining && queue empty" and exit, every admission afterwards
+    // sees Draining here and rejects instead of enqueueing into a queue
+    // nobody pops.
+    if (Draining.load()) {
+      L.unlock();
+      Ns->Rejections.fetch_add(1, std::memory_order_relaxed);
+      rejectionCounter("draining").add();
+      reject(Conn, Seq, J.Req.Id, "draining",
+             "server is draining and no longer accepts analysis requests");
+      return;
+    }
+    if (Queue->Q.size() >= Opts.QueueLimit) {
+      L.unlock();
+      Ns->Rejections.fetch_add(1, std::memory_order_relaxed);
+      rejectionCounter("overloaded").add();
+      reject(Conn, Seq, J.Req.Id, "overloaded",
+             "request queue is full (limit " +
+                 std::to_string(Opts.QueueLimit) + "); retry later");
+      return;
+    }
+    J.AdmitSeq = NextAdmitSeq++;
+    Queue->Q.push(std::move(J));
+    queueDepthGauge().set(static_cast<double>(Queue->Q.size()));
+  }
+  Ns->Requests.fetch_add(1, std::memory_order_relaxed);
+  Ns->RequestsMetric->add();
+  QueueCv.notify_one();
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatcher
+//===----------------------------------------------------------------------===//
+
+void XsolvedServer::dispatchLoop() {
+  const size_t BatchMax = std::max<size_t>(1, Sess->jobs());
+  while (true) {
+    std::vector<Job> Batch, Expired;
+    {
+      std::unique_lock<std::mutex> L(QueueMu);
+      // Drain overrides the debug pause: a paused server still finishes
+      // its admitted work on shutdown.
+      QueueCv.wait(L, [&] {
+        return Draining.load() || (!Paused.load() && !Queue->Q.empty());
+      });
+      if (Queue->Q.empty() && Draining.load())
+        break;
+      if (Queue->Q.empty())
+        continue;
+      uint64_t Now = nowSteadyNs();
+      while (!Queue->Q.empty() && Batch.size() < BatchMax) {
+        Job J = Queue->Q.top();
+        Queue->Q.pop();
+        if (J.DeadlineNs && Now > J.DeadlineNs)
+          Expired.push_back(std::move(J));
+        else
+          Batch.push_back(std::move(J));
+      }
+      queueDepthGauge().set(static_cast<double>(Queue->Q.size()));
+    }
+    for (Job &J : Expired) {
+      deadlineMissCounter().add();
+      J.Ns->DeadlineMisses.fetch_add(1, std::memory_order_relaxed);
+      reject(*J.Conn, J.Seq, J.Req.Id, "deadline_exceeded",
+             "deadline expired before the request reached a worker");
+    }
+    if (!Batch.empty())
+      dispatchBatch(Batch);
+  }
+}
+
+void XsolvedServer::dispatchBatch(std::vector<Job> &Batch) {
+  Histogram &QueueWait = queueWaitHistogram();
+  uint64_t Now = nowSteadyNs();
+  for (const Job &J : Batch) {
+    QueueWait.observe((Now - J.EnqueueNs) / 1e6);
+    Tracer::global().recordSpanFrom("server.queue_wait", J.EnqueueNs);
+  }
+  std::vector<AnalysisResponse> Resps(Batch.size());
+  Sess->pool().parallelFor(Batch.size(), [&](size_t I, size_t Worker) {
+    AnalysisContext &Ctx = Sess->workerContext(Worker);
+    // Apply the namespace-config snapshot taken at admission. The
+    // setters early-out when the value is unchanged, so a homogeneous
+    // stream costs three compares per request.
+    Ctx.setOptimizePrePass(Batch[I].Optimize);
+    Ctx.setShareFixpoints(Batch[I].Share);
+    Ctx.setFixpointStrategy(Batch[I].Strategy);
+    Resps[I] = runRequest(Ctx, Batch[I].Req);
+  });
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    Job &J = Batch[I];
+    const AnalysisResponse &R = Resps[I];
+    if (!R.Ok)
+      J.Ns->Errors.fetch_add(1, std::memory_order_relaxed);
+    else if (R.FromCache)
+      J.Ns->CacheHits.fetch_add(1, std::memory_order_relaxed);
+    else
+      J.Ns->CacheMisses.fetch_add(1, std::memory_order_relaxed);
+    J.Ns->SolverTimeUs.fetch_add(
+        static_cast<uint64_t>(R.Stats.TimeMs * 1000.0),
+        std::memory_order_relaxed);
+    deliver(*J.Conn, J.Seq,
+            responseToJson(R, /*IncludeVolatile=*/!J.Stable)->dump());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Delivery
+//===----------------------------------------------------------------------===//
+
+void XsolvedServer::deliver(Connection &Conn, uint64_t Seq, std::string Line) {
+  Line += '\n';
+  std::lock_guard<std::mutex> L(Conn.WriteMu);
+  Conn.Pending.emplace(Seq, std::move(Line));
+  while (!Conn.Pending.empty() &&
+         Conn.Pending.begin()->first == Conn.NextDeliver) {
+    const std::string &Out = Conn.Pending.begin()->second;
+    if (Conn.Open.load()) {
+      if (!sendAll(Conn.Fd, Out.data(), Out.size()))
+        Conn.Open.store(false); // keep draining the buffer, drop the bytes
+    }
+    Conn.Pending.erase(Conn.Pending.begin());
+    ++Conn.NextDeliver;
+  }
+}

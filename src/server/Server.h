@@ -1,0 +1,220 @@
+//===- Server.h - Long-lived multi-tenant analysis server --------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `xsolved`: a daemon wrapping ONE shared AnalysisSession behind
+/// JSON-lines over TCP and/or a unix-domain socket, so concurrent
+/// clients share the sharded result cache, the SharedFixpointStore and
+/// the StrategyChoiceStore — the second client's containment check is a
+/// cache hit even when the first client asked it.
+///
+/// Concurrency model. The session's BDD machinery is single-threaded by
+/// design (see service/Session.h), so the server never runs a request on
+/// a socket thread. Instead:
+///
+///  * one reader thread per connection parses lines, answers control
+///    ops inline, and ADMITS analysis requests into a bounded priority
+///    queue (admission control: a full queue answers "overloaded"
+///    immediately, it never blocks the client or buffers unboundedly);
+///  * one dispatcher thread pops admitted jobs (priority desc, FIFO
+///    within a priority), drops jobs whose deadline already expired
+///    ("deadline_exceeded" — an expired job never occupies a worker),
+///    and dispatches the rest across the session's WorkerPool exactly
+///    like `xsolve batch --jobs N` does;
+///  * responses return to their connection through a per-connection
+///    sequencer that restores request order, so every client observes
+///    the same stream a serial `xsolve batch` would produce — with the
+///    per-connection `stable` encoding, byte-identical to it.
+///
+/// Tenancy. A connection starts in the "default" namespace and may
+/// switch with {"op":"config","ns":"team-a"}. A namespace carries its
+/// own config overrides (optimize, share_fixpoints, fixpoint_strategy)
+/// and its own request statistics; the caches underneath stay shared —
+/// namespaces isolate *configuration and accounting*, not results,
+/// which is the point of a shared-session server (reads through a
+/// shared cache cannot change any verdict; see DESIGN.md).
+///
+/// Shutdown. SIGTERM (wired in examples/xsolved.cpp) or a client
+/// {"op":"drain"} stops accepting connections, answers further analysis
+/// requests with "draining", finishes everything already admitted,
+/// delivers the responses, persists the cache file, and exits cleanly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_SERVER_SERVER_H
+#define XSA_SERVER_SERVER_H
+
+#include "service/Json.h"
+#include "service/Session.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace xsa {
+
+class Counter;
+
+struct ServerOptions {
+  /// TCP listener. Port < 0 disables TCP; port 0 binds an ephemeral
+  /// port (read it back with tcpPort() — what the tests and the
+  /// --port-file flag use).
+  std::string Host = "127.0.0.1";
+  int TcpPort = -1;
+  /// Unix-domain listener ("" disables). An existing socket file at the
+  /// path is unlinked before bind.
+  std::string UnixPath;
+  /// Admission control: most analysis requests queued (not yet
+  /// dispatched) at once, across all connections. A full queue answers
+  /// {"error":{"code":"overloaded"}} immediately.
+  size_t QueueLimit = 256;
+  /// Longest accepted input line (see BatchStreamOptions::MaxLineBytes).
+  size_t MaxLineBytes = size_t(1) << 20;
+  /// The shared session's knobs (jobs = worker count; fixed for the
+  /// server's lifetime — the pool is built once at start()).
+  SessionOptions Session;
+  /// When non-empty: loaded at start() if present, persisted on drain.
+  std::string CacheFile;
+  /// Default per-connection response encoding; each connection may
+  /// override with {"op":"config","stable":true}.
+  bool DefaultStable = false;
+};
+
+/// Per-namespace configuration overrides and accounting. Config fields
+/// are guarded by Mu and snapshotted into each job at admission;
+/// counters are relaxed atomics (independent tallies, read after the
+/// dispatcher's barrier or at export time).
+struct NamespaceState {
+  explicit NamespaceState(std::string Name);
+
+  const std::string Name;
+
+  std::mutex Mu;
+  bool HaveOptimize = false, Optimize = false;
+  bool HaveShare = false, Share = false;
+  bool HaveStrategy = false;
+  FixpointStrategy Strategy = FixpointStrategy::Bfs;
+
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> Errors{0};
+  std::atomic<uint64_t> CacheHits{0};
+  std::atomic<uint64_t> CacheMisses{0};
+  std::atomic<uint64_t> DeadlineMisses{0};
+  std::atomic<uint64_t> Rejections{0};
+  std::atomic<uint64_t> SolverTimeUs{0};
+
+  /// xsa_server_requests_total{ns="..."} — registered at namespace
+  /// creation so /metrics carries a per-tenant series.
+  Counter *RequestsMetric = nullptr;
+};
+
+class XsolvedServer {
+public:
+  explicit XsolvedServer(ServerOptions Opts);
+  ~XsolvedServer();
+  XsolvedServer(const XsolvedServer &) = delete;
+  XsolvedServer &operator=(const XsolvedServer &) = delete;
+
+  /// Binds the listeners, loads the cache file (when configured and
+  /// present), builds the worker pool and starts the accept and
+  /// dispatcher threads. False (with \p Error) on bind/listen failure.
+  bool start(std::string &Error);
+
+  /// The bound TCP port (after start(); 0 when TCP is disabled).
+  int tcpPort() const { return BoundPort; }
+
+  /// Initiates graceful drain: stop accepting, reject new analysis
+  /// requests with "draining", finish and deliver everything admitted.
+  /// Idempotent; safe from any thread (including the signal-watching
+  /// main loop of xsolved).
+  void requestDrain();
+
+  /// Blocks until the server has fully stopped — queue drained,
+  /// connections closed, cache persisted. Returns immediately if
+  /// already stopped. Call requestDrain() first (or let a client's
+  /// {"op":"drain"} do it).
+  void wait();
+
+  /// requestDrain() + wait().
+  void drainAndWait();
+
+  /// True once a drain was requested (by requestDrain, a SIGTERM
+  /// watcher, or a client's {"op":"drain"}) — what the daemon's main
+  /// loop polls to know a client asked the server down.
+  bool draining() const { return Draining.load(); }
+
+  /// The shared session (for tests and stats endpoints).
+  AnalysisSession &session() { return *Sess; }
+
+  /// Test hook: while paused the dispatcher pops nothing, so the queue
+  /// fills deterministically (overload tests) and deadlines expire
+  /// (deadline tests). Never used outside tests.
+  void debugPauseDispatch(bool Paused);
+
+  /// Looks up (or creates) a namespace. Exposed for tests.
+  std::shared_ptr<NamespaceState> namespaceState(const std::string &Name);
+
+private:
+  struct Connection;
+  struct Job;
+  struct JobQueue;
+
+  bool acceptOne(int ListenFd);
+  void acceptLoop();
+  void dispatchLoop();
+  void readerLoop(std::shared_ptr<Connection> Conn);
+  void handleLine(Connection &Conn, const std::string &Line, size_t LineNo,
+                  bool Truncated);
+  void handleConfig(Connection &Conn, uint64_t Seq, const JsonValue &Obj);
+  void handleMetrics(Connection &Conn, uint64_t Seq, const JsonValue &Obj);
+  void handleStats(Connection &Conn, uint64_t Seq, const JsonValue &Obj);
+  void admit(Connection &Conn, uint64_t Seq, const JsonValue &Obj,
+             size_t LineNo);
+  void dispatchBatch(std::vector<Job> &Batch);
+  void deliver(Connection &Conn, uint64_t Seq, std::string Line);
+  void reject(Connection &Conn, uint64_t Seq, const std::string &Id,
+              const std::string &Code, const std::string &Message);
+  void serveHttpMetrics(Connection &Conn);
+  void closeListeners();
+  void shutdownConnections();
+  JsonRef namespacesJson();
+
+  ServerOptions Opts;
+  std::unique_ptr<AnalysisSession> Sess;
+
+  int TcpFd = -1, UnixFd = -1;
+  int BoundPort = 0;
+
+  std::thread AcceptThread, DispatchThread;
+
+  std::mutex ConnsMu;
+  std::vector<std::shared_ptr<Connection>> Conns;
+  uint64_t NextConnId = 1;
+
+  std::mutex NsMu;
+  std::map<std::string, std::shared_ptr<NamespaceState>> Namespaces;
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::unique_ptr<JobQueue> Queue; ///< guarded by QueueMu
+  uint64_t NextAdmitSeq = 0;       ///< guarded by QueueMu
+
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> Paused{false};
+  std::atomic<bool> Started{false};
+  std::atomic<bool> Stopped{false};
+  std::mutex StopMu; ///< serializes wait()
+};
+
+} // namespace xsa
+
+#endif // XSA_SERVER_SERVER_H

@@ -429,7 +429,10 @@ JsonRef xsa::responseToJson(const AnalysisResponse &Resp,
     O->set("stages", St);
   };
   if (!Resp.Ok) {
-    O->set("error", JsonValue::string(Resp.Error));
+    O->set("error", errorObjectJson(Resp.ErrorCode.empty() ? "bad_request"
+                                                           : Resp.ErrorCode,
+                                    Resp.Error, Resp.ErrorLine,
+                                    Resp.ErrorByte));
     EmitStages();
     return O;
   }
@@ -492,6 +495,19 @@ JsonRef xsa::responseToJson(const AnalysisResponse &Resp,
   return O;
 }
 
+JsonRef xsa::errorObjectJson(const std::string &Code,
+                             const std::string &Message, size_t Line,
+                             long Byte) {
+  JsonRef E = JsonValue::object();
+  E->set("code", JsonValue::string(Code));
+  E->set("message", JsonValue::string(Message));
+  if (Line)
+    E->set("line", JsonValue::number(static_cast<double>(Line)));
+  if (Byte >= 0)
+    E->set("byte", JsonValue::number(static_cast<double>(Byte)));
+  return E;
+}
+
 JsonRef xsa::statsToJson(const SessionStats &S) {
   JsonRef O = JsonValue::object();
   JsonRef C = JsonValue::object();
@@ -551,9 +567,49 @@ JsonRef xsa::statsToJson(const SessionStats &S) {
   return O;
 }
 
+namespace {
+
+/// Reads one input line into \p Line, bounded by \p MaxBytes (0 =
+/// unbounded). An overlong line is consumed to its newline but only the
+/// first MaxBytes land in \p Line, with \p Truncated set — the caller
+/// answers it with a structured bad_request instead of buffering an
+/// arbitrarily large request. Returns false at end of input (or on a
+/// stream error, e.g. a read interrupted by a non-restarting signal
+/// handler) with nothing read.
+bool readLineBounded(std::istream &In, std::string &Line, size_t MaxBytes,
+                     bool &Truncated) {
+  Line.clear();
+  Truncated = false;
+  char C;
+  while (In.get(C)) {
+    if (C == '\n')
+      return true;
+    if (MaxBytes && Line.size() >= MaxBytes) {
+      Truncated = true;
+      while (In.get(C))
+        if (C == '\n')
+          return true;
+      return true;
+    }
+    Line += C;
+  }
+  return !Line.empty();
+}
+
+} // namespace
+
 size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
                               std::ostream &Out, size_t *Failed,
                               bool StableOutput) {
+  BatchStreamOptions Opts;
+  Opts.Stable = StableOutput;
+  return runBatchJsonLines(Session, In, Out, Failed, Opts);
+}
+
+size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
+                              std::ostream &Out, size_t *Failed,
+                              const BatchStreamOptions &Opts) {
+  const bool StableOutput = Opts.Stable;
   size_t Answered = 0, Errors = 0;
 
   // One buffered segment between config lines. With jobs == 1 the
@@ -593,18 +649,37 @@ size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
   };
 
   std::string Line;
-  while (std::getline(In, Line)) {
+  size_t LineNo = 0;
+  bool Truncated = false;
+  while (!(Opts.Stop && Opts.Stop->load(std::memory_order_relaxed)) &&
+         readLineBounded(In, Line, Opts.MaxLineBytes, Truncated)) {
+    ++LineNo;
+    if (Truncated) {
+      Item It;
+      It.Resp.Ok = false;
+      It.Resp.Error = "input line exceeds " +
+                      std::to_string(Opts.MaxLineBytes) + " bytes";
+      It.Resp.ErrorLine = LineNo;
+      It.Resp.ErrorByte = static_cast<long>(Opts.MaxLineBytes);
+      SegItems.push_back(std::move(It));
+      if (Session.jobs() <= 1 || SegItems.size() >= MaxSegment)
+        Flush();
+      continue;
+    }
     // Skip blank lines and #-comments so hand-written batch files can be
     // annotated.
     size_t First = Line.find_first_not_of(" \t\r");
     if (First == std::string::npos || Line[First] == '#')
       continue;
     std::string Error;
-    JsonRef Obj = parseJson(Line, Error);
+    size_t ErrByte = 0;
+    JsonRef Obj = parseJson(Line, Error, &ErrByte);
     if (!Obj) {
       Item It;
       It.Resp.Ok = false;
       It.Resp.Error = "bad JSON: " + Error;
+      It.Resp.ErrorLine = LineNo;
+      It.Resp.ErrorByte = static_cast<long>(ErrByte);
       SegItems.push_back(std::move(It));
     } else if (Obj->str("op") == "config") {
       // Control line: answer in order, apply to everything after it.
@@ -635,10 +710,11 @@ size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
         if (!Resp.Id.empty())
           O->set("id", JsonValue::string(Resp.Id));
         O->set("ok", JsonValue::boolean(false));
-        O->set("error", JsonValue::string("unknown config key '" +
-                                          UnknownKey + "'"));
-        O->set("error_kind", JsonValue::string("unknown_config_key"));
-        O->set("key", JsonValue::string(UnknownKey));
+        JsonRef E = errorObjectJson(
+            "unknown_config_key", "unknown config key '" + UnknownKey + "'",
+            LineNo);
+        E->set("key", JsonValue::string(UnknownKey));
+        O->set("error", E);
         ++Errors;
         Out << O->dump() << "\n";
         continue;
@@ -662,13 +738,14 @@ size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
           if (!Resp.Id.empty())
             O->set("id", JsonValue::string(Resp.Id));
           O->set("ok", JsonValue::boolean(false));
-          O->set("error",
-                 JsonValue::string(
-                     "invalid fixpoint_strategy '" + Given +
-                     "' (expected bfs, chaining, saturation or auto)"));
-          O->set("error_kind", JsonValue::string("invalid_config_value"));
-          O->set("key", JsonValue::string("fixpoint_strategy"));
-          O->set("value", JsonValue::string(Given));
+          JsonRef E = errorObjectJson(
+              "invalid_config_value",
+              "invalid fixpoint_strategy '" + Given +
+                  "' (expected bfs, chaining, saturation or auto)",
+              LineNo);
+          E->set("key", JsonValue::string("fixpoint_strategy"));
+          E->set("value", JsonValue::string(Given));
+          O->set("error", E);
           ++Errors;
           Out << O->dump() << "\n";
           continue;
@@ -688,6 +765,7 @@ size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
           (Jobs->isNull() && Optimize->isNull() && Share->isNull() &&
            !HaveStrat)) {
         Resp.Ok = false;
+        Resp.ErrorLine = LineNo;
         Resp.Error = "config needs 'jobs' (a non-negative integer), "
                      "'optimize' and/or 'share_fixpoints' (booleans), "
                      "and/or 'fixpoint_strategy' (a strategy name)";
@@ -741,6 +819,7 @@ size_t xsa::runBatchJsonLines(AnalysisSession &Session, std::istream &In,
         It.Resp.Id = Obj->str("id");
         It.Resp.Ok = false;
         It.Resp.Error = Error;
+        It.Resp.ErrorLine = LineNo;
       } else {
         It.ReqIdx = SegReqs.size();
         SegReqs.push_back(std::move(Req));

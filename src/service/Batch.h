@@ -47,6 +47,7 @@
 #include "service/Request.h"
 #include "service/Session.h"
 
+#include <atomic>
 #include <iosfwd>
 #include <vector>
 
@@ -79,7 +80,11 @@ bool requestFromJson(const JsonValue &Obj, AnalysisRequest &Req,
 /// Encodes a response as a JSON object (id, ok, error, holds,
 /// satisfiable, cache, lean, iterations, iterations_replayed, substeps,
 /// strategy, time_ms, model; optimize responses instead carry optimized,
-/// cost_before, cost_after, rewrites and the proof trace). With
+/// cost_before, cost_after, rewrites and the proof trace). `error` —
+/// present exactly when ok is false — is a structured object
+/// {"code":...,"message":...}, extended with the 1-based input line and
+/// byte offset for protocol-level failures (malformed JSON, oversized
+/// lines); see errorObjectJson. With
 /// \p IncludeVolatile false the execution-dependent fields (cache,
 /// iterations, iterations_replayed, substeps, strategy, time_ms — in
 /// trace entries too) are omitted — the remaining payload is
@@ -90,6 +95,32 @@ JsonRef responseToJson(const AnalysisResponse &Resp,
 
 /// Encodes cumulative session statistics.
 JsonRef statsToJson(const SessionStats &S);
+
+/// Builds the structured error object every ok=false response carries:
+/// {"code":C,"message":M} plus the optional input position. Exposed so
+/// the socket server builds its protocol-level rejections (overloaded,
+/// deadline_exceeded, draining) through the same encoder.
+JsonRef errorObjectJson(const std::string &Code, const std::string &Message,
+                        size_t Line = 0, long Byte = -1);
+
+/// Knobs of the JSON-lines stream driver beyond the original positional
+/// parameters. Defaults reproduce the historical behaviour (apart from
+/// the line-length bound, which turns a pathological input line into a
+/// structured bad_request instead of unbounded buffering).
+struct BatchStreamOptions {
+  /// Deterministic response encoding (see responseToJson).
+  bool Stable = false;
+  /// Longest accepted input line, in bytes. Longer lines are consumed
+  /// and discarded, answered by {"error":{"code":"bad_request",...}}
+  /// with the line number. 0 means unbounded.
+  size_t MaxLineBytes = size_t(1) << 20;
+  /// When non-null and set (e.g. by a SIGINT/SIGTERM handler), the
+  /// driver stops reading input at the next line boundary, flushes the
+  /// buffered segment — every request already read is still answered —
+  /// and returns. The caller's normal exit path (cache save, stats)
+  /// then runs as usual: an interrupted batch drains, it does not abort.
+  const std::atomic<bool> *Stop = nullptr;
+};
 
 /// JSON-lines driver: reads one request object per non-empty line of
 /// \p In, writes one response object per line to \p Out (in input
@@ -107,6 +138,12 @@ JsonRef statsToJson(const SessionStats &S);
 size_t runBatchJsonLines(AnalysisSession &Session, std::istream &In,
                          std::ostream &Out, size_t *Failed = nullptr,
                          bool StableOutput = false);
+
+/// Full-options form: line-length bound and cooperative stop flag on top
+/// of the stable switch. The positional overload forwards here.
+size_t runBatchJsonLines(AnalysisSession &Session, std::istream &In,
+                         std::ostream &Out, size_t *Failed,
+                         const BatchStreamOptions &Opts);
 
 } // namespace xsa
 

@@ -183,8 +183,8 @@ namespace {
 
 class Parser {
 public:
-  Parser(const std::string &Text, std::string &Error)
-      : Text(Text), Error(Error) {}
+  Parser(const std::string &Text, std::string &Error, size_t *ErrorByte)
+      : Text(Text), Error(Error), ErrorByte(ErrorByte) {}
 
   JsonRef parse() {
     JsonRef V = value();
@@ -201,11 +201,15 @@ public:
 private:
   const std::string &Text;
   std::string &Error;
+  size_t *ErrorByte;
   size_t Pos = 0;
 
   void fail(const std::string &Msg) {
-    if (Error.empty())
+    if (Error.empty()) {
       Error = Msg + " at offset " + std::to_string(Pos);
+      if (ErrorByte)
+        *ErrorByte = Pos;
+    }
   }
 
   void skipWs() {
@@ -427,8 +431,9 @@ private:
 
 } // namespace
 
-JsonRef xsa::parseJson(const std::string &Text, std::string &Error) {
+JsonRef xsa::parseJson(const std::string &Text, std::string &Error,
+                       size_t *ErrorByte) {
   Error.clear();
-  Parser P(Text, Error);
+  Parser P(Text, Error, ErrorByte);
   return P.parse();
 }

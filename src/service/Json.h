@@ -74,8 +74,12 @@ private:
 };
 
 /// Parses one JSON document from \p Text. Returns null and sets
-/// \p Error on malformed input (trailing garbage is an error).
-JsonRef parseJson(const std::string &Text, std::string &Error);
+/// \p Error on malformed input (trailing garbage is an error). When
+/// \p ErrorByte is non-null it receives the byte offset into \p Text at
+/// which parsing failed — what the batch protocol's structured
+/// bad_request responses report alongside the line number.
+JsonRef parseJson(const std::string &Text, std::string &Error,
+                  size_t *ErrorByte = nullptr);
 
 /// Escapes \p S as a JSON string literal including the quotes.
 std::string jsonQuote(const std::string &S);

@@ -62,6 +62,17 @@ struct AnalysisResponse {
   std::string Id;
   bool Ok = false;          ///< false: malformed request / parse error
   std::string Error;
+  /// Machine-readable error classification, serialized as the "code" of
+  /// the structured error object ("" defaults to "bad_request" — the
+  /// request itself was unusable). The server front ends add their own
+  /// codes: "overloaded", "deadline_exceeded", "draining".
+  std::string ErrorCode;
+  /// Input position of a protocol-level error (malformed JSON, oversized
+  /// line): 1-based input line, and byte offset within that line.
+  /// ErrorLine 0 / ErrorByte < 0 mean "not applicable" and are omitted
+  /// from the serialized error object.
+  size_t ErrorLine = 0;
+  long ErrorByte = -1;
   bool Holds = false;       ///< the queried property (decision problems)
   bool Satisfiable = false; ///< raw verdict (Sat requests)
   bool FromCache = false;

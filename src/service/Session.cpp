@@ -225,6 +225,17 @@ bool AnalysisSession::saveCache(const std::string &Path,
     StratEntries.push_back({Sig, S});
   });
   std::sort(StratEntries.begin(), StratEntries.end());
+  // Defensive dedupe: the store is keyed by signature so duplicates
+  // should be impossible, but a stray repeat (e.g. a hand-edited or
+  // concatenated cache file resaved) must not multiply "st" lines on
+  // every save/load cycle. First entry per signature wins, matching
+  // StrategyChoiceStore::remember.
+  StratEntries.erase(
+      std::unique(StratEntries.begin(), StratEntries.end(),
+                  [](const auto &A, const auto &B) {
+                    return A.first == B.first;
+                  }),
+      StratEntries.end());
   for (const auto &[Sig, S] : StratEntries) {
     JsonRef O = JsonValue::object();
     O->set("st", JsonValue::string(Sig));

@@ -440,8 +440,11 @@ TEST(BatchProtocol, UnknownConfigKeyIsRejectedStructurally) {
   ASSERT_NE(R, nullptr) << Err;
   EXPECT_EQ(R->str("id"), "c");
   EXPECT_FALSE(R->get("ok")->asBool());
-  EXPECT_EQ(R->str("error_kind"), "unknown_config_key");
-  EXPECT_EQ(R->str("key"), "share_fixpoint");
+  JsonRef E = R->get("error");
+  ASSERT_EQ(E->type(), JsonValue::Type::Object);
+  EXPECT_EQ(E->str("code"), "unknown_config_key");
+  EXPECT_EQ(E->str("key"), "share_fixpoint");
+  EXPECT_EQ(E->get("line")->asNumber(), 1);
   // The near-miss did NOT silently enable sharing.
   EXPECT_FALSE(Session.shareFixpointsEnabled());
 }

@@ -1197,11 +1197,13 @@ TEST(FixpointStrategyService, InvalidStrategyValueIsStructurallyRejected) {
   ASSERT_EQ(Resps.size(), 2u);
   for (const JsonRef &R : Resps) {
     EXPECT_FALSE(R->get("ok")->asBool());
-    EXPECT_EQ(R->str("error_kind"), "invalid_config_value");
-    EXPECT_EQ(R->str("key"), "fixpoint_strategy");
-    EXPECT_NE(R->str("error").find("expected bfs"), std::string::npos);
+    JsonRef E = R->get("error");
+    ASSERT_EQ(E->type(), JsonValue::Type::Object);
+    EXPECT_EQ(E->str("code"), "invalid_config_value");
+    EXPECT_EQ(E->str("key"), "fixpoint_strategy");
+    EXPECT_NE(E->str("message").find("expected bfs"), std::string::npos);
   }
-  EXPECT_EQ(Resps[0]->str("value"), "chainning");
+  EXPECT_EQ(Resps[0]->get("error")->str("value"), "chainning");
   // The typo must not have left a half-applied strategy in force.
   EXPECT_EQ(Session.fixpointStrategy(), FixpointStrategy::Bfs);
 
@@ -1250,6 +1252,111 @@ TEST(PersistentCache, RememberedStrategyChoicesSurviveARestart) {
   std::string Expected = runLinesRaw(Plain, Unseen, /*Stable=*/true);
   EXPECT_EQ(runLinesRaw(B, Unseen, /*Stable=*/true), Expected);
   std::remove(Path.c_str());
+}
+
+TEST(PersistentCache, SaveLoadSaveIsByteIdentical) {
+  // A save → load → save round trip must be a fixpoint of the file
+  // format: entries (including the "st" strategy-choice lines) are
+  // sorted and deduplicated on save, so reloading a file and saving it
+  // again reproduces it byte for byte — repeated server drains never
+  // grow or reorder the cache file.
+  std::string P1 = testing::TempDir() + "xsa_service_test_rt1.jsonl";
+  std::string P2 = testing::TempDir() + "xsa_service_test_rt2.jsonl";
+  SessionOptions SOpts;
+  SOpts.Solver.Strategy = FixpointStrategy::Auto;
+  std::string Error;
+  {
+    AnalysisSession A(SOpts);
+    runLinesRaw(A, nearDuplicateInput(4));
+    ASSERT_TRUE(A.saveCache(P1, Error)) << Error;
+  }
+  AnalysisSession B(SOpts);
+  ASSERT_TRUE(B.loadCache(P1, Error)) << Error;
+  ASSERT_TRUE(B.saveCache(P2, Error)) << Error;
+
+  auto Slurp = [](const std::string &Path) {
+    std::ifstream In(Path);
+    std::ostringstream S;
+    S << In.rdbuf();
+    return S.str();
+  };
+  std::string First = Slurp(P1);
+  ASSERT_FALSE(First.empty());
+  EXPECT_EQ(Slurp(P2), First);
+  std::remove(P1.c_str());
+  std::remove(P2.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol hardening (shared by `xsolve batch` and xsolved)
+//===----------------------------------------------------------------------===//
+
+TEST(BatchJsonLines, StructuredErrorsCarryLineAndBytePositions) {
+  const std::string Input =
+      R"({"id":"ok","op":"empty","e1":"//b"})" "\n"
+      "{\"op\":\"contains\",,}\n"; // parse error on line 2
+  AnalysisSession Session;
+  std::vector<JsonRef> Resps = runLines(Session, Input);
+  ASSERT_EQ(Resps.size(), 2u);
+  EXPECT_TRUE(Resps[0]->get("ok")->asBool());
+  EXPECT_FALSE(Resps[1]->get("ok")->asBool());
+  JsonRef E = Resps[1]->get("error");
+  ASSERT_EQ(E->type(), JsonValue::Type::Object);
+  EXPECT_EQ(E->str("code"), "bad_request");
+  EXPECT_EQ(E->get("line")->asNumber(), 2);
+  EXPECT_GT(E->get("byte")->asNumber(), 0);
+}
+
+TEST(BatchJsonLines, OversizedLinesAreRejectedWithoutAbortingTheStream) {
+  // A line past the bound is consumed (never buffered whole), answered
+  // with a structured bad_request carrying its line number, and the
+  // lines after it still run.
+  std::string Long = R"({"id":"big","op":"empty","e1":"//)" +
+                     std::string(300, 'a') + "\"}";
+  const std::string Input =
+      R"({"id":"ok1","op":"empty","e1":"//b"})" "\n" + Long + "\n" +
+      R"({"id":"ok2","op":"empty","e1":"//c"})" "\n";
+  AnalysisSession Session;
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  size_t Failed = 0;
+  BatchStreamOptions Opts;
+  Opts.MaxLineBytes = 128;
+  runBatchJsonLines(Session, In, Out, &Failed, Opts);
+  EXPECT_EQ(Failed, 1u);
+  std::vector<JsonRef> Resps;
+  std::istringstream Parse(Out.str());
+  std::string Line;
+  std::string Err;
+  while (std::getline(Parse, Line))
+    Resps.push_back(parseJson(Line, Err));
+  ASSERT_EQ(Resps.size(), 3u);
+  EXPECT_TRUE(Resps[0]->get("ok")->asBool());
+  EXPECT_FALSE(Resps[1]->get("ok")->asBool());
+  JsonRef E = Resps[1]->get("error");
+  ASSERT_EQ(E->type(), JsonValue::Type::Object);
+  EXPECT_EQ(E->str("code"), "bad_request");
+  EXPECT_NE(E->str("message").find("exceeds"), std::string::npos);
+  EXPECT_EQ(E->get("line")->asNumber(), 2);
+  EXPECT_TRUE(Resps[2]->get("ok")->asBool()) << "stream must continue";
+}
+
+TEST(BatchJsonLines, StopFlagEndsTheStreamBetweenLines) {
+  // The drain flag `xsolve batch` flips on SIGINT/SIGTERM: once set, no
+  // further input lines are consumed and the driver returns normally
+  // (the caller then flushes its cache file on the usual exit path).
+  const std::string Input =
+      R"({"id":"q1","op":"empty","e1":"//b"})" "\n"
+      R"({"id":"q2","op":"empty","e1":"//c"})" "\n";
+  AnalysisSession Session;
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  std::atomic<bool> Stop{true};
+  BatchStreamOptions Opts;
+  Opts.Stop = &Stop;
+  runBatchJsonLines(Session, In, Out, nullptr, Opts);
+  EXPECT_EQ(Out.str(), "") << "no lines consumed after the stop flag";
+  EXPECT_EQ(Session.stats().Solves, 0u);
 }
 
 } // namespace
