@@ -131,11 +131,27 @@ int runClient(int argc, char **argv) {
     In = &FileIn;
   }
 
-  // Pipelined: send everything, then read exactly one response per
-  // request line (the server preserves request order per connection).
-  size_t Sent = 0;
-  std::string Line;
-  while (std::getline(*In, Line)) {
+  // Pipelined with a bounded window, interleaving reads with writes.
+  // Sending a whole large file before reading anything would let both
+  // peers' socket buffers fill against each other (the server bounds
+  // its outbound buffer and drops connections that overflow it), and
+  // an unbounded flood of admissions would mostly collect "overloaded"
+  // rejections — so after each send, drain whatever responses are
+  // already readable, and block for one once more than MaxInFlight
+  // requests are outstanding (half the server's default --queue-limit,
+  // leaving room for other tenants). Responses arrive in request
+  // order, so output order is unchanged.
+  const size_t MaxInFlight = 128;
+  size_t Sent = 0, Received = 0, Failed = 0;
+  bool Closed = false;
+  auto Consume = [&](const std::string &Resp) {
+    std::printf("%s\n", Resp.c_str());
+    if (Resp.find("\"ok\":false") != std::string::npos)
+      ++Failed;
+    ++Received;
+  };
+  std::string Line, Resp;
+  while (!Closed && std::getline(*In, Line)) {
     size_t First = Line.find_first_not_of(" \t\r");
     if (First == std::string::npos || Line[First] == '#')
       continue; // the server assigns no response to blank/comment lines
@@ -144,18 +160,25 @@ int runClient(int argc, char **argv) {
       return 1;
     }
     ++Sent;
-  }
-  size_t Failed = 0;
-  for (size_t I = 0; I < Sent; ++I) {
-    std::string Resp;
-    if (!Client.recvLine(Resp)) {
-      std::fprintf(stderr, "error: server closed after %zu/%zu responses\n", I,
-                   Sent);
-      return 1;
+    while (!Closed && Client.pollLine(Resp, Closed))
+      Consume(Resp);
+    while (!Closed && Sent - Received > MaxInFlight) {
+      if (!Client.recvLine(Resp)) {
+        Closed = true;
+        break;
+      }
+      Consume(Resp);
     }
-    std::printf("%s\n", Resp.c_str());
-    if (Resp.find("\"ok\":false") != std::string::npos)
-      ++Failed;
+  }
+  while (!Closed && Received < Sent) {
+    if (!Client.recvLine(Resp))
+      break;
+    Consume(Resp);
+  }
+  if (Received < Sent) {
+    std::fprintf(stderr, "error: server closed after %zu/%zu responses\n",
+                 Received, Sent);
+    return 1;
   }
   return Failed == 0 ? 0 : 1;
 }
@@ -183,7 +206,15 @@ int main(int argc, char **argv) {
       }
       Opts.Session.Jobs = static_cast<size_t>(N);
     } else if (Arg == "--queue-limit" && I + 1 < argc) {
-      Opts.QueueLimit = static_cast<size_t>(std::atoi(argv[++I]));
+      char *End = nullptr;
+      long N = std::strtol(argv[++I], &End, 10);
+      if (N < 1 || End == argv[I] || *End != '\0') {
+        // 0 would make admit() reject every request as "overloaded" —
+        // a silently useless server — so demand a positive bound.
+        std::fprintf(stderr, "error: --queue-limit needs a positive integer\n");
+        return usage();
+      }
+      Opts.QueueLimit = static_cast<size_t>(N);
     } else if (Arg == "--cache-file" && I + 1 < argc) {
       Opts.CacheFile = argv[++I];
     } else if (Arg == "--stable") {

@@ -101,6 +101,34 @@ bool LineClient::recvLine(std::string &Line) {
   }
 }
 
+bool LineClient::pollLine(std::string &Line, bool &Closed) {
+  Line.clear();
+  Closed = false;
+  if (Fd < 0) {
+    Closed = true;
+    return false;
+  }
+  while (true) {
+    size_t Nl = Buf.find('\n');
+    if (Nl != std::string::npos) {
+      Line = Buf.substr(0, Nl);
+      Buf.erase(0, Nl + 1);
+      return true;
+    }
+    char Chunk[4096];
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), MSG_DONTWAIT);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return false; // nothing readable right now; no complete line
+    if (N <= 0) {
+      Closed = true;
+      return false;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
 void LineClient::closeConn() {
   if (Fd >= 0) {
     ::close(Fd);

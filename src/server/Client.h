@@ -42,6 +42,13 @@ public:
   /// EOF — the server closed the connection.
   bool recvLine(std::string &Line);
 
+  /// Non-blocking variant: true with the next complete response line
+  /// when one is already buffered or readable without waiting, false
+  /// otherwise. \p Closed is set when the server closed the connection.
+  /// Lets a pipelining sender interleave reads with its writes, so the
+  /// two peers' socket buffers can never fill up against each other.
+  bool pollLine(std::string &Line, bool &Closed);
+
   void closeConn();
 
 private:

@@ -29,17 +29,28 @@ namespace {
 /// the cross-thread "server.queue_wait" span.
 uint64_t nowSteadyNs() { return Tracer::nowNs(); }
 
-/// Sends all of \p Data on \p Fd (MSG_NOSIGNAL: a peer that closed mid-
-/// write must surface as an error on this thread, not kill the process
-/// with SIGPIPE). False on any failure.
-bool sendAll(int Fd, const char *Data, size_t Len) {
+/// Sends all of \p Data on \p Fd, aborting when \p Alive goes false
+/// (forced teardown must be able to interrupt a send to a client that
+/// stopped reading, so shutdown never hangs on a full socket buffer).
+/// MSG_NOSIGNAL: a peer that closed mid-write must surface as an error
+/// on this thread, not kill the process with SIGPIPE; MSG_DONTWAIT so
+/// a full buffer parks us in a short poll that re-checks Alive instead
+/// of an unbounded blocking send. False on any failure.
+bool sendAll(int Fd, const char *Data, size_t Len,
+             const std::atomic<bool> &Alive) {
   while (Len > 0) {
-    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
-    if (N <= 0) {
-      if (N < 0 && errno == EINTR)
-        continue;
+    if (!Alive.load())
       return false;
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd P{Fd, POLLOUT, 0};
+      ::poll(&P, 1, 100); // bounded: loop back to the Alive check
+      continue;
     }
+    if (N <= 0)
+      return false;
     Data += static_cast<size_t>(N);
     Len -= static_cast<size_t>(N);
   }
@@ -84,13 +95,16 @@ NamespaceState::NamespaceState(std::string N) : Name(std::move(N)) {
 //===----------------------------------------------------------------------===//
 
 /// One client connection. The reader thread owns Fd reads and seq
-/// assignment; writes and the reorder buffer are guarded by WriteMu
-/// (reader thread for control responses, dispatcher thread for analysis
-/// responses).
+/// assignment; the reorder buffer is guarded by WriteMu and filled by
+/// producers (reader thread for control responses, dispatcher thread
+/// for analysis responses) — producers only enqueue and notify, they
+/// never touch the socket. The writer thread alone sends, so a client
+/// that stops reading blocks its own writer and nobody else.
 struct XsolvedServer::Connection {
   int Fd = -1;
   uint64_t Id = 0;
   std::thread Reader;
+  std::thread Writer;
   std::atomic<bool> Open{true};
 
   /// Reader-thread-only: next sequence number to assign to a line that
@@ -98,8 +112,16 @@ struct XsolvedServer::Connection {
   uint64_t NextSeq = 0;
 
   std::mutex WriteMu;
+  std::condition_variable WriteCv;
   uint64_t NextDeliver = 0;                ///< guarded by WriteMu
   std::map<uint64_t, std::string> Pending; ///< guarded by WriteMu
+  size_t PendingBytes = 0;                 ///< guarded by WriteMu
+  /// Set by the reader at exit (with FinalSeq = its last NextSeq): no
+  /// further sequence numbers will be assigned, so once NextDeliver
+  /// reaches FinalSeq the writer has flushed everything and may exit.
+  bool InputDone = false;   ///< guarded by WriteMu
+  uint64_t FinalSeq = 0;    ///< guarded by WriteMu
+  bool WriterExited = false; ///< guarded by WriteMu (teardown handshake)
 
   /// Per-connection protocol state: current namespace and response
   /// encoding. Written by the reader thread on a config line; the
@@ -241,7 +263,14 @@ bool XsolvedServer::start(std::string &Error) {
 }
 
 void XsolvedServer::requestDrain() {
-  Draining.store(true);
+  // Stored under QueueMu so the dispatcher cannot evaluate its wait
+  // predicate just before the store and sleep just after the notify —
+  // admissions during drain reject without notifying, so a lost wakeup
+  // here would hang the drain.
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    Draining.store(true);
+  }
   QueueCv.notify_all();
 }
 
@@ -258,20 +287,47 @@ void XsolvedServer::wait() {
     AcceptThread.join();
   if (DispatchThread.joinable())
     DispatchThread.join();
-  // The dispatcher has delivered everything admitted; now unblock and
-  // join the readers (clients holding connections open must not stall
-  // the drain).
-  shutdownConnections();
+  // The dispatcher has sequenced everything admitted. Teardown is two-
+  // phase so even connections the final drain sweep accepted get their
+  // promised structured answers:
+  //
+  // Phase 1 — half-close the read sides only. recv() hands the readers
+  // whatever the kernel already buffered and then EOF, so pipelined
+  // requests are answered ("draining" rejections — the dispatcher is
+  // gone but admit() rejects inline) instead of vanishing; Open stays
+  // true so the writers keep flushing those answers. Joining happens
+  // outside ConnsMu: a reader mid-admit needs that lock to exit.
+  std::vector<std::shared_ptr<Connection>> Snapshot;
   {
     std::lock_guard<std::mutex> CL(ConnsMu);
-    for (auto &C : Conns) {
-      if (C->Reader.joinable())
-        C->Reader.join();
-      if (C->Fd >= 0) {
-        ::close(C->Fd);
-        C->Fd = -1;
-      }
+    Snapshot = Conns; // complete: the accept thread has joined
+  }
+  for (auto &C : Snapshot)
+    if (C->Fd >= 0)
+      ::shutdown(C->Fd, SHUT_RD);
+  for (auto &C : Snapshot)
+    if (C->Reader.joinable())
+      C->Reader.join();
+  // Phase 2 — give each writer a bounded grace to flush to clients
+  // that are slow to read, then force-close whatever remains (a client
+  // that never reads must not hang the drain) and join.
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(Opts.DrainFlushTimeoutMs);
+  for (auto &C : Snapshot) {
+    std::unique_lock<std::mutex> WL(C->WriteMu);
+    C->WriteCv.wait_until(WL, Deadline, [&] { return C->WriterExited; });
+  }
+  shutdownConnections();
+  for (auto &C : Snapshot) {
+    if (C->Writer.joinable())
+      C->Writer.join();
+    if (C->Fd >= 0) {
+      ::close(C->Fd);
+      C->Fd = -1;
     }
+  }
+  {
+    std::lock_guard<std::mutex> CL(ConnsMu);
     Conns.clear();
   }
   if (!Opts.CacheFile.empty()) {
@@ -284,7 +340,10 @@ void XsolvedServer::wait() {
 }
 
 void XsolvedServer::debugPauseDispatch(bool P) {
-  Paused.store(P);
+  {
+    std::lock_guard<std::mutex> L(QueueMu); // same lost-wakeup guard
+    Paused.store(P);
+  }
   QueueCv.notify_all();
 }
 
@@ -302,9 +361,16 @@ void XsolvedServer::closeListeners() {
 void XsolvedServer::shutdownConnections() {
   std::lock_guard<std::mutex> L(ConnsMu);
   for (auto &C : Conns) {
-    C->Open.store(false);
+    // Open flips under WriteMu: a writer between its CV predicate (which
+    // saw Open) and the actual sleep holds that mutex, so storing under
+    // it cannot lose the wakeup.
+    {
+      std::lock_guard<std::mutex> WL(C->WriteMu);
+      C->Open.store(false);
+    }
     if (C->Fd >= 0)
       ::shutdown(C->Fd, SHUT_RDWR);
+    C->WriteCv.notify_all();
   }
 }
 
@@ -366,6 +432,7 @@ bool XsolvedServer::acceptOne(int ListenFd) {
     Conns.push_back(Conn);
   }
   Conn->Reader = std::thread([this, Conn] { readerLoop(Conn); });
+  Conn->Writer = std::thread([this, Conn] { writerLoop(Conn); });
   return true;
 }
 
@@ -482,11 +549,19 @@ void XsolvedServer::readerLoop(std::shared_ptr<Connection> Conn) {
     FirstLine = false;
     handleLine(*Conn, Line, LineNo, Truncated);
   }
-  Conn->Open.store(false);
-  if (Conn->Fd >= 0)
-    ::shutdown(Conn->Fd, SHUT_RDWR);
+  // Input is over, but responses for requests still in the dispatcher
+  // may be outstanding: hand the writer the final sequence number so it
+  // can flush everything and only then close the connection. Forcing
+  // Open=false or SHUT_WR here would drop responses a pipelined client
+  // that half-closed early is still owed.
+  {
+    std::lock_guard<std::mutex> L(Conn->WriteMu);
+    Conn->InputDone = true;
+    Conn->FinalSeq = Conn->NextSeq;
+  }
+  Conn->WriteCv.notify_all();
   // The fd itself is closed at server teardown (wait()), after the
-  // dispatcher can no longer deliver to it.
+  // writer can no longer deliver to it.
 }
 
 void XsolvedServer::serveHttpMetrics(Connection &Conn) {
@@ -495,8 +570,10 @@ void XsolvedServer::serveHttpMetrics(Connection &Conn) {
                      "Content-Type: text/plain; version=0.0.4\r\n"
                      "Content-Length: " +
                      std::to_string(Body.size()) + "\r\n\r\n" + Body;
-  std::lock_guard<std::mutex> L(Conn.WriteMu);
-  sendAll(Conn.Fd, Resp.data(), Resp.size());
+  // Sent directly on the reader thread (an HTTP connection never has
+  // sequenced responses), interruptible so a stalled scraper cannot
+  // hang the drain.
+  sendAll(Conn.Fd, Resp.data(), Resp.size(), Conn.Open);
 }
 
 void XsolvedServer::handleLine(Connection &Conn, const std::string &Line,
@@ -713,15 +790,15 @@ void XsolvedServer::handleStats(Connection &Conn, uint64_t Seq,
 }
 
 void XsolvedServer::reject(Connection &Conn, uint64_t Seq,
-                           const std::string &Id, const std::string &Code,
+                           const std::string &Id, bool Stable,
+                           const std::string &Code,
                            const std::string &Message) {
   AnalysisResponse R;
   R.Id = Id;
   R.Ok = false;
   R.ErrorCode = Code;
   R.Error = Message;
-  deliver(Conn, Seq,
-          responseToJson(R, /*IncludeVolatile=*/!Conn.Stable)->dump());
+  deliver(Conn, Seq, responseToJson(R, /*IncludeVolatile=*/!Stable)->dump());
 }
 
 void XsolvedServer::admit(Connection &Conn, uint64_t Seq, const JsonValue &Obj,
@@ -788,7 +865,7 @@ void XsolvedServer::admit(Connection &Conn, uint64_t Seq, const JsonValue &Obj,
       L.unlock();
       Ns->Rejections.fetch_add(1, std::memory_order_relaxed);
       rejectionCounter("draining").add();
-      reject(Conn, Seq, J.Req.Id, "draining",
+      reject(Conn, Seq, J.Req.Id, Conn.Stable, "draining",
              "server is draining and no longer accepts analysis requests");
       return;
     }
@@ -796,7 +873,7 @@ void XsolvedServer::admit(Connection &Conn, uint64_t Seq, const JsonValue &Obj,
       L.unlock();
       Ns->Rejections.fetch_add(1, std::memory_order_relaxed);
       rejectionCounter("overloaded").add();
-      reject(Conn, Seq, J.Req.Id, "overloaded",
+      reject(Conn, Seq, J.Req.Id, Conn.Stable, "overloaded",
              "request queue is full (limit " +
                  std::to_string(Opts.QueueLimit) + "); retry later");
       return;
@@ -843,7 +920,9 @@ void XsolvedServer::dispatchLoop() {
     for (Job &J : Expired) {
       deadlineMissCounter().add();
       J.Ns->DeadlineMisses.fetch_add(1, std::memory_order_relaxed);
-      reject(*J.Conn, J.Seq, J.Req.Id, "deadline_exceeded",
+      // J.Stable is the admission-time snapshot: the dispatcher must
+      // not read Conn.Stable, which the reader may be rewriting.
+      reject(*J.Conn, J.Seq, J.Req.Id, J.Stable, "deadline_exceeded",
              "deadline expired before the request reached a worker");
     }
     if (!Batch.empty())
@@ -890,18 +969,74 @@ void XsolvedServer::dispatchBatch(std::vector<Job> &Batch) {
 // Delivery
 //===----------------------------------------------------------------------===//
 
+/// Producer side of the per-connection sequencer: parks the response
+/// line in the reorder buffer and wakes the writer. Called from the
+/// reader (control responses, admission rejections) and the dispatcher
+/// (analysis responses) — NEVER performs socket I/O, so neither thread
+/// can be stalled by a client that stopped reading. The buffer is
+/// bounded: a connection whose client left more than MaxOutboundBytes
+/// unread is dropped, not buffered without limit.
 void XsolvedServer::deliver(Connection &Conn, uint64_t Seq, std::string Line) {
   Line += '\n';
-  std::lock_guard<std::mutex> L(Conn.WriteMu);
-  Conn.Pending.emplace(Seq, std::move(Line));
-  while (!Conn.Pending.empty() &&
-         Conn.Pending.begin()->first == Conn.NextDeliver) {
-    const std::string &Out = Conn.Pending.begin()->second;
-    if (Conn.Open.load()) {
-      if (!sendAll(Conn.Fd, Out.data(), Out.size()))
-        Conn.Open.store(false); // keep draining the buffer, drop the bytes
+  {
+    std::lock_guard<std::mutex> L(Conn.WriteMu);
+    if (!Conn.Open.load())
+      return; // connection dropped — discard, the writer is done
+    Conn.PendingBytes += Line.size();
+    Conn.Pending.emplace(Seq, std::move(Line));
+    if (Conn.PendingBytes > Opts.MaxOutboundBytes) {
+      Conn.Open.store(false);
+      Conn.Pending.clear();
+      Conn.PendingBytes = 0;
+      if (Conn.Fd >= 0)
+        ::shutdown(Conn.Fd, SHUT_RDWR);
     }
-    Conn.Pending.erase(Conn.Pending.begin());
-    ++Conn.NextDeliver;
   }
+  Conn.WriteCv.notify_all();
+}
+
+/// Per-connection writer: drains the reorder buffer to the socket in
+/// sequence order. The only thread that sends on an analysis
+/// connection, and the only one allowed to block on a slow client —
+/// bounded by the Alive checks inside sendAll, so forced teardown can
+/// always interrupt it.
+void XsolvedServer::writerLoop(std::shared_ptr<Connection> Conn) {
+  std::unique_lock<std::mutex> L(Conn->WriteMu);
+  while (true) {
+    Conn->WriteCv.wait(L, [&] {
+      return !Conn->Open.load() ||
+             (!Conn->Pending.empty() &&
+              Conn->Pending.begin()->first == Conn->NextDeliver) ||
+             (Conn->InputDone && Conn->NextDeliver == Conn->FinalSeq);
+    });
+    if (!Conn->Open.load())
+      break;
+    if (!Conn->Pending.empty() &&
+        Conn->Pending.begin()->first == Conn->NextDeliver) {
+      std::string Out = std::move(Conn->Pending.begin()->second);
+      Conn->Pending.erase(Conn->Pending.begin());
+      Conn->PendingBytes -= Out.size();
+      ++Conn->NextDeliver;
+      L.unlock();
+      bool Ok = sendAll(Conn->Fd, Out.data(), Out.size(), Conn->Open);
+      L.lock();
+      if (!Ok) {
+        Conn->Open.store(false);
+        Conn->Pending.clear();
+        Conn->PendingBytes = 0;
+        break;
+      }
+      continue;
+    }
+    // InputDone with everything flushed: the reader is gone and no
+    // producer will enqueue another sequenced line.
+    break;
+  }
+  // Signal the peer we are done (EOF after the last response) and the
+  // teardown in wait() that this connection is fully flushed.
+  if (Conn->Fd >= 0)
+    ::shutdown(Conn->Fd, SHUT_RDWR);
+  Conn->WriterExited = true;
+  L.unlock();
+  Conn->WriteCv.notify_all();
 }

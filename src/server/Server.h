@@ -27,7 +27,13 @@
 ///  * responses return to their connection through a per-connection
 ///    sequencer that restores request order, so every client observes
 ///    the same stream a serial `xsolve batch` would produce — with the
-///    per-connection `stable` encoding, byte-identical to it.
+///    per-connection `stable` encoding, byte-identical to it;
+///  * one writer thread per connection drains that sequencer to the
+///    socket. The dispatcher only enqueues response lines and never
+///    performs socket I/O, so a client that stops reading stalls its
+///    own writer thread — not the dispatcher, not other tenants. The
+///    outbound buffer is bounded (MaxOutboundBytes); a connection that
+///    overflows it is dropped.
 ///
 /// Tenancy. A connection starts in the "default" namespace and may
 /// switch with {"op":"config","ns":"team-a"}. A namespace carries its
@@ -79,6 +85,16 @@ struct ServerOptions {
   size_t QueueLimit = 256;
   /// Longest accepted input line (see BatchStreamOptions::MaxLineBytes).
   size_t MaxLineBytes = size_t(1) << 20;
+  /// Most response bytes buffered for one connection whose client is
+  /// not reading (the kernel socket buffer is full). The dispatcher
+  /// never blocks on a socket; it parks response lines here for the
+  /// connection's writer thread, and a connection that overflows this
+  /// bound is dropped rather than buffered unboundedly.
+  size_t MaxOutboundBytes = size_t(32) << 20;
+  /// Grace period on shutdown for writer threads to flush responses to
+  /// clients that are slow to read; connections still unflushed after
+  /// this many milliseconds are force-closed so drain always completes.
+  size_t DrainFlushTimeoutMs = 5000;
   /// The shared session's knobs (jobs = worker count; fixed for the
   /// server's lifetime — the pool is built once at start()).
   SessionOptions Session;
@@ -172,6 +188,7 @@ private:
   void acceptLoop();
   void dispatchLoop();
   void readerLoop(std::shared_ptr<Connection> Conn);
+  void writerLoop(std::shared_ptr<Connection> Conn);
   void handleLine(Connection &Conn, const std::string &Line, size_t LineNo,
                   bool Truncated);
   void handleConfig(Connection &Conn, uint64_t Seq, const JsonValue &Obj);
@@ -181,8 +198,13 @@ private:
              size_t LineNo);
   void dispatchBatch(std::vector<Job> &Batch);
   void deliver(Connection &Conn, uint64_t Seq, std::string Line);
+  /// \p Stable is the caller's snapshot of the response encoding: the
+  /// reader passes the connection's current value, the dispatcher the
+  /// job's admission-time snapshot — it must never re-read Conn.Stable,
+  /// which only the reader thread may touch.
   void reject(Connection &Conn, uint64_t Seq, const std::string &Id,
-              const std::string &Code, const std::string &Message);
+              bool Stable, const std::string &Code,
+              const std::string &Message);
   void serveHttpMetrics(Connection &Conn);
   void closeListeners();
   void shutdownConnections();

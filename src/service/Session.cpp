@@ -228,8 +228,12 @@ bool AnalysisSession::saveCache(const std::string &Path,
   // Defensive dedupe: the store is keyed by signature so duplicates
   // should be impossible, but a stray repeat (e.g. a hand-edited or
   // concatenated cache file resaved) must not multiply "st" lines on
-  // every save/load cycle. First entry per signature wins, matching
-  // StrategyChoiceStore::remember.
+  // every save/load cycle. The entries were just sorted by (signature,
+  // strategy), so a duplicated signature deterministically keeps its
+  // smallest strategy value — insertion order is already gone here (the
+  // store iterates a hash map), so "first remembered wins" cannot be
+  // reconstructed at save time; determinism is what matters for the
+  // reproducible-file contract.
   StratEntries.erase(
       std::unique(StratEntries.begin(), StratEntries.end(),
                   [](const auto &A, const auto &B) {

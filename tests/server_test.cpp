@@ -171,6 +171,53 @@ TEST(Server, ConcurrentClientsGetByteIdenticalResponses) {
   EXPECT_LT(S.Solves, 36u);
 }
 
+TEST(Server, PipelinedFloodNeverBlocksTheServer) {
+  // Regression: responses used to be sent synchronously by whichever
+  // server thread produced them (reader for control ops, dispatcher
+  // for analysis responses). A client that pipelines a large file
+  // before reading anything fills its own receive buffer, the send
+  // then blocked that server thread, the server stopped reading, the
+  // client's send blocked in turn — mutual deadlock. Responses now
+  // park in a per-connection buffer drained by a writer thread, so
+  // this flood must complete.
+  ServerFixture F(stableServerOptions(1));
+  LineClient C = F.connect();
+  // Padded ids make ~7 MB of requests and ~7 MB of echoed responses:
+  // comfortably past the kernel socket buffers in both directions.
+  const size_t N = 30000;
+  const std::string Pad(200, 'x');
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_TRUE(C.sendLine("{\"id\":\"" + Pad + std::to_string(I) +
+                           "\",\"op\":\"ping\"}"));
+  for (size_t I = 0; I < N; ++I) {
+    std::string Resp;
+    ASSERT_TRUE(C.recvLine(Resp)) << "response " << I << " of " << N;
+    EXPECT_NE(Resp.find("\"ok\":true"), std::string::npos);
+  }
+}
+
+TEST(Server, OutboundOverflowDropsOnlyTheGuiltyConnection) {
+  // The outbound bound is enforced inside deliver(), under the same
+  // lock that inserts the response line — so one response larger than
+  // the bound trips the drop deterministically, with no dependence on
+  // kernel socket buffer sizes or client pacing.
+  ServerOptions Opts = stableServerOptions(1);
+  Opts.MaxOutboundBytes = size_t(1) << 12;
+  ServerFixture F(Opts);
+  LineClient Bad = F.connect();
+  // The echoed 8 KiB id makes the response overflow the 4 KiB bound:
+  // the server must drop the connection rather than buffer past it.
+  ASSERT_TRUE(
+      Bad.sendLine("{\"id\":\"" + std::string(8192, 'y') + "\",\"op\":\"ping\"}"));
+  std::string Resp;
+  EXPECT_FALSE(Bad.recvLine(Resp)) << "oversized response was not dropped";
+  // Another tenant is completely unaffected by the dropped flooder.
+  LineClient Good = F.connect();
+  ASSERT_TRUE(Good.sendLine("{\"id\":\"g\",\"op\":\"ping\"}"));
+  ASSERT_TRUE(Good.recvLine(Resp));
+  EXPECT_NE(Resp.find("\"ok\":true"), std::string::npos);
+}
+
 TEST(Server, DeadlineExpiredInQueueIsRejectedStructurally) {
   ServerFixture F(stableServerOptions(1));
   F.Server.debugPauseDispatch(true);
