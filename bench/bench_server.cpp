@@ -28,8 +28,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchJson.h"
+#include "obs/Trace.h"
 #include "server/Client.h"
 #include "server/Server.h"
+#include "service/Json.h"
 
 #include <algorithm>
 #include <chrono>
@@ -220,6 +222,108 @@ void openBurstRow(BenchJsonWriter &Out) {
               "open_burst", WallMs, Answered, Overloaded, Opts.QueueLimit);
 }
 
+/// Slow-query capture gate: with the threshold at 0 every request is a
+/// tail event, so after N requests the slowlog must hold N entries,
+/// each carrying its propagated request id and a per-stage breakdown
+/// with the "request" row. Nonzero exit on any miss — this is the CI
+/// check that tail sampling actually captures.
+bool slowlogCaptureCheck() {
+  ServerOptions Opts;
+  Opts.TcpPort = 0;
+  Opts.SlowThresholdMs = 0;
+  Opts.Session.Jobs = 2;
+  XsolvedServer Server(Opts);
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::fprintf(stderr, "bench_server: %s\n", Error.c_str());
+    return false;
+  }
+  LineClient C;
+  if (!C.connectTcp("127.0.0.1", Server.tcpPort(), Error)) {
+    std::fprintf(stderr, "bench_server: connect failed: %s\n", Error.c_str());
+    Server.drainAndWait();
+    return false;
+  }
+  std::vector<std::string> Lines = workloadLines(16);
+  std::string Resp;
+  for (const std::string &L : Lines)
+    if (!C.sendLine(L) || !C.recvLine(Resp)) {
+      Server.drainAndWait();
+      return false;
+    }
+  if (!C.sendLine("{\"op\":\"slowlog\"}") || !C.recvLine(Resp)) {
+    Server.drainAndWait();
+    return false;
+  }
+  Server.drainAndWait();
+
+  JsonRef R = parseJson(Resp, Error);
+  if (!R || R->type() != JsonValue::Type::Object) {
+    std::fprintf(stderr, "bench_server: slowlog response unparsable: %s\n",
+                 Error.c_str());
+    return false;
+  }
+  const std::vector<JsonRef> &Entries =
+      R->get("slowlog")->get("entries")->items();
+  bool Ok = Entries.size() >= Lines.size();
+  if (!Ok)
+    std::fprintf(stderr,
+                 "bench_server: slowlog captured %zu/%zu requests at "
+                 "threshold 0\n",
+                 Entries.size(), Lines.size());
+  for (const JsonRef &E : Entries) {
+    if (E->str("rid").empty()) {
+      std::fprintf(stderr, "bench_server: slowlog entry without rid\n");
+      Ok = false;
+    }
+    if (!E->get("stages")->has("request")) {
+      std::fprintf(stderr,
+                   "bench_server: slowlog entry without a request stage\n");
+      Ok = false;
+    }
+  }
+  std::printf("%-22s captured %zu/%zu with rid+stages: %s\n",
+              "slowlog_capture", Entries.size(), Lines.size(),
+              Ok ? "ok" : "FAIL");
+  return Ok;
+}
+
+/// Overhead report: warm closed-loop p50 with the always-on observability
+/// (stage capture + logging) as the server runs it, vs with stage capture
+/// forced off — the cost of being able to tail-sample every request.
+/// Report only, no gate: a sub-5% delta on sub-ms requests is noise-prone
+/// on shared CI runners; the recorded row is the trend line.
+void obsOverheadRow(BenchJsonWriter &Out) {
+  ServerOptions Opts;
+  Opts.TcpPort = 0;
+  Opts.Session.Jobs = 1;
+  XsolvedServer Server(Opts);
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::fprintf(stderr, "bench_server: %s\n", Error.c_str());
+    return;
+  }
+  std::vector<std::string> Lines = workloadLines(100);
+  runClosedLoop(Server.tcpPort(), Lines); // warm the shared cache
+  auto WarmP50 = [&] {
+    ClientResult R = runClosedLoop(Server.tcpPort(), Lines);
+    std::sort(R.LatenciesMs.begin(), R.LatenciesMs.end());
+    return percentile(R.LatenciesMs, 0.5);
+  };
+  double OnMs = WarmP50();
+  Tracer::global().setStageCapture(false);
+  double OffMs = WarmP50();
+  Tracer::global().setStageCapture(true);
+  Server.drainAndWait();
+  double Pct = OffMs > 0 ? (OnMs - OffMs) / OffMs * 100.0 : 0;
+  Out.record("obs_overhead_warm", OnMs, 0,
+             {{"p50_capture_on_ms", OnMs},
+              {"p50_capture_off_ms", OffMs},
+              {"overhead_pct", Pct}});
+  std::printf("%-22s p50 on %6.3f ms  off %6.3f ms  overhead %+.1f%%\n",
+              "obs_overhead_warm", OnMs, OffMs, Pct);
+}
+
 } // namespace
 
 int main() {
@@ -244,6 +348,8 @@ int main() {
   }
 
   openBurstRow(Out);
+  obsOverheadRow(Out);
+  bool CaptureOk = slowlogCaptureCheck();
   Out.write();
-  return 0;
+  return CaptureOk ? 0 : 1;
 }

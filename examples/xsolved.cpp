@@ -23,6 +23,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Log.h"
 #include "server/Client.h"
 #include "server/Server.h"
 
@@ -75,10 +76,18 @@ int usage() {
       "                  {\"op\":\"config\",\"stable\":...})\n"
       "  --port-file F   write the bound TCP port to F (for scripts\n"
       "                  using --tcp 0)\n"
+      "  --log-file F    append the structured JSON-lines event log to F\n"
+      "                  (default: stderr)\n"
+      "  --log-level L   minimum level: debug, info, warn, error\n"
+      "                  (default: info)\n"
+      "  --slow-ms MS    slow-query capture threshold in milliseconds\n"
+      "                  (0 captures every request; default 250)\n"
+      "  --slowlog-capacity N  slowlog ring size (default 128)\n"
       "protocol: xsolve-batch JSON-lines, plus per-request \"priority\"\n"
       "and \"deadline_ms\", config keys \"ns\"/\"stable\", and the ops\n"
-      "metrics, stats, ping, drain. HTTP GET /metrics is answered in\n"
-      "Prometheus text format.\n");
+      "metrics, stats, status, slowlog, log, ping, drain. HTTP GETs on\n"
+      "either socket answer /metrics (Prometheus text), /healthz,\n"
+      "/statusz, /slowlog and /logz with keep-alive.\n");
   return 2;
 }
 
@@ -191,6 +200,8 @@ int main(int argc, char **argv) {
 
   ServerOptions Opts;
   std::string PortFile;
+  std::string LogFile;
+  LogLevel MinLevel = LogLevel::Info;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--tcp" && I + 1 < argc) {
@@ -235,6 +246,33 @@ int main(int argc, char **argv) {
       Opts.Session.Solver.Strategy = S;
     } else if (Arg == "--port-file" && I + 1 < argc) {
       PortFile = argv[++I];
+    } else if (Arg == "--log-file" && I + 1 < argc) {
+      LogFile = argv[++I];
+    } else if (Arg == "--log-level" && I + 1 < argc) {
+      if (!parseLogLevel(argv[++I], MinLevel)) {
+        std::fprintf(stderr,
+                     "error: --log-level needs one of debug, info, warn, "
+                     "error (got %s)\n",
+                     argv[I]);
+        return usage();
+      }
+    } else if (Arg == "--slow-ms" && I + 1 < argc) {
+      char *End = nullptr;
+      double Ms = std::strtod(argv[++I], &End);
+      if (Ms < 0 || End == argv[I] || *End != '\0') {
+        std::fprintf(stderr, "error: --slow-ms needs a non-negative number\n");
+        return usage();
+      }
+      Opts.SlowThresholdMs = Ms;
+    } else if (Arg == "--slowlog-capacity" && I + 1 < argc) {
+      char *End = nullptr;
+      long N = std::strtol(argv[++I], &End, 10);
+      if (N < 1 || End == argv[I] || *End != '\0') {
+        std::fprintf(stderr,
+                     "error: --slowlog-capacity needs a positive integer\n");
+        return usage();
+      }
+      Opts.SlowlogCapacity = static_cast<size_t>(N);
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", Arg.c_str());
       return usage();
@@ -243,18 +281,37 @@ int main(int argc, char **argv) {
   if (Opts.TcpPort < 0 && Opts.UnixPath.empty())
     return usage();
 
+  // Structured event log: every lifecycle/admission/slow-query message
+  // of the daemon is one JSON line here (obs/Log.h), replacing ad-hoc
+  // prints. The FILE* outlives the server (threads log during drain),
+  // so it is deliberately never closed — process exit flushes it.
+  EventLog::Options LogOpts;
+  LogOpts.MinLevel = MinLevel;
+  if (!LogFile.empty()) {
+    std::FILE *F = std::fopen(LogFile.c_str(), "a");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot open --log-file %s\n",
+                   LogFile.c_str());
+      return 1;
+    }
+    LogOpts.Sink = F;
+  }
+  EventLog::global().configure(LogOpts);
+
   installStopHandler();
   XsolvedServer Server(Opts);
   std::string Error;
   if (!Server.start(Error)) {
+    LogEvent(LogLevel::Error, "server.start_failed").str("error", Error);
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
   if (Opts.TcpPort >= 0)
-    std::fprintf(stderr, "xsolved: listening on %s:%d\n", Opts.Host.c_str(),
-                 Server.tcpPort());
+    LogEvent(LogLevel::Info, "server.listening")
+        .str("host", Opts.Host)
+        .num("port", Server.tcpPort());
   if (!Opts.UnixPath.empty())
-    std::fprintf(stderr, "xsolved: listening on %s\n", Opts.UnixPath.c_str());
+    LogEvent(LogLevel::Info, "server.listening").str("unix", Opts.UnixPath);
   if (!PortFile.empty()) {
     std::ofstream PF(PortFile);
     PF << Server.tcpPort() << "\n";
@@ -266,8 +323,6 @@ int main(int argc, char **argv) {
   while (!GStopRequested.load() && !Server.draining()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  std::fprintf(stderr, "xsolved: draining\n");
   Server.drainAndWait();
-  std::fprintf(stderr, "xsolved: drained, exiting\n");
   return 0;
 }

@@ -1,0 +1,199 @@
+//===- Log.cpp - Structured event log --------------------------------------===//
+
+#include "obs/Log.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <chrono>
+
+using namespace xsa;
+
+const char *xsa::logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  }
+  return "info";
+}
+
+bool xsa::parseLogLevel(const std::string &Name, LogLevel &L) {
+  if (Name == "debug")
+    L = LogLevel::Debug;
+  else if (Name == "info")
+    L = LogLevel::Info;
+  else if (Name == "warn" || Name == "warning")
+    L = LogLevel::Warn;
+  else if (Name == "error")
+    L = LogLevel::Error;
+  else
+    return false;
+  return true;
+}
+
+namespace {
+
+uint64_t unixMsNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+Counter &recordsCounter(LogLevel L) {
+  static Counter *ByLevel[4] = {nullptr, nullptr, nullptr, nullptr};
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    for (int I = 0; I < 4; ++I)
+      ByLevel[I] = &MetricRegistry::global().counter(
+          labeledMetricName("xsa_log_records_total", "level",
+                            logLevelName(static_cast<LogLevel>(I))),
+          "Structured log records accepted, by level", /*Volatile=*/true);
+  });
+  return *ByLevel[static_cast<int>(L)];
+}
+
+Counter &sinkDroppedCounter() {
+  static Counter &C = MetricRegistry::global().counter(
+      "xsa_log_sink_dropped_total",
+      "Structured log records withheld from the sink by the rate limiter",
+      /*Volatile=*/true);
+  return C;
+}
+
+} // namespace
+
+EventLog &EventLog::global() {
+  static EventLog L;
+  return L;
+}
+
+void EventLog::configure(const Options &O) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Opts = O;
+  MinLevel.store(static_cast<int>(O.MinLevel), std::memory_order_relaxed);
+  Tokens = O.SinkBurst;
+  LastRefillNs = Tracer::nowNs();
+}
+
+void EventLog::emit(LogLevel L, const char *Event, const JsonRef &Fields) {
+  // Assemble the full record object: ts/level/event first, call-site
+  // fields after, in insertion order.
+  JsonRef Obj = JsonValue::object();
+  uint64_t UnixMs = unixMsNow();
+  Obj->set("ts", JsonValue::number(static_cast<double>(UnixMs)));
+  Obj->set("level", JsonValue::string(logLevelName(L)));
+  Obj->set("event", JsonValue::string(Event));
+  if (Fields)
+    for (const auto &[K, V] : Fields->members())
+      Obj->set(K, V);
+
+  Records.fetch_add(1, std::memory_order_relaxed);
+  recordsCounter(L).add();
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  Record R;
+  R.Seq = NextSeq++;
+  R.UnixMs = UnixMs;
+  R.Level = L;
+  R.Event = Event;
+  R.Fields = Obj;
+  Ring.push_back(std::move(R));
+  while (Ring.size() > Opts.RingCapacity)
+    Ring.pop_front();
+
+  if (!Opts.Sink)
+    return;
+  if (Opts.SinkRatePerSec > 0) {
+    uint64_t Now = Tracer::nowNs();
+    Tokens += static_cast<double>(Now - LastRefillNs) / 1e9 *
+              Opts.SinkRatePerSec;
+    if (Tokens > Opts.SinkBurst)
+      Tokens = Opts.SinkBurst;
+    LastRefillNs = Now;
+    if (Tokens < 1) {
+      ++DroppedSinceNote;
+      SinkDroppedTotal.fetch_add(1, std::memory_order_relaxed);
+      sinkDroppedCounter().add();
+      return;
+    }
+    Tokens -= 1;
+    if (DroppedSinceNote) {
+      // One summary line instead of the suppressed flood, charged to
+      // the token just consumed alongside the record that revived us.
+      std::fprintf(Opts.Sink,
+                   "{\"ts\":%llu,\"level\":\"warn\",\"event\":\"log."
+                   "dropped\",\"count\":%llu}\n",
+                   static_cast<unsigned long long>(UnixMs),
+                   static_cast<unsigned long long>(DroppedSinceNote));
+      DroppedSinceNote = 0;
+    }
+  }
+  std::string Line = Obj->dump();
+  Line += '\n';
+  std::fwrite(Line.data(), 1, Line.size(), Opts.Sink);
+  std::fflush(Opts.Sink);
+}
+
+std::vector<EventLog::Record> EventLog::ring(size_t MaxRecords) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = Ring.size();
+  if (MaxRecords && MaxRecords < N)
+    N = MaxRecords;
+  std::vector<Record> Out;
+  Out.reserve(N);
+  for (size_t I = Ring.size() - N; I < Ring.size(); ++I)
+    Out.push_back(Ring[I]);
+  return Out;
+}
+
+void EventLog::clearForTest() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Ring.clear();
+  NextSeq = 1;
+  Tokens = Opts.SinkBurst;
+  LastRefillNs = Tracer::nowNs();
+  DroppedSinceNote = 0;
+  Records.store(0, std::memory_order_relaxed);
+  SinkDroppedTotal.store(0, std::memory_order_relaxed);
+}
+
+JsonRef xsa::logRecordJson(const EventLog::Record &R) { return R.Fields; }
+
+//===----------------------------------------------------------------------===//
+// LogEvent
+//===----------------------------------------------------------------------===//
+
+LogEvent::LogEvent(LogLevel L, const char *Ev) : Level(L), Event(Ev) {
+  if (EventLog::global().enabled(L))
+    Fields = JsonValue::object();
+}
+
+LogEvent::~LogEvent() {
+  if (Fields)
+    EventLog::global().emit(Level, Event, Fields);
+}
+
+LogEvent &LogEvent::str(const char *Key, const std::string &V) {
+  if (Fields)
+    Fields->set(Key, JsonValue::string(V));
+  return *this;
+}
+
+LogEvent &LogEvent::num(const char *Key, double V) {
+  if (Fields)
+    Fields->set(Key, JsonValue::number(V));
+  return *this;
+}
+
+LogEvent &LogEvent::flag(const char *Key, bool V) {
+  if (Fields)
+    Fields->set(Key, JsonValue::boolean(V));
+  return *this;
+}

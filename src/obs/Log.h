@@ -1,0 +1,162 @@
+//===- Log.h - Structured event log ------------------------------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe structured event log for the service plane: JSON-lines
+/// records (one object per line), leveled, rate-limited toward the sink,
+/// with a bounded in-memory ring retrievable at runtime (the server's
+/// {"op":"log"} and /logz endpoints).
+///
+/// Discipline mirrors the rest of src/obs/:
+///
+///  * the disabled path is cheap — LogEvent's constructor is one relaxed
+///    atomic load and a branch when the record's level is below the
+///    configured minimum, so per-request Debug events cost nothing on a
+///    production Info-level server;
+///  * the sink (stderr by default, a file under --log-file) is protected
+///    from floods by a token bucket: records above the configured rate
+///    are counted and summarized ("log.dropped") instead of written. The
+///    in-memory ring is bounded by construction, so it always keeps the
+///    most recent records regardless of the sink rate;
+///  * determinism: nothing in the engine reads the log to decide
+///    anything, and no log data rides on a protocol response's stable
+///    side — `--stable` output is byte-identical with logging on or off
+///    (see DESIGN.md "Observability").
+///
+/// Records always carry "ts" (unix milliseconds), "level" and "event";
+/// call-site fields follow in insertion order. Event names are dotted
+/// lowercase ("conn.accept", "drain.begin", "request.slow").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_OBS_LOG_H
+#define XSA_OBS_LOG_H
+
+#include "service/Json.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xsa {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+const char *logLevelName(LogLevel L);
+/// Parses "debug", "info", "warn", "error" (what --log-level accepts).
+bool parseLogLevel(const std::string &Name, LogLevel &L);
+
+class EventLog {
+public:
+  struct Options {
+    /// Records below this level are discarded at the call site.
+    LogLevel MinLevel = LogLevel::Info;
+    /// Most records retained in memory for {"op":"log"} / /logz.
+    size_t RingCapacity = 256;
+    /// Sink rate limit in records/second (token bucket; 0 = unlimited).
+    /// Applies to the sink only — the ring keeps every accepted record.
+    double SinkRatePerSec = 500;
+    /// Token-bucket depth: how large a burst passes at full rate before
+    /// the limiter engages.
+    double SinkBurst = 200;
+    /// Where emitted lines go; nullptr = ring only (what tests use).
+    /// The log never closes the stream.
+    std::FILE *Sink = stderr;
+  };
+
+  /// One accepted record. Fields is the complete serialized object
+  /// (immutable once emitted; safe to share across threads by value).
+  struct Record {
+    uint64_t Seq = 0; ///< monotonic per log, for eviction-order checks
+    uint64_t UnixMs = 0;
+    LogLevel Level = LogLevel::Info;
+    std::string Event;
+    JsonRef Fields;
+  };
+
+  /// The process-wide log every built-in call site emits into.
+  static EventLog &global();
+
+  /// Replaces the configuration (thread-safe; typically called once by
+  /// the daemon before start()).
+  void configure(const Options &O);
+
+  /// Call-site gate: one relaxed load.
+  bool enabled(LogLevel L) const {
+    return static_cast<int>(L) >= MinLevel.load(std::memory_order_relaxed);
+  }
+
+  /// Accepts one record: stamps ts/seq, appends to the ring (evicting
+  /// the oldest past capacity) and writes the line to the sink unless
+  /// the token bucket is empty. \p Fields must already carry the
+  /// call-site fields; ts/level/event are prepended here.
+  void emit(LogLevel L, const char *Event, const JsonRef &Fields);
+
+  /// The most recent records, oldest first (\p MaxRecords 0 = all).
+  std::vector<Record> ring(size_t MaxRecords = 0) const;
+
+  uint64_t recordCount() const {
+    return Records.load(std::memory_order_relaxed);
+  }
+  uint64_t sinkDropped() const {
+    return SinkDroppedTotal.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: clears the ring, counters and the token bucket (the
+  /// configuration stays).
+  void clearForTest();
+
+private:
+  mutable std::mutex Mu; ///< guards Ring, bucket state and the sink
+  Options Opts;          ///< guarded by Mu (MinLevel mirrored below)
+  std::deque<Record> Ring;
+  uint64_t NextSeq = 1;
+  double Tokens = 0;
+  uint64_t LastRefillNs = 0;
+  uint64_t DroppedSinceNote = 0; ///< pending "log.dropped" summary count
+
+  std::atomic<int> MinLevel{static_cast<int>(LogLevel::Info)};
+  std::atomic<uint64_t> Records{0};
+  std::atomic<uint64_t> SinkDroppedTotal{0};
+};
+
+/// Builder for one record against EventLog::global(). Does nothing —
+/// not even a clock read — when the level is below the configured
+/// minimum. Emits in the destructor.
+///
+///   LogEvent(LogLevel::Warn, "admission.rejected")
+///       .str("rid", Rid).str("ns", Ns).num("queue", Depth);
+class LogEvent {
+public:
+  LogEvent(LogLevel L, const char *Event);
+  ~LogEvent();
+  LogEvent(const LogEvent &) = delete;
+  LogEvent &operator=(const LogEvent &) = delete;
+
+  LogEvent &str(const char *Key, const std::string &V);
+  LogEvent &num(const char *Key, double V);
+  LogEvent &flag(const char *Key, bool V);
+
+  /// True when the record will be emitted — gate for expensive field
+  /// computation at call sites.
+  bool active() const { return Fields != nullptr; }
+
+private:
+  LogLevel Level;
+  const char *Event;
+  JsonRef Fields; ///< null when suppressed by level
+};
+
+/// Serializes one ring record as the same JSON object the sink received.
+JsonRef logRecordJson(const EventLog::Record &R);
+
+} // namespace xsa
+
+#endif // XSA_OBS_LOG_H

@@ -45,6 +45,22 @@ std::vector<double> Histogram::defaultLatencyBucketsMs() {
           2500, 5000,  10000, 30000, 60000};
 }
 
+void Histogram::setExemplar(const std::string &Label, double V) {
+  std::lock_guard<std::mutex> Lock(ExMu);
+  ExLabel = Label;
+  ExVal = V;
+  HasEx = true;
+}
+
+bool Histogram::exemplar(std::string &Label, double &V) const {
+  std::lock_guard<std::mutex> Lock(ExMu);
+  if (!HasEx)
+    return false;
+  Label = ExLabel;
+  V = ExVal;
+  return true;
+}
+
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot S;
   S.Bounds = Bounds;
@@ -149,10 +165,9 @@ Histogram &MetricRegistry::histogram(const std::string &Name,
   return *entry(Name, Help, Kind::Histogram, /*Volatile=*/true, &Bounds).H;
 }
 
-std::string xsa::labeledMetricName(const std::string &Base,
-                                   const std::string &Label,
-                                   const std::string &Value) {
+std::string xsa::escapePrometheusLabelValue(const std::string &Value) {
   std::string Escaped;
+  Escaped.reserve(Value.size());
   for (char C : Value) {
     if (C == '\\' || C == '"')
       Escaped += '\\';
@@ -162,7 +177,14 @@ std::string xsa::labeledMetricName(const std::string &Base,
     }
     Escaped += C;
   }
-  return Base + "{" + Label + "=\"" + Escaped + "\"}";
+  return Escaped;
+}
+
+std::string xsa::labeledMetricName(const std::string &Base,
+                                   const std::string &Label,
+                                   const std::string &Value) {
+  return Base + "{" + Label + "=\"" + escapePrometheusLabelValue(Value) +
+         "\"}";
 }
 
 namespace {
@@ -178,6 +200,26 @@ void splitName(const std::string &Name, std::string &Base,
   }
   Base = Name.substr(0, Brace);
   Labels = Name.substr(Brace + 1, Name.size() - Brace - 2); // strip {}
+}
+
+/// HELP-line escaping (distinct from label values: only `\` and
+/// newline; a raw newline in help text would otherwise end the comment
+/// line early and leave garbage the scraper rejects).
+std::string escapeHelpText(const std::string &Help) {
+  std::string Escaped;
+  Escaped.reserve(Help.size());
+  for (char C : Help) {
+    if (C == '\\') {
+      Escaped += "\\\\";
+      continue;
+    }
+    if (C == '\n') {
+      Escaped += "\\n";
+      continue;
+    }
+    Escaped += C;
+  }
+  return Escaped;
 }
 
 std::string formatNumber(double V) {
@@ -235,7 +277,7 @@ std::string MetricRegistry::prometheusText() const {
     if (R.Base != LastBase) {
       LastBase = R.Base;
       if (!R.Help.empty())
-        Out += "# HELP " + R.Base + " " + R.Help + "\n";
+        Out += "# HELP " + R.Base + " " + escapeHelpText(R.Help) + "\n";
       const char *Type = R.K == Kind::Counter   ? "counter"
                          : R.K == Kind::Gauge   ? "gauge"
                                                 : "histogram";
@@ -309,6 +351,14 @@ JsonRef MetricRegistry::toJson(bool IncludeVolatile) const {
         Buckets->push(B);
       }
       H->set("buckets", Buckets);
+      std::string ExLabel;
+      double ExVal = 0;
+      if (E->H->exemplar(ExLabel, ExVal)) {
+        JsonRef Ex = JsonValue::object();
+        Ex->set("rid", JsonValue::string(ExLabel));
+        Ex->set("value", JsonValue::number(ExVal));
+        H->set("exemplar", Ex);
+      }
       Histograms->set(E->Name, H);
       break;
     }

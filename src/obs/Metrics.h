@@ -128,6 +128,15 @@ public:
   HistogramSnapshot snapshot() const;
   const std::vector<double> &bounds() const { return Bounds; }
 
+  /// Attaches/replaces the histogram's exemplar: one labeled
+  /// observation a caller singled out (the server labels slow-query
+  /// captures with their request id, so the latency histogram links
+  /// back to a concrete slowlog entry). Mutex-guarded but OFF the hot
+  /// path — observe() never touches it; callers label tail events only.
+  void setExemplar(const std::string &Label, double V);
+  /// False when no exemplar was ever set.
+  bool exemplar(std::string &Label, double &V) const;
+
   /// Exponential millisecond buckets from 10µs to 60s — wide enough for
   /// a cache hit and a 2^O(n) worst-case solve in one histogram.
   static std::vector<double> defaultLatencyBucketsMs();
@@ -137,6 +146,10 @@ private:
   std::unique_ptr<std::atomic<uint64_t>[]> Buckets; ///< Bounds.size()+1
   std::atomic<uint64_t> Total{0};
   std::atomic<uint64_t> SumMicro{0}; ///< sum in 1e-6 units of the value
+  mutable std::mutex ExMu;
+  std::string ExLabel; ///< guarded by ExMu
+  double ExVal = 0;    ///< guarded by ExMu
+  bool HasEx = false;  ///< guarded by ExMu
 };
 
 /// Named metric table. get-or-create by name; handles are stable for the
@@ -197,8 +210,16 @@ private:
   std::vector<std::unique_ptr<Entry>> Entries; ///< registration order
 };
 
-/// `base{label="value"}` with the value escaped per the Prometheus text
-/// format (backslash, double-quote, newline).
+/// Escapes \p Value per the Prometheus text format's label-value rules:
+/// `\` → `\\`, `"` → `\"`, newline → `\n`. Every other byte passes
+/// through verbatim (the format permits arbitrary UTF-8 otherwise).
+/// Applied by labeledMetricName at registration, so user-controlled
+/// values (namespace names arrive via {"op":"config","ns":...}) can
+/// never break the exposition's line framing or quoting.
+std::string escapePrometheusLabelValue(const std::string &Value);
+
+/// `base{label="value"}` with the value escaped by
+/// escapePrometheusLabelValue.
 std::string labeledMetricName(const std::string &Base, const std::string &Label,
                               const std::string &Value);
 

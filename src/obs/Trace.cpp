@@ -58,8 +58,16 @@ uint64_t Tracer::nowNs() {
 }
 
 void Tracer::recordSpanFrom(const char *Name, uint64_t StartNsAbs) {
-  if (!enabled())
+  if (!enabled()) {
+    // Stage-capture mode still feeds the current request's totals (the
+    // queue-wait entry of a slowlog breakdown comes through here).
+    if (stageCaptureEnabled())
+      if (StageTotals *St = CurrentStages) {
+        uint64_t Now = nowNs();
+        St->add(Name, Now > StartNsAbs ? Now - StartNsAbs : 0);
+      }
     return;
+  }
   uint64_t Now = nowNs();
   ThreadState &S = threadState();
   Event Ev;
@@ -170,11 +178,11 @@ std::string Tracer::chromeTraceJson() const {
           std::snprintf(Buf, sizeof(Buf), "%.6g", V);
         Line += Buf;
       }
-      if (E.StrKey) {
+      for (uint8_t I = 0; I < E.NumStrs; ++I) {
         Line += ',';
-        Line += jsonQuote(E.StrKey);
+        Line += jsonQuote(E.Strs[I].Key);
         Line += ':';
-        Line += jsonQuote(E.StrVal);
+        Line += jsonQuote(E.Strs[I].Val);
       }
       Line += "}}";
       Emit(Line);
@@ -200,8 +208,17 @@ bool Tracer::writeChromeTrace(const std::string &Path) const {
 
 Span::Span(const char *Name) {
   Tracer &T = Tracer::global();
-  if (!T.enabled())
-    return; // the zero-cost path: one relaxed load, no clock read
+  if (!T.enabled()) {
+    // Stage-capture mode: accumulate into the installed scope without
+    // recording an event. Off and no scope installed: the zero-cost
+    // path — two relaxed loads, no clock read.
+    if (T.stageCaptureEnabled() && CurrentStages) {
+      Stages = CurrentStages;
+      Ev.Name = Name;
+      StageStartNs = Tracer::nowNs();
+    }
+    return;
+  }
   Tracer::ThreadState &S = T.threadState();
   State = &S;
   Ev.Name = Name;
@@ -222,13 +239,19 @@ void Span::arg(const char *Key, double V) {
 }
 
 void Span::arg(const char *Key, std::string V) {
-  if (!State)
+  if (!State || Ev.NumStrs >= 2)
     return;
-  Ev.StrKey = Key;
-  Ev.StrVal = std::move(V);
+  Ev.Strs[Ev.NumStrs].Key = Key;
+  Ev.Strs[Ev.NumStrs].Val = std::move(V);
+  ++Ev.NumStrs;
 }
 
 void Span::end() {
+  if (Stages) {
+    Stages->add(Ev.Name, Tracer::nowNs() - StageStartNs);
+    Stages = nullptr;
+    return;
+  }
   if (!State)
     return;
   Tracer &T = Tracer::global();

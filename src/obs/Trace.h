@@ -83,13 +83,34 @@ public:
     };
     Arg Args[4];
     uint8_t NumArgs = 0;
-    const char *StrKey = nullptr; ///< optional single string arg
-    std::string StrVal;
+    /// Up to two string args (the request span carries "op" and the
+    /// propagated "rid"); extras are dropped.
+    struct StrArg {
+      const char *Key;
+      std::string Val;
+    };
+    StrArg Strs[2];
+    uint8_t NumStrs = 0;
   };
 
   static Tracer &global();
 
   bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Stage-capture mode: the always-on accumulation path of the server's
+  /// tail-sampled slow-query recorder (obs/SlowQuery.h). When set and the
+  /// tracer is otherwise DISABLED, a Span still adds its duration to the
+  /// installed StageScope — but records no event, takes no lock, touches
+  /// no buffer and needs no quiescence (the totals are thread-local to
+  /// the request). Cost per span: two clock reads. When both flags are
+  /// off the zero-cost contract above is unchanged (one extra relaxed
+  /// load); when the tracer is enabled it subsumes this mode.
+  bool stageCaptureEnabled() const {
+    return StageCapture.load(std::memory_order_relaxed);
+  }
+  void setStageCapture(bool On) {
+    StageCapture.store(On, std::memory_order_relaxed);
+  }
 
   /// Clears all buffered events and enables recording. Quiescent only.
   void start();
@@ -135,6 +156,7 @@ private:
   static thread_local ThreadState *TLState;
 
   std::atomic<bool> Enabled{false};
+  std::atomic<bool> StageCapture{false};
   mutable std::mutex Mu; ///< guards Threads registration and EpochNs
   /// deque: ThreadState addresses must survive registration of later
   /// threads (each thread caches a raw pointer to its own slot).
@@ -148,7 +170,7 @@ class Span {
 public:
   explicit Span(const char *Name);
   ~Span() {
-    if (State)
+    if (State || Stages)
       end();
   }
   Span(const Span &) = delete;
@@ -157,7 +179,7 @@ public:
   /// Attaches a numeric argument (up to 4; extras are dropped). \p Key
   /// must be a string literal.
   void arg(const char *Key, double V);
-  /// Attaches the single string argument slot.
+  /// Attaches a string argument (up to 2; extras are dropped).
   void arg(const char *Key, std::string V);
 
   /// Ends the span early (records the event; the destructor becomes a
@@ -165,11 +187,17 @@ public:
   void end();
 
   /// True when the tracer was enabled at construction — gate for
-  /// optional arg computation at call sites.
+  /// optional arg computation at call sites. False in stage-capture
+  /// mode: args have nowhere to go when no event is recorded.
   bool active() const { return State != nullptr; }
 
 private:
   Tracer::ThreadState *State = nullptr; ///< null when tracing disabled
+  /// Stage-capture mode: the accumulator this span adds to at end().
+  /// Mutually exclusive with State (full tracing already feeds the
+  /// scope's totals through the event path).
+  StageTotals *Stages = nullptr;
+  uint64_t StageStartNs = 0;
   Tracer::Event Ev;
 };
 

@@ -2,11 +2,14 @@
 
 #include "server/Server.h"
 
+#include "obs/Log.h"
 #include "obs/Metrics.h"
+#include "obs/SlowQuery.h"
 #include "obs/Trace.h"
 #include "service/Batch.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -21,6 +24,81 @@
 #include <unistd.h>
 
 using namespace xsa;
+
+namespace xsa {
+namespace detail {
+
+/// Incremental bounded line framing over a raw fd. An overlong line is
+/// consumed (never buffered past the bound) and reported Truncated.
+/// Shared by the JSON-lines reader loop and the HTTP/1.1 keep-alive
+/// loop (which is why it lives in xsa::detail, not a TU-local
+/// namespace: serveHttpConnection's declaration names it).
+struct FdLineReader {
+  int Fd;
+  size_t MaxBytes;
+  std::string Buf;
+  size_t Pos = 0;
+  bool Eof = false;
+  /// When >= 0: before each recv, wait at most this many milliseconds
+  /// for the fd to become readable; give up (TimedOut, next() false)
+  /// otherwise. The HTTP keep-alive idle timeout. -1 blocks in recv.
+  int PollTimeoutMs = -1;
+  bool TimedOut = false;
+
+  /// True with one line in \p Line (newline stripped, \r kept for the
+  /// caller's trimming); false at EOF/error/idle-timeout with nothing
+  /// usable pending.
+  bool next(std::string &Line, bool &Truncated) {
+    Line.clear();
+    Truncated = false;
+    TimedOut = false;
+    bool Discarding = false;
+    while (true) {
+      while (Pos < Buf.size()) {
+        char C = Buf[Pos++];
+        if (C == '\n') {
+          if (Discarding)
+            return true; // Truncated already set
+          return true;
+        }
+        if (Discarding)
+          continue;
+        if (MaxBytes && Line.size() >= MaxBytes) {
+          Truncated = true;
+          Discarding = true;
+          continue;
+        }
+        Line += C;
+      }
+      Buf.clear();
+      Pos = 0;
+      if (Eof)
+        return !Line.empty() || Truncated;
+      if (PollTimeoutMs >= 0) {
+        pollfd P{Fd, POLLIN, 0};
+        int R = ::poll(&P, 1, PollTimeoutMs);
+        if (R < 0 && errno == EINTR)
+          continue;
+        if (R <= 0) {
+          TimedOut = true;
+          return false;
+        }
+      }
+      char Chunk[4096];
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0) {
+        Eof = true;
+        continue;
+      }
+      Buf.assign(Chunk, static_cast<size_t>(N));
+    }
+  }
+};
+
+} // namespace detail
+} // namespace xsa
 
 namespace {
 
@@ -143,6 +221,11 @@ struct XsolvedServer::Job {
   uint64_t DeadlineNs = 0; ///< absolute steady-clock ns; 0 = none
   uint64_t EnqueueNs = 0;
   uint64_t AdmitSeq = 0;
+  /// Request id: the client's "id" when it sent one, else a server-
+  /// generated "c<conn>-<seq>". Mirrored into Req.TraceId so it rides
+  /// the request span, the volatile "rid" response field, log lines and
+  /// any slowlog capture. Generated ids never reach stable output.
+  std::string Rid;
   bool Stable = false;
   bool Optimize = false;
   bool Share = false;
@@ -179,6 +262,15 @@ bool XsolvedServer::start(std::string &Error) {
     Error = "server needs a TCP port and/or a unix socket path";
     return false;
   }
+  // The observability plane of the service: the slow-query recorder's
+  // knobs, and the tracer's stage-capture mode so EVERY request
+  // accumulates its per-stage breakdown cheaply — tail sampling decides
+  // after the fact whether to keep it (see obs/SlowQuery.h).
+  SlowQueryLog::global().configure(
+      {Opts.SlowThresholdMs, Opts.SlowlogCapacity});
+  Tracer::global().setStageCapture(true);
+  StartSteadyNs = nowSteadyNs();
+
   Sess = std::make_unique<AnalysisSession>(Opts.Session);
   if (!Opts.CacheFile.empty()) {
     std::ifstream Probe(Opts.CacheFile);
@@ -187,8 +279,12 @@ bool XsolvedServer::start(std::string &Error) {
       std::string LoadError;
       if (!Sess->loadCache(Opts.CacheFile, LoadError)) {
         Error = "cache file: " + LoadError;
+        LogEvent(LogLevel::Error, "cache.load_failed")
+            .str("path", Opts.CacheFile)
+            .str("error", LoadError);
         return false;
       }
+      LogEvent(LogLevel::Info, "cache.loaded").str("path", Opts.CacheFile);
     }
   }
   // Build the pool (and the per-worker contexts) once, on this thread:
@@ -259,6 +355,16 @@ bool XsolvedServer::start(std::string &Error) {
   Started.store(true);
   AcceptThread = std::thread([this] { acceptLoop(); });
   DispatchThread = std::thread([this] { dispatchLoop(); });
+  {
+    LogEvent Ev(LogLevel::Info, "server.start");
+    Ev.num("jobs", static_cast<double>(Sess->jobs()))
+        .num("queue_limit", static_cast<double>(Opts.QueueLimit))
+        .num("slow_ms", Opts.SlowThresholdMs);
+    if (TcpFd >= 0)
+      Ev.num("tcp_port", BoundPort);
+    if (!Opts.UnixPath.empty())
+      Ev.str("unix", Opts.UnixPath);
+  }
   return true;
 }
 
@@ -267,11 +373,17 @@ void XsolvedServer::requestDrain() {
   // predicate just before the store and sleep just after the notify —
   // admissions during drain reject without notifying, so a lost wakeup
   // here would hang the drain.
+  bool WasDraining;
   {
     std::lock_guard<std::mutex> L(QueueMu);
-    Draining.store(true);
+    WasDraining = Draining.exchange(true);
   }
   QueueCv.notify_all();
+  if (!WasDraining)
+    LogEvent(LogLevel::Info, "drain.begin")
+        .num("uptime_s", StartSteadyNs
+                             ? (nowSteadyNs() - StartSteadyNs) / 1e9
+                             : 0);
 }
 
 void XsolvedServer::drainAndWait() {
@@ -332,11 +444,17 @@ void XsolvedServer::wait() {
   }
   if (!Opts.CacheFile.empty()) {
     std::string SaveError;
-    Sess->saveCache(Opts.CacheFile, SaveError);
+    bool Saved = Sess->saveCache(Opts.CacheFile, SaveError);
+    LogEvent Ev(Saved ? LogLevel::Info : LogLevel::Error, "cache.persisted");
+    Ev.str("path", Opts.CacheFile).flag("ok", Saved);
+    if (!Saved)
+      Ev.str("error", SaveError);
   }
   if (!Opts.UnixPath.empty())
     ::unlink(Opts.UnixPath.c_str());
   Stopped.store(true);
+  LogEvent(LogLevel::Info, "drain.complete")
+      .num("connections", static_cast<double>(Snapshot.size()));
 }
 
 void XsolvedServer::debugPauseDispatch(bool P) {
@@ -405,6 +523,9 @@ JsonRef XsolvedServer::namespacesJson() {
     N->set("deadline_misses",
            Num(Ns->DeadlineMisses.load(std::memory_order_relaxed)));
     N->set("rejections", Num(Ns->Rejections.load(std::memory_order_relaxed)));
+    N->set("slow_queries",
+           Num(Ns->SlowQueries.load(std::memory_order_relaxed)));
+    N->set("in_flight", Num(Ns->InFlight.load(std::memory_order_relaxed)));
     N->set("solver_time_ms",
            JsonValue::number(
                Ns->SolverTimeUs.load(std::memory_order_relaxed) / 1000.0));
@@ -431,6 +552,8 @@ bool XsolvedServer::acceptOne(int ListenFd) {
     Conn->Id = NextConnId++;
     Conns.push_back(Conn);
   }
+  LogEvent(LogLevel::Debug, "conn.accept")
+      .num("conn", static_cast<double>(Conn->Id));
   Conn->Reader = std::thread([this, Conn] { readerLoop(Conn); });
   Conn->Writer = std::thread([this, Conn] { writerLoop(Conn); });
   return true;
@@ -479,76 +602,27 @@ void XsolvedServer::acceptLoop() {
 // Reader: line framing, control ops, admission
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// Incremental bounded line framing over a raw fd. An overlong line is
-/// consumed (never buffered past the bound) and reported Truncated.
-struct FdLineReader {
-  int Fd;
-  size_t MaxBytes;
-  std::string Buf;
-  size_t Pos = 0;
-  bool Eof = false;
-
-  /// True with one line in \p Line (newline stripped, \r kept for the
-  /// caller's trimming); false at EOF/error with nothing pending.
-  bool next(std::string &Line, bool &Truncated) {
-    Line.clear();
-    Truncated = false;
-    bool Discarding = false;
-    while (true) {
-      while (Pos < Buf.size()) {
-        char C = Buf[Pos++];
-        if (C == '\n') {
-          if (Discarding)
-            return true; // Truncated already set
-          return true;
-        }
-        if (Discarding)
-          continue;
-        if (MaxBytes && Line.size() >= MaxBytes) {
-          Truncated = true;
-          Discarding = true;
-          continue;
-        }
-        Line += C;
-      }
-      Buf.clear();
-      Pos = 0;
-      if (Eof)
-        return !Line.empty() || Truncated;
-      char Chunk[4096];
-      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
-      if (N < 0 && errno == EINTR)
-        continue;
-      if (N <= 0) {
-        Eof = true;
-        continue;
-      }
-      Buf.assign(Chunk, static_cast<size_t>(N));
-    }
-  }
-};
-
-} // namespace
-
 void XsolvedServer::readerLoop(std::shared_ptr<Connection> Conn) {
-  FdLineReader Reader{Conn->Fd, Opts.MaxLineBytes};
+  detail::FdLineReader Reader{Conn->Fd, Opts.MaxLineBytes};
   std::string Line;
   bool Truncated = false;
   size_t LineNo = 0;
   bool FirstLine = true;
   while (Conn->Open.load() && Reader.next(Line, Truncated)) {
     ++LineNo;
-    // A browser or Prometheus scraper speaking HTTP gets the text
-    // exposition and a close — detected on the very first line only.
+    // A browser or Prometheus scraper speaking HTTP switches this
+    // connection to the HTTP/1.1 keep-alive loop — detected on the very
+    // first line only.
     if (FirstLine && !Truncated && Line.rfind("GET ", 0) == 0) {
-      serveHttpMetrics(*Conn);
+      serveHttpConnection(*Conn, Reader, Line);
       break;
     }
     FirstLine = false;
     handleLine(*Conn, Line, LineNo, Truncated);
   }
+  LogEvent(LogLevel::Debug, "conn.close")
+      .num("conn", static_cast<double>(Conn->Id))
+      .num("lines", static_cast<double>(LineNo));
   // Input is over, but responses for requests still in the dispatcher
   // may be outstanding: hand the writer the final sequence number so it
   // can flush everything and only then close the connection. Forcing
@@ -564,16 +638,124 @@ void XsolvedServer::readerLoop(std::shared_ptr<Connection> Conn) {
   // writer can no longer deliver to it.
 }
 
-void XsolvedServer::serveHttpMetrics(Connection &Conn) {
-  std::string Body = MetricRegistry::global().prometheusText();
-  std::string Resp = "HTTP/1.0 200 OK\r\n"
-                     "Content-Type: text/plain; version=0.0.4\r\n"
-                     "Content-Length: " +
-                     std::to_string(Body.size()) + "\r\n\r\n" + Body;
-  // Sent directly on the reader thread (an HTTP connection never has
-  // sequenced responses), interruptible so a stalled scraper cannot
-  // hang the drain.
-  sendAll(Conn.Fd, Resp.data(), Resp.size(), Conn.Open);
+/// HTTP/1.1 keep-alive loop on the reader thread. Each iteration parses
+/// one "GET <path> HTTP/1.x" request line plus its headers, answers
+/// with an explicit Content-Length, and — unless the client asked for
+/// close, spoke HTTP/1.0, or the connection cap is exceeded — waits up
+/// to HttpIdleTimeoutMs for the next request on the same socket, so a
+/// Prometheus scraper pays one connect for its whole lifetime instead
+/// of one per scrape. All sends are interruptible (sendAll re-checks
+/// Conn.Open), and drain's SHUT_RD surfaces as EOF in the reader, so a
+/// parked scraper can never hang shutdown.
+void XsolvedServer::serveHttpConnection(Connection &Conn,
+                                        detail::FdLineReader &Reader,
+                                        const std::string &RequestLine) {
+  int Live = HttpConns.fetch_add(1) + 1;
+  bool OverCap = Live > static_cast<int>(Opts.HttpMaxConns);
+  LogEvent(LogLevel::Debug, "http.accept")
+      .num("conn", static_cast<double>(Conn.Id))
+      .num("live", Live)
+      .flag("over_cap", OverCap);
+
+  std::string Request = RequestLine;
+  size_t Served = 0;
+  while (Conn.Open.load()) {
+    // Request line: "GET /path HTTP/1.1" (anything else ends the
+    // connection — this is an introspection endpoint, not a web server).
+    size_t PathBegin = Request.find(' ');
+    size_t PathEnd =
+        PathBegin == std::string::npos ? std::string::npos
+                                       : Request.find(' ', PathBegin + 1);
+    if (Request.rfind("GET ", 0) != 0 || PathEnd == std::string::npos)
+      break;
+    std::string Path = Request.substr(PathBegin + 1, PathEnd - PathBegin - 1);
+    std::string Version = Request.substr(PathEnd + 1);
+    while (!Version.empty() &&
+           (Version.back() == '\r' || Version.back() == ' '))
+      Version.pop_back();
+    bool KeepAlive = Version == "HTTP/1.1"; // 1.0 defaults to close
+
+    // Headers up to the blank line; only Connection: matters here.
+    std::string HLine;
+    bool HTrunc = false;
+    Reader.PollTimeoutMs = -1; // headers follow immediately or not at all
+    while (Reader.next(HLine, HTrunc)) {
+      while (!HLine.empty() && HLine.back() == '\r')
+        HLine.pop_back();
+      if (HLine.empty())
+        break;
+      std::string Lower;
+      Lower.reserve(HLine.size());
+      for (char C : HLine)
+        Lower += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+      if (Lower.rfind("connection:", 0) == 0) {
+        if (Lower.find("close") != std::string::npos)
+          KeepAlive = false;
+        else if (Lower.find("keep-alive") != std::string::npos)
+          KeepAlive = true;
+      }
+    }
+
+    std::string Status = "200 OK";
+    std::string ContentType = "application/json";
+    std::string Body;
+    if (OverCap) {
+      Status = "503 Service Unavailable";
+      ContentType = "text/plain";
+      Body = "too many HTTP connections\n";
+      KeepAlive = false;
+    } else if (Path == "/metrics") {
+      ContentType = "text/plain; version=0.0.4";
+      Body = MetricRegistry::global().prometheusText();
+    } else if (Path == "/healthz") {
+      // Orchestrator probe: draining answers 503 so load balancers stop
+      // routing here while admitted work finishes.
+      ContentType = "text/plain";
+      if (Draining.load()) {
+        Status = "503 Service Unavailable";
+        Body = "draining\n";
+      } else {
+        Body = "ok\n";
+      }
+    } else if (Path == "/statusz") {
+      Body = statusJson()->dump();
+      Body += '\n';
+    } else if (Path == "/slowlog") {
+      Body = slowlogJson(0)->dump();
+      Body += '\n';
+    } else if (Path == "/logz") {
+      Body = logJson(0)->dump();
+      Body += '\n';
+    } else {
+      Status = "404 Not Found";
+      ContentType = "text/plain";
+      Body = "not found (try /metrics, /healthz, /statusz, /slowlog, "
+             "/logz)\n";
+    }
+
+    std::string Resp = "HTTP/1.1 " + Status +
+                       "\r\nContent-Type: " + ContentType +
+                       "\r\nContent-Length: " + std::to_string(Body.size()) +
+                       "\r\nConnection: " +
+                       (KeepAlive ? "keep-alive" : "close") + "\r\n\r\n" +
+                       Body;
+    if (!sendAll(Conn.Fd, Resp.data(), Resp.size(), Conn.Open))
+      break;
+    ++Served;
+    if (!KeepAlive)
+      break;
+    // Idle wait for the next request line on the same connection.
+    Reader.PollTimeoutMs = static_cast<int>(Opts.HttpIdleTimeoutMs);
+    bool Trunc = false;
+    bool Got = Reader.next(Request, Trunc);
+    Reader.PollTimeoutMs = -1;
+    if (!Got || Trunc)
+      break; // EOF, error or idle timeout
+  }
+  HttpConns.fetch_sub(1);
+  LogEvent(LogLevel::Debug, "http.close")
+      .num("conn", static_cast<double>(Conn.Id))
+      .num("served", static_cast<double>(Served));
 }
 
 void XsolvedServer::handleLine(Connection &Conn, const std::string &Line,
@@ -614,6 +796,12 @@ void XsolvedServer::handleLine(Connection &Conn, const std::string &Line,
     handleMetrics(Conn, Seq, *Obj);
   } else if (Op == "stats") {
     handleStats(Conn, Seq, *Obj);
+  } else if (Op == "status") {
+    handleStatus(Conn, Seq, *Obj);
+  } else if (Op == "slowlog") {
+    handleSlowlog(Conn, Seq, *Obj);
+  } else if (Op == "log") {
+    handleLog(Conn, Seq, *Obj);
   } else if (Op == "ping") {
     JsonRef O = JsonValue::object();
     std::string Id = Obj->str("id");
@@ -789,15 +977,158 @@ void XsolvedServer::handleStats(Connection &Conn, uint64_t Seq,
   deliver(Conn, Seq, O->dump());
 }
 
+/// {"op":"status"}, {"op":"slowlog"} and {"op":"log"} are operational
+/// introspection ops: their payloads are inherently execution-dependent
+/// (uptime, queue depth, captured latencies), so they are not part of
+/// the `--stable` byte-identity contract — which covers analysis
+/// responses — and serialize the same on any connection.
+
+void XsolvedServer::handleStatus(Connection &Conn, uint64_t Seq,
+                                 const JsonValue &Obj) {
+  JsonRef O = JsonValue::object();
+  std::string Id = Obj.str("id");
+  if (!Id.empty())
+    O->set("id", JsonValue::string(Id));
+  O->set("ok", JsonValue::boolean(true));
+  O->set("status", statusJson());
+  deliver(Conn, Seq, O->dump());
+}
+
+void XsolvedServer::handleSlowlog(Connection &Conn, uint64_t Seq,
+                                  const JsonValue &Obj) {
+  JsonRef O = JsonValue::object();
+  std::string Id = Obj.str("id");
+  if (!Id.empty())
+    O->set("id", JsonValue::string(Id));
+  O->set("ok", JsonValue::boolean(true));
+  size_t Max = 0;
+  JsonRef N = Obj.get("n");
+  if (N->type() == JsonValue::Type::Number && N->asNumber() > 0)
+    Max = static_cast<size_t>(N->asNumber());
+  O->set("slowlog", slowlogJson(Max));
+  deliver(Conn, Seq, O->dump());
+}
+
+void XsolvedServer::handleLog(Connection &Conn, uint64_t Seq,
+                              const JsonValue &Obj) {
+  JsonRef O = JsonValue::object();
+  std::string Id = Obj.str("id");
+  if (!Id.empty())
+    O->set("id", JsonValue::string(Id));
+  O->set("ok", JsonValue::boolean(true));
+  size_t Max = 0;
+  JsonRef N = Obj.get("n");
+  if (N->type() == JsonValue::Type::Number && N->asNumber() > 0)
+    Max = static_cast<size_t>(N->asNumber());
+  O->set("log", logJson(Max));
+  deliver(Conn, Seq, O->dump());
+}
+
+JsonRef XsolvedServer::statusJson() {
+  JsonRef S = JsonValue::object();
+  S->set("schema", JsonValue::string("xsa.status/1"));
+  S->set("uptime_s",
+         JsonValue::number(
+             StartSteadyNs ? (nowSteadyNs() - StartSteadyNs) / 1e9 : 0));
+  S->set("draining", JsonValue::boolean(Draining.load()));
+  size_t Depth;
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    Depth = Queue->Q.size();
+  }
+  S->set("queue_depth", JsonValue::number(static_cast<double>(Depth)));
+  S->set("queue_limit",
+         JsonValue::number(static_cast<double>(Opts.QueueLimit)));
+  S->set("in_flight", JsonValue::number(static_cast<double>(
+                          InFlight.load(std::memory_order_relaxed))));
+  S->set("jobs", JsonValue::number(static_cast<double>(Sess->jobs())));
+  size_t OpenConns = 0;
+  {
+    std::lock_guard<std::mutex> L(ConnsMu);
+    for (const auto &C : Conns)
+      if (C->Open.load())
+        ++OpenConns;
+  }
+  S->set("connections", JsonValue::number(static_cast<double>(OpenConns)));
+  S->set("http_connections",
+         JsonValue::number(static_cast<double>(HttpConns.load())));
+  // Same registrations (name/help/volatile) as BddSolver's sampler, so
+  // whichever side registers first the series agree.
+  MetricRegistry &R = MetricRegistry::global();
+  JsonRef Bdd = JsonValue::object();
+  Bdd->set("live_nodes",
+           JsonValue::number(
+               R.gauge("xsa_bdd_live_nodes",
+                       "Live BDD nodes of the last solver run",
+                       /*Volatile=*/true)
+                   .value()));
+  Bdd->set("peak_nodes",
+           JsonValue::number(
+               R.gauge("xsa_bdd_peak_nodes",
+                       "Peak BDD nodes of the last solver run",
+                       /*Volatile=*/true)
+                   .value()));
+  S->set("bdd", Bdd);
+  S->set("namespaces", namespacesJson());
+  SlowQueryLog &Slow = SlowQueryLog::global();
+  JsonRef Sq = JsonValue::object();
+  Sq->set("recorded",
+          JsonValue::number(static_cast<double>(Slow.recorded())));
+  Sq->set("threshold_ms", JsonValue::number(Slow.thresholdMs()));
+  Sq->set("capacity",
+          JsonValue::number(static_cast<double>(Slow.capacity())));
+  S->set("slowlog", Sq);
+  EventLog &Log = EventLog::global();
+  JsonRef Lg = JsonValue::object();
+  Lg->set("records",
+          JsonValue::number(static_cast<double>(Log.recordCount())));
+  Lg->set("sink_dropped",
+          JsonValue::number(static_cast<double>(Log.sinkDropped())));
+  S->set("log", Lg);
+  return S;
+}
+
+JsonRef XsolvedServer::slowlogJson(size_t MaxRecords) {
+  SlowQueryLog &Slow = SlowQueryLog::global();
+  JsonRef S = JsonValue::object();
+  S->set("schema", JsonValue::string("xsa.slowlog/1"));
+  S->set("threshold_ms", JsonValue::number(Slow.thresholdMs()));
+  S->set("capacity",
+         JsonValue::number(static_cast<double>(Slow.capacity())));
+  S->set("recorded",
+         JsonValue::number(static_cast<double>(Slow.recorded())));
+  JsonRef Entries = JsonValue::array();
+  for (const SlowQueryRecord &R : Slow.snapshot(MaxRecords))
+    Entries->push(SlowQueryLog::toJson(R));
+  S->set("entries", Entries);
+  return S;
+}
+
+JsonRef XsolvedServer::logJson(size_t MaxRecords) {
+  EventLog &Log = EventLog::global();
+  JsonRef S = JsonValue::object();
+  S->set("schema", JsonValue::string("xsa.log/1"));
+  S->set("records",
+         JsonValue::number(static_cast<double>(Log.recordCount())));
+  S->set("sink_dropped",
+         JsonValue::number(static_cast<double>(Log.sinkDropped())));
+  JsonRef Entries = JsonValue::array();
+  for (const EventLog::Record &R : Log.ring(MaxRecords))
+    Entries->push(logRecordJson(R));
+  S->set("entries", Entries);
+  return S;
+}
+
 void XsolvedServer::reject(Connection &Conn, uint64_t Seq,
                            const std::string &Id, bool Stable,
-                           const std::string &Code,
-                           const std::string &Message) {
+                           const std::string &Code, const std::string &Message,
+                           const std::string &Rid) {
   AnalysisResponse R;
   R.Id = Id;
   R.Ok = false;
   R.ErrorCode = Code;
   R.Error = Message;
+  R.Rid = Rid;
   deliver(Conn, Seq, responseToJson(R, /*IncludeVolatile=*/!Stable)->dump());
 }
 
@@ -822,6 +1153,10 @@ void XsolvedServer::admit(Connection &Conn, uint64_t Seq, const JsonValue &Obj,
   J.Req = std::move(Req);
   J.Stable = Conn.Stable;
   J.Ns = Conn.Ns;
+  J.Rid = !J.Req.Id.empty()
+              ? J.Req.Id
+              : "c" + std::to_string(Conn.Id) + "-" + std::to_string(Seq);
+  J.Req.TraceId = J.Rid;
   JsonRef Priority = Obj.get("priority");
   if (Priority->type() == JsonValue::Type::Number)
     J.Priority = static_cast<int>(Priority->asNumber());
@@ -865,17 +1200,30 @@ void XsolvedServer::admit(Connection &Conn, uint64_t Seq, const JsonValue &Obj,
       L.unlock();
       Ns->Rejections.fetch_add(1, std::memory_order_relaxed);
       rejectionCounter("draining").add();
+      LogEvent(LogLevel::Warn, "request.rejected")
+          .str("rid", J.Rid)
+          .str("ns", Ns->Name)
+          .str("code", "draining")
+          .num("conn", static_cast<double>(Conn.Id));
       reject(Conn, Seq, J.Req.Id, Conn.Stable, "draining",
-             "server is draining and no longer accepts analysis requests");
+             "server is draining and no longer accepts analysis requests",
+             J.Rid);
       return;
     }
     if (Queue->Q.size() >= Opts.QueueLimit) {
       L.unlock();
       Ns->Rejections.fetch_add(1, std::memory_order_relaxed);
       rejectionCounter("overloaded").add();
+      LogEvent(LogLevel::Warn, "request.rejected")
+          .str("rid", J.Rid)
+          .str("ns", Ns->Name)
+          .str("code", "overloaded")
+          .num("queue_limit", static_cast<double>(Opts.QueueLimit))
+          .num("conn", static_cast<double>(Conn.Id));
       reject(Conn, Seq, J.Req.Id, Conn.Stable, "overloaded",
              "request queue is full (limit " +
-                 std::to_string(Opts.QueueLimit) + "); retry later");
+                 std::to_string(Opts.QueueLimit) + "); retry later",
+             J.Rid);
       return;
     }
     J.AdmitSeq = NextAdmitSeq++;
@@ -920,10 +1268,33 @@ void XsolvedServer::dispatchLoop() {
     for (Job &J : Expired) {
       deadlineMissCounter().add();
       J.Ns->DeadlineMisses.fetch_add(1, std::memory_order_relaxed);
+      double WaitMs = (nowSteadyNs() - J.EnqueueNs) / 1e6;
+      LogEvent(LogLevel::Warn, "request.deadline_exceeded")
+          .str("rid", J.Rid)
+          .str("ns", J.Ns->Name)
+          .num("queue_wait_ms", WaitMs)
+          .num("conn", static_cast<double>(J.Conn->Id));
+      // A deadline miss always qualifies for the slowlog (shouldRecord
+      // treats any non-Ok outcome as a tail event); the request never
+      // ran, so the breakdown is queue wait alone.
+      SlowQueryRecord SR;
+      SR.RequestId = J.Rid;
+      SR.ClientId = J.Req.Id;
+      SR.Ns = J.Ns->Name;
+      SR.Op = requestKindName(J.Req.Kind);
+      SR.Ok = false;
+      SR.Code = "deadline_exceeded";
+      SR.Priority = J.Priority;
+      SR.ConnId = J.Conn->Id;
+      SR.QueueWaitMs = WaitMs;
+      SR.TotalMs = WaitMs;
+      SR.StageMs.emplace_back("server.queue_wait", WaitMs);
+      J.Ns->SlowQueries.fetch_add(1, std::memory_order_relaxed);
+      SlowQueryLog::global().record(std::move(SR));
       // J.Stable is the admission-time snapshot: the dispatcher must
       // not read Conn.Stable, which the reader may be rewriting.
       reject(*J.Conn, J.Seq, J.Req.Id, J.Stable, "deadline_exceeded",
-             "deadline expired before the request reached a worker");
+             "deadline expired before the request reached a worker", J.Rid);
     }
     if (!Batch.empty())
       dispatchBatch(Batch);
@@ -933,10 +1304,15 @@ void XsolvedServer::dispatchLoop() {
 void XsolvedServer::dispatchBatch(std::vector<Job> &Batch) {
   Histogram &QueueWait = queueWaitHistogram();
   uint64_t Now = nowSteadyNs();
-  for (const Job &J : Batch) {
-    QueueWait.observe((Now - J.EnqueueNs) / 1e6);
+  std::vector<double> QueueWaitMs(Batch.size());
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    const Job &J = Batch[I];
+    QueueWaitMs[I] = (Now - J.EnqueueNs) / 1e6;
+    QueueWait.observe(QueueWaitMs[I]);
     Tracer::global().recordSpanFrom("server.queue_wait", J.EnqueueNs);
+    J.Ns->InFlight.fetch_add(1, std::memory_order_relaxed);
   }
+  InFlight.fetch_add(Batch.size(), std::memory_order_relaxed);
   std::vector<AnalysisResponse> Resps(Batch.size());
   Sess->pool().parallelFor(Batch.size(), [&](size_t I, size_t Worker) {
     AnalysisContext &Ctx = Sess->workerContext(Worker);
@@ -948,9 +1324,13 @@ void XsolvedServer::dispatchBatch(std::vector<Job> &Batch) {
     Ctx.setFixpointStrategy(Batch[I].Strategy);
     Resps[I] = runRequest(Ctx, Batch[I].Req);
   });
+  InFlight.fetch_sub(Batch.size(), std::memory_order_relaxed);
+  SlowQueryLog &Slow = SlowQueryLog::global();
+  EventLog &Log = EventLog::global();
   for (size_t I = 0; I < Batch.size(); ++I) {
     Job &J = Batch[I];
     const AnalysisResponse &R = Resps[I];
+    J.Ns->InFlight.fetch_sub(1, std::memory_order_relaxed);
     if (!R.Ok)
       J.Ns->Errors.fetch_add(1, std::memory_order_relaxed);
     else if (R.FromCache)
@@ -960,6 +1340,53 @@ void XsolvedServer::dispatchBatch(std::vector<Job> &Batch) {
     J.Ns->SolverTimeUs.fetch_add(
         static_cast<uint64_t>(R.Stats.TimeMs * 1000.0),
         std::memory_order_relaxed);
+    // Tail sampling: total latency is queue wait + execution (the
+    // "request" stage row when stage capture ran, Stats.TimeMs as the
+    // fallback). Decided AFTER the request ran — fast successes leave
+    // nothing behind.
+    double ExecMs = R.Stats.TimeMs;
+    for (const auto &[Name, Ms] : R.StageMs)
+      if (Name == "request") {
+        ExecMs = Ms;
+        break;
+      }
+    double TotalMs = QueueWaitMs[I] + ExecMs;
+    if (Slow.shouldRecord(TotalMs, R.Ok)) {
+      SlowQueryRecord SR;
+      SR.RequestId = J.Rid;
+      SR.ClientId = J.Req.Id;
+      SR.Ns = J.Ns->Name;
+      SR.Op = requestKindName(J.Req.Kind);
+      SR.Ok = R.Ok;
+      SR.Code = R.ErrorCode;
+      SR.Priority = J.Priority;
+      SR.ConnId = J.Conn->Id;
+      SR.QueueWaitMs = QueueWaitMs[I];
+      SR.TotalMs = TotalMs;
+      SR.FromCache = R.FromCache;
+      SR.StageMs = R.StageMs;
+      SR.StageMs.emplace_back("server.queue_wait", QueueWaitMs[I]);
+      J.Ns->SlowQueries.fetch_add(1, std::memory_order_relaxed);
+      Slow.record(std::move(SR));
+      // Link the latency histogram back to this capture.
+      MetricRegistry::global()
+          .histogram("xsa_request_latency_ms")
+          .setExemplar(J.Rid, TotalMs);
+      if (R.Ok)
+        LogEvent(LogLevel::Warn, "request.slow")
+            .str("rid", J.Rid)
+            .str("ns", J.Ns->Name)
+            .num("total_ms", TotalMs)
+            .num("queue_wait_ms", QueueWaitMs[I]);
+    }
+    if (Log.enabled(LogLevel::Debug))
+      LogEvent(LogLevel::Debug, "request.done")
+          .str("rid", J.Rid)
+          .str("ns", J.Ns->Name)
+          .flag("ok", R.Ok)
+          .flag("cache", R.FromCache)
+          .num("total_ms", TotalMs)
+          .num("conn", static_cast<double>(J.Conn->Id));
     deliver(*J.Conn, J.Seq,
             responseToJson(R, /*IncludeVolatile=*/!J.Stable)->dump());
   }

@@ -70,6 +70,10 @@ namespace xsa {
 
 class Counter;
 
+namespace detail {
+struct FdLineReader;
+} // namespace detail
+
 struct ServerOptions {
   /// TCP listener. Port < 0 disables TCP; port 0 binds an ephemeral
   /// port (read it back with tcpPort() — what the tests and the
@@ -95,6 +99,20 @@ struct ServerOptions {
   /// clients that are slow to read; connections still unflushed after
   /// this many milliseconds are force-closed so drain always completes.
   size_t DrainFlushTimeoutMs = 5000;
+  /// Tail-sampled slow-query recorder (obs/SlowQuery.h): admitted
+  /// requests whose total latency (queue wait + execution) reaches this
+  /// many milliseconds — or that error, or miss their deadline — are
+  /// captured with their per-stage breakdown. 0 captures everything.
+  double SlowThresholdMs = 250;
+  /// Most slowlog entries retained ({"op":"slowlog"} / /slowlog).
+  size_t SlowlogCapacity = 128;
+  /// Most concurrent HTTP (scraper/introspection) connections; above
+  /// the cap a connection is answered 503 and closed, so scrapers can
+  /// never starve the analysis plane of reader threads.
+  size_t HttpMaxConns = 8;
+  /// Idle keep-alive timeout for HTTP connections: a scraper that sends
+  /// no new request within this many milliseconds is closed.
+  size_t HttpIdleTimeoutMs = 5000;
   /// The shared session's knobs (jobs = worker count; fixed for the
   /// server's lifetime — the pool is built once at start()).
   SessionOptions Session;
@@ -127,6 +145,11 @@ struct NamespaceState {
   std::atomic<uint64_t> DeadlineMisses{0};
   std::atomic<uint64_t> Rejections{0};
   std::atomic<uint64_t> SolverTimeUs{0};
+  std::atomic<uint64_t> SlowQueries{0};
+  /// Requests of this namespace currently on a worker (set around the
+  /// dispatcher's parallelFor) — the per-tenant in-flight figure of
+  /// {"op":"status"} / /statusz.
+  std::atomic<uint64_t> InFlight{0};
 
   /// xsa_server_requests_total{ns="..."} — registered at namespace
   /// creation so /metrics carries a per-tenant series.
@@ -194,6 +217,9 @@ private:
   void handleConfig(Connection &Conn, uint64_t Seq, const JsonValue &Obj);
   void handleMetrics(Connection &Conn, uint64_t Seq, const JsonValue &Obj);
   void handleStats(Connection &Conn, uint64_t Seq, const JsonValue &Obj);
+  void handleStatus(Connection &Conn, uint64_t Seq, const JsonValue &Obj);
+  void handleSlowlog(Connection &Conn, uint64_t Seq, const JsonValue &Obj);
+  void handleLog(Connection &Conn, uint64_t Seq, const JsonValue &Obj);
   void admit(Connection &Conn, uint64_t Seq, const JsonValue &Obj,
              size_t LineNo);
   void dispatchBatch(std::vector<Job> &Batch);
@@ -203,12 +229,20 @@ private:
   /// job's admission-time snapshot — it must never re-read Conn.Stable,
   /// which only the reader thread may touch.
   void reject(Connection &Conn, uint64_t Seq, const std::string &Id,
-              bool Stable, const std::string &Code,
-              const std::string &Message);
-  void serveHttpMetrics(Connection &Conn);
+              bool Stable, const std::string &Code, const std::string &Message,
+              const std::string &Rid = std::string());
+  /// HTTP/1.1 side of the listener, entered when a connection's first
+  /// line is a GET: serves /metrics, /healthz, /statusz, /slowlog and
+  /// /logz with keep-alive (idle timeout, connection cap) on the reader
+  /// thread. \p Reader still holds whatever the client pipelined.
+  void serveHttpConnection(Connection &Conn, detail::FdLineReader &Reader,
+                           const std::string &RequestLine);
   void closeListeners();
   void shutdownConnections();
   JsonRef namespacesJson();
+  JsonRef statusJson();
+  JsonRef slowlogJson(size_t MaxRecords);
+  JsonRef logJson(size_t MaxRecords);
 
   ServerOptions Opts;
   std::unique_ptr<AnalysisSession> Sess;
@@ -235,6 +269,10 @@ private:
   std::atomic<bool> Started{false};
   std::atomic<bool> Stopped{false};
   std::mutex StopMu; ///< serializes wait()
+
+  uint64_t StartSteadyNs = 0; ///< set by start(); uptime origin
+  std::atomic<uint64_t> InFlight{0}; ///< requests currently on workers
+  std::atomic<int> HttpConns{0};     ///< live HTTP connections (cap)
 };
 
 } // namespace xsa

@@ -294,14 +294,19 @@ AnalysisResponse xsa::runRequest(AnalysisContext &Ctx,
       "xsa_request_errors_total", "Requests answered with ok=false");
   auto T0 = std::chrono::steady_clock::now();
   AnalysisResponse R;
-  if (Tracer::global().enabled()) {
+  Tracer &T = Tracer::global();
+  if (T.enabled() || T.stageCaptureEnabled()) {
     // The request span's own total doubles as the wall-time row of the
-    // per-request breakdown; nested spans add their stage rows.
+    // per-request breakdown; nested spans add their stage rows. In
+    // stage-capture mode (the server's always-on slow-query recorder)
+    // the same structure accumulates totals without buffering events.
     StageTotals Totals;
     {
       StageScope Scope(Totals);
       Span ReqSpan("request");
       ReqSpan.arg("op", requestKindName(Req.Kind));
+      if (!Req.TraceId.empty())
+        ReqSpan.arg("rid", Req.TraceId);
       R = runRequestImpl(Ctx, Req);
       ReqSpan.arg("ok", R.Ok ? 1 : 0);
     }
@@ -309,6 +314,7 @@ AnalysisResponse xsa::runRequest(AnalysisContext &Ctx,
   } else {
     R = runRequestImpl(Ctx, Req);
   }
+  R.Rid = Req.TraceId;
   Latency.observe(std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - T0)
                       .count());
@@ -415,6 +421,11 @@ JsonRef xsa::responseToJson(const AnalysisResponse &Resp,
   JsonRef O = JsonValue::object();
   if (!Resp.Id.empty())
     O->set("id", JsonValue::string(Resp.Id));
+  // The propagated request/trace id is volatile: the server generates
+  // one when the client sent no "id", and generated ids depend on
+  // connection/sequence numbering — not on the workload alone.
+  if (IncludeVolatile && !Resp.Rid.empty())
+    O->set("rid", JsonValue::string(Resp.Rid));
   O->set("ok", JsonValue::boolean(Resp.Ok));
   // Stage breakdown (populated only under tracing) and everything else
   // execution-dependent rides the volatile side: scheduling, cache and

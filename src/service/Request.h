@@ -45,6 +45,13 @@ const char *requestKindName(RequestKind K);
 
 struct AnalysisRequest {
   std::string Id;        ///< echoed in the response; may be empty
+  /// Request/trace id assigned by a server front end at admission (the
+  /// client's "id" when given, else generated). Not part of the wire
+  /// request schema and never affects the answer — it is threaded into
+  /// the request span ("rid" arg), the structured log, the slow-query
+  /// recorder, and the volatile "rid" response field. Excluded from
+  /// requestSignature like Id.
+  std::string TraceId;
   RequestKind Kind = RequestKind::Sat;
   std::string Formula;   ///< Lµ source, Sat only
   std::string Query1;    ///< primary XPath
@@ -85,10 +92,16 @@ struct AnalysisResponse {
   double CostBefore = 0;
   double CostAfter = 0;
   std::vector<RewriteStep> Trace;
-  /// Per-stage wall-time breakdown (span name → ms), collected only when
-  /// tracing is enabled (obs/Trace.h). Serialized on the volatile side of
-  /// responseToJson so `--stable` output is identical with tracing on or
-  /// off.
+  /// The request/trace id this response answers (TraceId of the
+  /// request; "" outside a server). Serialized as "rid" on the volatile
+  /// side only, so `--stable` output never depends on server-generated
+  /// ids.
+  std::string Rid;
+  /// Per-stage wall-time breakdown (span name → ms), collected when
+  /// tracing OR the tracer's stage-capture mode is enabled (obs/Trace.h
+  /// — the server keeps the latter always on for its slow-query
+  /// recorder). Serialized on the volatile side of responseToJson so
+  /// `--stable` output is identical with either recorder on or off.
   std::vector<std::pair<std::string, double>> StageMs;
 };
 

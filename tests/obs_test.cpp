@@ -15,7 +15,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Log.h"
 #include "obs/Metrics.h"
+#include "obs/SlowQuery.h"
 #include "obs/Trace.h"
 
 #include "service/Batch.h"
@@ -460,6 +462,222 @@ TEST(BatchProtocol, KnownConfigKeysStillApply) {
   EXPECT_TRUE(R->get("ok")->asBool());
   EXPECT_TRUE(Session.shareFixpointsEnabled());
   EXPECT_EQ(Session.jobs(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus escaping
+//===----------------------------------------------------------------------===//
+
+TEST(MetricRegistry, LabelValueEscapingIsExhaustive) {
+  // Every byte value through the escaper: exactly `\`, `"` and newline
+  // are rewritten, everything else passes through verbatim — so a
+  // hostile namespace name (user-controlled via {"op":"config","ns"})
+  // can never break the exposition's quoting or line framing.
+  for (int B = 1; B < 256; ++B) {
+    char C = static_cast<char>(B);
+    std::string In(1, C);
+    std::string Out = escapePrometheusLabelValue(In);
+    if (C == '\\')
+      EXPECT_EQ(Out, "\\\\") << "byte " << B;
+    else if (C == '"')
+      EXPECT_EQ(Out, "\\\"") << "byte " << B;
+    else if (C == '\n')
+      EXPECT_EQ(Out, "\\n") << "byte " << B;
+    else
+      EXPECT_EQ(Out, In) << "byte " << B;
+  }
+  // Compositions: adjacent escapes, and escapes mixed with passthrough.
+  EXPECT_EQ(escapePrometheusLabelValue("a\\\"b\nc"), "a\\\\\\\"b\\nc");
+  EXPECT_EQ(escapePrometheusLabelValue("\\\\"), "\\\\\\\\");
+  EXPECT_EQ(escapePrometheusLabelValue(""), "");
+  // End to end: a labeled series with all three specials stays one
+  // well-formed line in the text exposition.
+  MetricRegistry R;
+  R.counter(labeledMetricName("esc_total", "ns", "a\\b\"c\nd")).add(3);
+  std::string Text = R.prometheusText();
+  EXPECT_NE(Text.find("esc_total{ns=\"a\\\\b\\\"c\\nd\"} 3"),
+            std::string::npos)
+      << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// EventLog
+//===----------------------------------------------------------------------===//
+
+TEST(EventLog, LevelGateSuppressesBelowMinimum) {
+  EventLog &Log = EventLog::global();
+  EventLog::Options O;
+  O.MinLevel = LogLevel::Warn;
+  O.Sink = nullptr; // ring only
+  Log.configure(O);
+  Log.clearForTest();
+  EXPECT_FALSE(Log.enabled(LogLevel::Debug));
+  EXPECT_FALSE(Log.enabled(LogLevel::Info));
+  EXPECT_TRUE(Log.enabled(LogLevel::Warn));
+  { LogEvent(LogLevel::Info, "suppressed").num("n", 1); }
+  { LogEvent(LogLevel::Error, "kept").str("why", "it matters"); }
+  std::vector<EventLog::Record> Ring = Log.ring();
+  ASSERT_EQ(Ring.size(), 1u);
+  EXPECT_EQ(Ring[0].Event, "kept");
+  EXPECT_EQ(Ring[0].Fields->str("why"), "it matters");
+  EXPECT_EQ(Ring[0].Fields->str("event"), "kept");
+  EXPECT_EQ(Ring[0].Fields->str("level"), "error");
+  Log.configure(EventLog::Options{});
+  Log.clearForTest();
+}
+
+TEST(EventLog, RateLimitUnderContentionDropsAtSinkNotRing) {
+  // N threads flood far past the sink budget: the token bucket must
+  // drop toward the sink (counted, not lost silently) while the ring
+  // keeps the most recent RingCapacity records regardless. The sink is
+  // a tmpfile so the flood does not spam test output.
+  std::FILE *Sink = std::tmpfile();
+  ASSERT_NE(Sink, nullptr);
+  EventLog &Log = EventLog::global();
+  EventLog::Options O;
+  O.MinLevel = LogLevel::Info;
+  O.RingCapacity = 64;
+  O.SinkRatePerSec = 50;
+  O.SinkBurst = 10;
+  O.Sink = Sink;
+  Log.configure(O);
+  Log.clearForTest();
+  constexpr size_t NumThreads = 8, PerThread = 500;
+  std::vector<std::thread> Ts;
+  for (size_t T = 0; T < NumThreads; ++T)
+    Ts.emplace_back([T] {
+      for (size_t I = 0; I < PerThread; ++I)
+        LogEvent(LogLevel::Info, "flood")
+            .num("thread", static_cast<double>(T))
+            .num("i", static_cast<double>(I));
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(Log.recordCount(), NumThreads * PerThread);
+  EXPECT_GT(Log.sinkDropped(), 0u);
+  EXPECT_LT(Log.sinkDropped(), NumThreads * PerThread); // burst got through
+  std::vector<EventLog::Record> Ring = Log.ring();
+  ASSERT_EQ(Ring.size(), 64u);
+  // Ring keeps the newest, oldest first, strictly ordered by seq.
+  for (size_t I = 1; I < Ring.size(); ++I)
+    EXPECT_LT(Ring[I - 1].Seq, Ring[I].Seq);
+  EXPECT_EQ(Ring.back().Seq, NumThreads * PerThread);
+  // Restore the default configuration for other tests.
+  Log.configure(EventLog::Options{});
+  Log.clearForTest();
+  std::fclose(Sink);
+}
+
+//===----------------------------------------------------------------------===//
+// SlowQueryLog
+//===----------------------------------------------------------------------===//
+
+TEST(SlowQueryLog, TailSamplingDecision) {
+  SlowQueryLog &Slow = SlowQueryLog::global();
+  Slow.configure({/*ThresholdMs=*/100, /*Capacity=*/8});
+  EXPECT_FALSE(Slow.shouldRecord(50, /*Ok=*/true));
+  EXPECT_TRUE(Slow.shouldRecord(100, /*Ok=*/true));
+  EXPECT_TRUE(Slow.shouldRecord(0, /*Ok=*/false)); // errors always qualify
+  Slow.configure({/*ThresholdMs=*/0, /*Capacity=*/8});
+  EXPECT_TRUE(Slow.shouldRecord(0, /*Ok=*/true)); // 0 captures everything
+  Slow.configure(SlowQueryLog::Options{});
+  Slow.clearForTest();
+}
+
+TEST(SlowQueryLog, RingEvictsOldestFirst) {
+  SlowQueryLog &Slow = SlowQueryLog::global();
+  Slow.configure({/*ThresholdMs=*/0, /*Capacity=*/4});
+  Slow.clearForTest();
+  for (int I = 0; I < 10; ++I) {
+    SlowQueryRecord R;
+    R.RequestId = "r" + std::to_string(I);
+    R.TotalMs = I;
+    Slow.record(std::move(R));
+  }
+  EXPECT_EQ(Slow.recorded(), 10u);
+  std::vector<SlowQueryRecord> Snap = Slow.snapshot();
+  ASSERT_EQ(Snap.size(), 4u); // capacity bound held, oldest 6 evicted
+  for (size_t I = 0; I < Snap.size(); ++I) {
+    EXPECT_EQ(Snap[I].RequestId, "r" + std::to_string(6 + I));
+    if (I)
+      EXPECT_LT(Snap[I - 1].Seq, Snap[I].Seq);
+  }
+  // A bounded snapshot returns the NEWEST records, still oldest first.
+  std::vector<SlowQueryRecord> Tail = Slow.snapshot(2);
+  ASSERT_EQ(Tail.size(), 2u);
+  EXPECT_EQ(Tail[0].RequestId, "r8");
+  EXPECT_EQ(Tail[1].RequestId, "r9");
+  Slow.configure(SlowQueryLog::Options{});
+  Slow.clearForTest();
+}
+
+TEST(SlowQueryLog, ToJsonCarriesStagesAndIds) {
+  SlowQueryRecord R;
+  R.Seq = 7;
+  R.RequestId = "c3-12";
+  R.ClientId = "q1";
+  R.Ns = "team-a";
+  R.Op = "contains";
+  R.Ok = false;
+  R.Code = "deadline_exceeded";
+  R.QueueWaitMs = 12.5;
+  R.TotalMs = 12.5;
+  R.StageMs = {{"server.queue_wait", 12.5}};
+  JsonRef J = SlowQueryLog::toJson(R);
+  EXPECT_EQ(J->str("rid"), "c3-12");
+  EXPECT_EQ(J->str("id"), "q1");
+  EXPECT_EQ(J->str("ns"), "team-a");
+  EXPECT_EQ(J->str("code"), "deadline_exceeded");
+  EXPECT_FALSE(J->get("ok")->asBool());
+  EXPECT_DOUBLE_EQ(J->get("stages")->get("server.queue_wait")->asNumber(),
+                   12.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Stage-capture mode (the always-on accumulation tail sampling rides on)
+//===----------------------------------------------------------------------===//
+
+TEST(Tracer, StageCaptureAccumulatesWithoutBufferingEvents) {
+  Tracer &T = Tracer::global();
+  ASSERT_FALSE(T.enabled());
+  T.setStageCapture(true);
+  size_t EventsBefore = T.eventCount();
+  StageTotals Totals;
+  {
+    StageScope Scope(Totals);
+    {
+      Span Outer("request");
+      Outer.arg("rid", std::string("r1")); // dropped: capture-only mode
+      Span Inner("solver.run");
+    }
+  }
+  T.setStageCapture(false);
+  // Durations accumulated by name...
+  std::vector<std::pair<std::string, double>> Ms = Totals.toMs();
+  bool SawRequest = false, SawSolver = false;
+  for (const auto &[Name, V] : Ms) {
+    if (Name == "request")
+      SawRequest = true;
+    if (Name == "solver.run")
+      SawSolver = true;
+    EXPECT_GE(V, 0);
+  }
+  EXPECT_TRUE(SawRequest);
+  EXPECT_TRUE(SawSolver);
+  // ...and NO events buffered (that is the point: no per-event memory).
+  EXPECT_EQ(T.eventCount(), EventsBefore);
+}
+
+TEST(Tracer, StageCaptureOffAndNoScopeIsInert) {
+  Tracer &T = Tracer::global();
+  ASSERT_FALSE(T.enabled());
+  ASSERT_FALSE(T.stageCaptureEnabled());
+  size_t EventsBefore = T.eventCount();
+  {
+    Span S("nothing");
+    S.arg("n", 1);
+  }
+  EXPECT_EQ(T.eventCount(), EventsBefore);
 }
 
 } // namespace

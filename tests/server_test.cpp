@@ -12,12 +12,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Log.h"
+#include "obs/SlowQuery.h"
 #include "server/Client.h"
 #include "server/Server.h"
 #include "service/Batch.h"
 
 #include "gtest/gtest.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -425,4 +428,269 @@ TEST(Server, NamespacesIsolateConfigNotResults) {
   ASSERT_EQ(Namespaces->type(), JsonValue::Type::Object);
   EXPECT_EQ(Namespaces->get("team-a")->get("requests")->asNumber(), 1);
   EXPECT_EQ(Namespaces->get("default")->get("requests")->asNumber(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Observability: request ids, slowlog, status, HTTP endpoints
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Routes the process-global event log into its ring only (no sink
+/// spam), at Debug so per-request events are on, and clears global
+/// recorder state other tests may have left behind. Restores defaults
+/// on destruction.
+struct ObsCapture {
+  ObsCapture() {
+    EventLog::Options O;
+    O.MinLevel = LogLevel::Debug;
+    O.Sink = nullptr;
+    EventLog::global().configure(O);
+    EventLog::global().clearForTest();
+    SlowQueryLog::global().clearForTest();
+  }
+  ~ObsCapture() {
+    EventLog::global().configure(EventLog::Options{});
+    EventLog::global().clearForTest();
+    SlowQueryLog::global().clearForTest();
+  }
+};
+
+/// One HTTP exchange over the LineClient's socket. Requests are line
+/// framed (sendLine appends the newline); the response is status line +
+/// headers + a Content-Length body (every body the server emits is
+/// newline-terminated, so line reads reassemble it exactly).
+struct HttpResponse {
+  std::string Status; ///< e.g. "HTTP/1.1 200 OK"
+  std::string Connection;
+  std::string Body;
+};
+
+bool httpGet(LineClient &C, const std::string &Path, HttpResponse &R) {
+  if (!C.sendLine("GET " + Path + " HTTP/1.1") || !C.sendLine(""))
+    return false;
+  if (!C.recvLine(R.Status))
+    return false;
+  while (!R.Status.empty() && R.Status.back() == '\r')
+    R.Status.pop_back();
+  size_t Len = 0;
+  std::string L;
+  while (C.recvLine(L)) {
+    while (!L.empty() && L.back() == '\r')
+      L.pop_back();
+    if (L.empty())
+      break;
+    if (L.rfind("Content-Length: ", 0) == 0)
+      Len = static_cast<size_t>(std::stoul(L.substr(16)));
+    if (L.rfind("Connection: ", 0) == 0)
+      R.Connection = L.substr(12);
+  }
+  R.Body.clear();
+  while (R.Body.size() < Len && C.recvLine(L))
+    R.Body += L + "\n";
+  return R.Body.size() == Len;
+}
+
+} // namespace
+
+TEST(Server, RequestIdRoundTripsThroughResponseLogAndSlowlog) {
+  ObsCapture Obs;
+  ServerOptions Opts = stableServerOptions(1);
+  Opts.DefaultStable = false; // volatile responses carry "rid"
+  Opts.SlowThresholdMs = 0;   // capture every request
+  ServerFixture F(Opts);
+  LineClient C = F.connect();
+
+  ASSERT_TRUE(C.sendLine("{\"id\":\"my-req-7\",\"op\":\"contains\","
+                         "\"e1\":\"/rt1/x\",\"e2\":\"//x\"}"));
+  std::string Resp;
+  ASSERT_TRUE(C.recvLine(Resp));
+  std::string Error;
+  JsonRef R = parseJson(Resp, Error);
+  ASSERT_NE(R, nullptr) << Error;
+  EXPECT_TRUE(R->get("ok")->asBool());
+  // The client-chosen id IS the request id, and it comes back on the
+  // response's volatile side.
+  EXPECT_EQ(R->str("rid"), "my-req-7");
+
+  // ...and on the slowlog entry, with the per-stage breakdown.
+  ASSERT_TRUE(C.sendLine("{\"op\":\"slowlog\"}"));
+  ASSERT_TRUE(C.recvLine(Resp));
+  JsonRef S = parseJson(Resp, Error);
+  ASSERT_NE(S, nullptr) << Error;
+  const std::vector<JsonRef> &Entries =
+      S->get("slowlog")->get("entries")->items();
+  bool SlowlogHasRid = false;
+  for (const JsonRef &E : Entries)
+    if (E->str("rid") == "my-req-7") {
+      SlowlogHasRid = true;
+      EXPECT_EQ(E->str("id"), "my-req-7");
+      EXPECT_TRUE(E->get("stages")->has("request"));
+      EXPECT_GE(E->get("total_ms")->asNumber(),
+                E->get("queue_wait_ms")->asNumber());
+    }
+  EXPECT_TRUE(SlowlogHasRid) << Resp;
+
+  // ...and on every matching log line: with the threshold at 0 the
+  // request is both completed (request.done, at Debug) and slow
+  // (request.slow, at Warn), and both lines carry its id.
+  std::vector<std::string> Events;
+  for (const EventLog::Record &Rec : EventLog::global().ring())
+    if (Rec.Fields->str("rid") == "my-req-7")
+      Events.push_back(Rec.Event);
+  EXPECT_NE(std::find(Events.begin(), Events.end(), "request.done"),
+            Events.end());
+  EXPECT_NE(std::find(Events.begin(), Events.end(), "request.slow"),
+            Events.end());
+}
+
+TEST(Server, GeneratedRequestIdsNeverReachStableOutput) {
+  ObsCapture Obs;
+  // Stable server with the recorder capturing EVERYTHING: responses must
+  // stay byte-identical to a serial `xsolve batch --stable` run — the
+  // whole point of tail-sampling on the volatile side.
+  ServerOptions Opts = stableServerOptions(2);
+  Opts.SlowThresholdMs = 0;
+  std::vector<std::string> Lines = workloadLines();
+  std::string Expected = serialReference(Lines);
+  ServerFixture F(Opts);
+  LineClient C = F.connect();
+  EXPECT_EQ(runClient(C, Lines), Expected);
+
+  // The recorder still captured every request, each with a generated
+  // "c<conn>-<seq>" rid (no client ids reached the stable encoding, and
+  // no id-less request went unlabeled).
+  std::vector<SlowQueryRecord> Snap = SlowQueryLog::global().snapshot();
+  EXPECT_GE(Snap.size(), Lines.size());
+  for (const SlowQueryRecord &Rec : Snap)
+    EXPECT_FALSE(Rec.RequestId.empty());
+  EXPECT_EQ(Expected.find("\"rid\""), std::string::npos);
+}
+
+TEST(Server, DeadlineMissIsCapturedInSlowlog) {
+  ObsCapture Obs;
+  ServerOptions Opts = stableServerOptions(1);
+  Opts.DefaultStable = false;
+  Opts.SlowThresholdMs = 1e9; // only tail events (errors) qualify
+  ServerFixture F(Opts);
+  F.Server.debugPauseDispatch(true);
+  LineClient C = F.connect();
+  ASSERT_TRUE(C.sendLine("{\"id\":\"dl\",\"op\":\"contains\",\"e1\":\"/dl1/x\","
+                         "\"e2\":\"//x\",\"deadline_ms\":1}"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  F.Server.debugPauseDispatch(false);
+  std::string Resp;
+  ASSERT_TRUE(C.recvLine(Resp));
+  EXPECT_NE(Resp.find("\"code\":\"deadline_exceeded\""), std::string::npos);
+  EXPECT_NE(Resp.find("\"rid\":\"dl\""), std::string::npos);
+
+  ASSERT_TRUE(C.sendLine("{\"op\":\"slowlog\"}"));
+  ASSERT_TRUE(C.recvLine(Resp));
+  std::string Error;
+  JsonRef S = parseJson(Resp, Error);
+  ASSERT_NE(S, nullptr) << Error;
+  bool Found = false;
+  for (const JsonRef &E : S->get("slowlog")->get("entries")->items())
+    if (E->str("rid") == "dl") {
+      Found = true;
+      EXPECT_EQ(E->str("code"), "deadline_exceeded");
+      EXPECT_FALSE(E->get("ok")->asBool());
+      EXPECT_TRUE(E->get("stages")->has("server.queue_wait"));
+    }
+  EXPECT_TRUE(Found) << Resp;
+}
+
+TEST(Server, StatusOpReportsLiveState) {
+  ServerFixture F(stableServerOptions(2));
+  LineClient C = F.connect();
+  ASSERT_TRUE(C.sendLine("{\"id\":\"st\",\"op\":\"status\"}"));
+  std::string Resp;
+  ASSERT_TRUE(C.recvLine(Resp));
+  std::string Error;
+  JsonRef R = parseJson(Resp, Error);
+  ASSERT_NE(R, nullptr) << Error;
+  EXPECT_EQ(R->str("id"), "st");
+  EXPECT_TRUE(R->get("ok")->asBool());
+  JsonRef S = R->get("status");
+  ASSERT_EQ(S->type(), JsonValue::Type::Object);
+  EXPECT_EQ(S->str("schema"), "xsa.status/1");
+  EXPECT_GE(S->get("uptime_s")->asNumber(), 0);
+  EXPECT_FALSE(S->get("draining")->asBool());
+  EXPECT_EQ(S->get("jobs")->asNumber(), 2);
+  EXPECT_GE(S->get("connections")->asNumber(), 1);
+  for (const char *Key : {"queue_depth", "queue_limit", "in_flight", "bdd",
+                          "namespaces", "slowlog", "log"})
+    EXPECT_TRUE(S->has(Key)) << Key;
+  JsonRef Default = S->get("namespaces")->get("default");
+  ASSERT_EQ(Default->type(), JsonValue::Type::Object);
+  EXPECT_TRUE(Default->has("in_flight"));
+  EXPECT_TRUE(Default->has("slow_queries"));
+}
+
+TEST(Server, HttpKeepAliveServesSequentialRequestsOnOneConnection) {
+  ServerFixture F(stableServerOptions(1));
+  LineClient C = F.connect();
+
+  // Two requests over ONE connection — the keep-alive payoff. The
+  // second exchange only works if the server kept the socket open.
+  HttpResponse H1;
+  ASSERT_TRUE(httpGet(C, "/healthz", H1));
+  EXPECT_EQ(H1.Status, "HTTP/1.1 200 OK");
+  EXPECT_EQ(H1.Connection, "keep-alive");
+  EXPECT_EQ(H1.Body, "ok\n");
+
+  HttpResponse H2;
+  ASSERT_TRUE(httpGet(C, "/statusz", H2));
+  EXPECT_EQ(H2.Status, "HTTP/1.1 200 OK");
+  std::string Error;
+  JsonRef S = parseJson(H2.Body, Error);
+  ASSERT_NE(S, nullptr) << Error;
+  EXPECT_EQ(S->str("schema"), "xsa.status/1");
+
+  HttpResponse H3;
+  ASSERT_TRUE(httpGet(C, "/slowlog", H3));
+  JsonRef Slow = parseJson(H3.Body, Error);
+  ASSERT_NE(Slow, nullptr) << Error;
+  EXPECT_EQ(Slow->str("schema"), "xsa.slowlog/1");
+  EXPECT_TRUE(Slow->has("entries"));
+
+  HttpResponse H4;
+  ASSERT_TRUE(httpGet(C, "/nope", H4));
+  EXPECT_EQ(H4.Status, "HTTP/1.1 404 Not Found");
+
+  // An analysis connection still works while the scraper idles.
+  LineClient A = F.connect();
+  ASSERT_TRUE(A.sendLine("{\"id\":\"p\",\"op\":\"ping\"}"));
+  std::string Resp;
+  ASSERT_TRUE(A.recvLine(Resp));
+  EXPECT_NE(Resp.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(Server, HttpIdleTimeoutClosesParkedScrapers) {
+  ServerOptions Opts = stableServerOptions(1);
+  Opts.HttpIdleTimeoutMs = 50;
+  ServerFixture F(Opts);
+  LineClient C = F.connect();
+  HttpResponse H;
+  ASSERT_TRUE(httpGet(C, "/healthz", H));
+  EXPECT_EQ(H.Connection, "keep-alive");
+  // Past the idle timeout the server closes; the next read sees EOF.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  std::string L;
+  EXPECT_FALSE(C.recvLine(L));
+}
+
+TEST(Server, HttpConnectionCapAnswers503) {
+  ServerOptions Opts = stableServerOptions(1);
+  Opts.HttpMaxConns = 1;
+  ServerFixture F(Opts);
+  LineClient First = F.connect();
+  HttpResponse H1;
+  ASSERT_TRUE(httpGet(First, "/healthz", H1)); // now parked keep-alive
+  EXPECT_EQ(H1.Status, "HTTP/1.1 200 OK");
+  LineClient Second = F.connect();
+  HttpResponse H2;
+  ASSERT_TRUE(httpGet(Second, "/healthz", H2));
+  EXPECT_EQ(H2.Status, "HTTP/1.1 503 Service Unavailable");
+  EXPECT_EQ(H2.Connection, "close");
 }
