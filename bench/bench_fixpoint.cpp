@@ -20,7 +20,11 @@
 //   * the strategy matrix (bfs / chaining / saturation, serial and at
 //     jobs=4, all cold) produces byte-identical stable output, chaining
 //     strictly beats bfs on computed rounds, and chaining or saturation
-//     reaches a >= 2x round reduction on the near-duplicate batch.
+//     reaches a >= 2x round reduction on the near-duplicate batch;
+//   * the backend matrix (serial / parallel BDD backend on one
+//     XHTML-scale query, where batch-level --jobs cannot help) produces
+//     byte-identical stable output, and on hosts with >= 4 cores the
+//     parallel backend wins on wall time.
 //
 // Results go to BENCH_fixpoint.json; every row carries name, wall_ms,
 // cache_hit_rate, solver_iterations, iterations_computed,
@@ -39,6 +43,7 @@
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <thread>
 
 using namespace xsa;
 
@@ -250,6 +255,50 @@ int main() {
     Fail("chaining did not reduce computed rounds vs bfs");
   if (ChainRounds * 2 > BfsRounds && SatRounds * 2 > BfsRounds)
     Fail("neither chaining nor saturation reached a 2x round reduction");
+
+  // Backend matrix: one XHTML-scale single query — the intra-query
+  // parallelism scenario, where batch-level --jobs cannot help and only
+  // the parallel BDD backend has parallelism to offer. Byte-identity of
+  // the stable output is gated unconditionally (canonical hash-consing
+  // makes it a hard invariant); the wall-time uplift is gated only on
+  // hosts with >= 4 cores, since below that the parallel backend
+  // legitimately degenerates to its sequential path plus overhead.
+  const std::string XhtmlQuery =
+      "{\"id\":\"x1\",\"op\":\"contains\",\"e1\":\"/html//p\","
+      "\"e2\":\"//p\",\"dtd\":\"xhtml\"}\n";
+  const unsigned Cores = std::thread::hardware_concurrency();
+  double BackendWall[2] = {0, 0};
+  std::string BackendOut[2];
+  for (BddBackendKind K : {BddBackendKind::Serial, BddBackendKind::Parallel}) {
+    SessionOptions BO;
+    BO.Solver.Backend = K;
+    AnalysisSession BS(BO);
+    RunOutcome R = runBatchOn(BS, XhtmlQuery);
+    size_t Idx = static_cast<size_t>(K);
+    BackendWall[Idx] = R.WallMs;
+    BackendOut[Idx] = R.StableOut;
+    Json.record(std::string("xhtml-single-query/backend=") + bddBackendName(K),
+                R.WallMs, xsa_bench::sessionHitRate(BS), extras(R.Stats, R));
+  }
+  double SerialWall = BackendWall[static_cast<size_t>(BddBackendKind::Serial)];
+  double ParallelWall =
+      BackendWall[static_cast<size_t>(BddBackendKind::Parallel)];
+  std::fprintf(stderr,
+               "bench_fixpoint: xhtml single query wall ms serial=%.2f "
+               "parallel=%.2f (%u cores)\n",
+               SerialWall, ParallelWall, Cores);
+  if (BackendOut[static_cast<size_t>(BddBackendKind::Parallel)] !=
+      BackendOut[static_cast<size_t>(BddBackendKind::Serial)])
+    Fail("parallel backend changed the stable single-query output");
+  if (Cores >= 4) {
+    if (ParallelWall >= SerialWall)
+      Fail("parallel backend shows no wall-time uplift on the "
+           "large-DTD single query despite >= 4 cores");
+  } else {
+    std::fprintf(stderr,
+                 "bench_fixpoint: uplift gate skipped (%u cores < 4)\n",
+                 Cores);
+  }
 
   std::fprintf(stderr, "bench_fixpoint: %s\n", Ok ? "PASS" : "FAIL");
   return Ok ? 0 : 1;

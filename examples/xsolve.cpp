@@ -83,8 +83,9 @@ int usage() {
       "  xsolve optimize '<xpath>' [dtd]\n"
       "  xsolve batch [file|-] [--jobs N] [--cache-file F] [--stable]\n"
       "               [--optimize] [--share-fixpoints]\n"
-      "               [--fixpoint-strategy S]\n"
+      "               [--fixpoint-strategy S] [--bdd-backend B]\n"
       "               [--trace-file F] [--metrics-file F]\n"
+      "  xsolve replay <slowlog.json|-> [--out F] [batch flags]\n"
       "where [dtd] is a file path or one of: wikipedia, smil, xhtml.\n"
       "optimize rewrites the query rule by rule, accepting a candidate\n"
       "only when the solver proves it equivalent under the DTD, and\n"
@@ -94,8 +95,12 @@ int usage() {
       "\"e2\":\"//b\",\"dtd\":\"xhtml\"}\n"
       "(ops: sat empty contains overlap cover equiv typecheck optimize;\n"
       " {\"op\":\"config\",\"jobs\":N,\"optimize\":B,"
-      "\"share_fixpoints\":B,\"fixpoint_strategy\":S}\n"
+      "\"share_fixpoints\":B,\"fixpoint_strategy\":S,\"bdd_backend\":B}\n"
       " reconfigures mid-stream)\n"
+      "replay turns a slow-query log entry (xsolved /slowlog output, one\n"
+      "JSON object or a dump array) into a batch run that re-executes the\n"
+      "recorded request under its recorded configuration; --out F writes\n"
+      "the generated batch file instead of running it.\n"
       "batch flags:\n"
       "  --jobs N        dispatch across N worker threads (0 = all cores)\n"
       "  --cache-file F  load the result cache from F on start (if it\n"
@@ -114,6 +119,15 @@ int usage() {
       "                  chaining, saturation, or auto (pick per lean,\n"
       "                  remembered in the cache file); verdicts and\n"
       "                  models are strategy-independent\n"
+      "  --bdd-backend B\n"
+      "                  symbolic-set backend for the solver: serial\n"
+      "                  (default) or parallel (work-stealing BDD\n"
+      "                  operations inside one query). Canonical hash\n"
+      "                  consing makes all output byte-identical across\n"
+      "                  backends; only wall time changes\n"
+      "  --bdd-threads N\n"
+      "                  worker threads inside one BDD operation\n"
+      "                  (parallel backend only; 0 = all cores)\n"
       "  --trace-file F  record spans for every pipeline stage and write\n"
       "                  them as Chrome trace-event JSON to F (open in\n"
       "                  Perfetto / chrome://tracing); response output is\n"
@@ -162,6 +176,121 @@ ExprRef parseQuery(const char *Src) {
   return E;
 }
 
+/// Collects slowlog record objects from any of the shapes `xsolve
+/// replay` accepts: one record object, a /slowlog dump object (its
+/// "records" array), or a bare array of either.
+void collectSlowlogRecords(const JsonRef &V, std::vector<JsonRef> &Out) {
+  if (!V)
+    return;
+  if (V->type() == JsonValue::Type::Array) {
+    for (const JsonRef &E : V->items())
+      collectSlowlogRecords(E, Out);
+    return;
+  }
+  if (V->type() != JsonValue::Type::Object)
+    return;
+  // A dump object: xsolved's /slowlog and {"op":"slowlog"} responses
+  // carry "entries"; accept "records" as a synonym for hand-built input.
+  for (const char *Key : {"entries", "records"}) {
+    JsonRef Recs = V->get(Key);
+    if (Recs && Recs->type() == JsonValue::Type::Array) {
+      collectSlowlogRecords(Recs, Out);
+      return;
+    }
+  }
+  Out.push_back(V);
+}
+
+/// Turns slowlog JSON (one record, a /slowlog dump, an array, or
+/// JSON-lines of records) into batch text: for each record that carries
+/// a reproduction payload, a {"op":"config",...} preamble built from its
+/// "config" snapshot followed by its "request" object stripped of
+/// server-only fields. Consecutive identical config lines are elided.
+bool slowlogToBatch(const std::string &Text, std::string &BatchText,
+                    std::string &Error) {
+  std::vector<JsonRef> Parsed;
+  std::string ParseError;
+  if (JsonRef Root = parseJson(Text, ParseError)) {
+    Parsed.push_back(Root);
+  } else {
+    // Not one document — try JSON-lines (e.g. concatenated records).
+    std::istringstream In(Text);
+    std::string Line;
+    size_t LineNo = 0;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      if (Line.find_first_not_of(" \t\r") == std::string::npos)
+        continue;
+      std::string LineError;
+      JsonRef V = parseJson(Line, LineError);
+      if (!V) {
+        Error = "line " + std::to_string(LineNo) + ": " + LineError;
+        return false;
+      }
+      Parsed.push_back(V);
+    }
+    if (Parsed.empty()) {
+      Error = ParseError;
+      return false;
+    }
+  }
+
+  std::vector<JsonRef> Records;
+  for (const JsonRef &V : Parsed)
+    collectSlowlogRecords(V, Records);
+  if (Records.empty()) {
+    Error = "no slowlog records in input";
+    return false;
+  }
+
+  size_t Skipped = 0;
+  std::string LastConfig;
+  for (const JsonRef &R : Records) {
+    JsonRef Req = R->get("request");
+    if (!Req || Req->type() != JsonValue::Type::Object) {
+      // Records captured before request payloads were recorded (or
+      // hand-trimmed dumps) cannot be replayed; say so rather than
+      // silently shrinking the batch.
+      ++Skipped;
+      continue;
+    }
+    JsonRef Cfg = R->get("config");
+    if (Cfg && Cfg->type() == JsonValue::Type::Object) {
+      JsonRef Line = JsonValue::object();
+      Line->set("op", JsonValue::string("config"));
+      for (const char *Key :
+           {"optimize", "share_fixpoints", "fixpoint_strategy",
+            "bdd_backend"}) {
+        if (JsonRef V = Cfg->get(Key); V && !V->isNull())
+          Line->set(Key, V);
+      }
+      std::string Dumped = Line->dump();
+      if (Dumped != LastConfig) {
+        BatchText += Dumped;
+        BatchText += '\n';
+        LastConfig = Dumped;
+      }
+    }
+    // The admitted request verbatim, minus fields only the server's
+    // admission queue interprets.
+    JsonRef Clean = JsonValue::object();
+    for (const auto &[Key, Val] : Req->members())
+      if (Key != "priority" && Key != "deadline_ms")
+        Clean->set(Key, Val);
+    BatchText += Clean->dump();
+    BatchText += '\n';
+  }
+  if (Skipped)
+    std::fprintf(stderr,
+                 "warning: skipped %zu record(s) without a request payload\n",
+                 Skipped);
+  if (BatchText.empty()) {
+    Error = "no replayable records (none carry a request payload)";
+    return false;
+  }
+  return true;
+}
+
 void report(const AnalysisResult &R, const char *YesMsg, const char *NoMsg) {
   std::printf("%s  (lean=%zu, %zu iterations, %.1f ms%s)\n",
               R.Holds ? YesMsg : NoMsg, R.Stats.LeanSize, R.Stats.Iterations,
@@ -180,17 +309,21 @@ int main(int argc, char **argv) {
   AnalysisSession Session;
   FormulaFactory &FF = Session.factory();
 
-  if (Cmd == "batch") {
+  if (Cmd == "batch" || Cmd == "replay") {
+    const bool Replay = Cmd == "replay";
     std::string Path = "-";
     std::string CacheFile;
     std::string TraceFile;
     std::string MetricsFile;
+    std::string OutFile;
     bool Stable = false;
     bool HaveJobs = false;
     size_t Jobs = 1;
     for (int I = 2; I < argc; ++I) {
       std::string Arg = argv[I];
-      if (Arg == "--jobs" && I + 1 < argc) {
+      if (Replay && Arg == "--out" && I + 1 < argc) {
+        OutFile = argv[++I];
+      } else if (Arg == "--jobs" && I + 1 < argc) {
         char *End = nullptr;
         long N = std::strtol(argv[++I], &End, 10);
         if (N < 0 || End == argv[I] || *End != '\0') {
@@ -221,11 +354,62 @@ int main(int argc, char **argv) {
           return usage();
         }
         Session.setFixpointStrategy(S);
+      } else if (Arg == "--bdd-backend" && I + 1 < argc) {
+        BddBackendKind K;
+        if (!parseBddBackend(argv[++I], K)) {
+          std::fprintf(stderr,
+                       "error: --bdd-backend needs serial or parallel "
+                       "(got %s)\n",
+                       argv[I]);
+          return usage();
+        }
+        Session.setBddBackend(K);
+      } else if (Arg == "--bdd-threads" && I + 1 < argc) {
+        char *End = nullptr;
+        long N = std::strtol(argv[++I], &End, 10);
+        if (N < 0 || End == argv[I] || *End != '\0') {
+          std::fprintf(stderr,
+                       "error: --bdd-threads needs a non-negative integer\n");
+          return usage();
+        }
+        Session.setBddThreads(static_cast<unsigned>(N));
       } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
-        std::fprintf(stderr, "error: unknown batch flag %s\n", Arg.c_str());
+        std::fprintf(stderr, "error: unknown %s flag %s\n", Cmd.c_str(),
+                     Arg.c_str());
         return usage();
       } else {
         Path = Arg;
+      }
+    }
+    // Replay preprocessing: turn the slowlog input into batch text
+    // before any session state is touched, so --out can exit without
+    // side effects. The recorded config rides inside the batch text as
+    // {"op":"config"} preambles, overriding any command-line defaults —
+    // reproducing the configuration the request actually ran under.
+    std::string ReplayBatch;
+    if (Replay) {
+      std::string Text;
+      if (Path == "-") {
+        std::ostringstream SS;
+        SS << std::cin.rdbuf();
+        Text = SS.str();
+      } else if (!readFile(Path, Text)) {
+        std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+        return 1;
+      }
+      std::string Error;
+      if (!slowlogToBatch(Text, ReplayBatch, Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 1;
+      }
+      if (!OutFile.empty()) {
+        std::ofstream Out(OutFile);
+        if (!Out) {
+          std::fprintf(stderr, "error: cannot write %s\n", OutFile.c_str());
+          return 1;
+        }
+        Out << ReplayBatch;
+        return 0;
       }
     }
     if (HaveJobs)
@@ -252,7 +436,10 @@ int main(int argc, char **argv) {
     StreamOpts.Stable = Stable;
     StreamOpts.Stop = &GStopRequested;
     size_t Failed = 0;
-    if (Path == "-") {
+    if (Replay) {
+      std::istringstream In(ReplayBatch);
+      runBatchJsonLines(Session, In, std::cout, &Failed, StreamOpts);
+    } else if (Path == "-") {
       runBatchJsonLines(Session, std::cin, std::cout, &Failed, StreamOpts);
     } else {
       std::ifstream In(Path);

@@ -1,14 +1,49 @@
-//===- Bdd.cpp - BDD package implementation -------------------------------===//
+//===- Bdd.cpp - BDD package: interface + serial backend -------------------===//
 
 #include "bdd/Bdd.h"
+
+#include "bdd/Parallel.h"
 
 #include <algorithm>
 #include <cmath>
 #include <sstream>
-#include <unordered_map>
 #include <unordered_set>
 
 using namespace xsa;
+
+//===----------------------------------------------------------------------===//
+// Backend naming and factory
+//===----------------------------------------------------------------------===//
+
+const char *xsa::bddBackendName(BddBackendKind K) {
+  switch (K) {
+  case BddBackendKind::Serial:
+    return "serial";
+  case BddBackendKind::Parallel:
+    return "parallel";
+  }
+  return "serial";
+}
+
+bool xsa::parseBddBackend(const std::string &Name, BddBackendKind &K) {
+  if (Name == "serial") {
+    K = BddBackendKind::Serial;
+    return true;
+  }
+  if (Name == "parallel") {
+    K = BddBackendKind::Parallel;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<BddManager> xsa::makeBddManager(BddBackendKind K,
+                                                unsigned InitialVars,
+                                                unsigned Threads) {
+  if (K == BddBackendKind::Parallel)
+    return std::make_unique<ParallelBddManager>(InitialVars, Threads);
+  return std::make_unique<SerialBddManager>(InitialVars);
+}
 
 //===----------------------------------------------------------------------===//
 // Bdd handle
@@ -61,25 +96,25 @@ bool Bdd::isZero() const { return Mgr && Node == 0; }
 Bdd Bdd::operator&(const Bdd &O) const {
   assert(Mgr && Mgr == O.Mgr && "operands from different managers");
   Mgr->maybeGc();
-  return Bdd(Mgr, Mgr->applyRec(BddManager::Op::And, Node, O.Node), false);
+  return Bdd(Mgr, Mgr->applyTop(BddManager::Op::And, Node, O.Node), false);
 }
 
 Bdd Bdd::operator|(const Bdd &O) const {
   assert(Mgr && Mgr == O.Mgr && "operands from different managers");
   Mgr->maybeGc();
-  return Bdd(Mgr, Mgr->applyRec(BddManager::Op::Or, Node, O.Node), false);
+  return Bdd(Mgr, Mgr->applyTop(BddManager::Op::Or, Node, O.Node), false);
 }
 
 Bdd Bdd::operator^(const Bdd &O) const {
   assert(Mgr && Mgr == O.Mgr && "operands from different managers");
   Mgr->maybeGc();
-  return Bdd(Mgr, Mgr->applyRec(BddManager::Op::Xor, Node, O.Node), false);
+  return Bdd(Mgr, Mgr->applyTop(BddManager::Op::Xor, Node, O.Node), false);
 }
 
 Bdd Bdd::operator!() const {
   assert(Mgr && "invalid handle");
   Mgr->maybeGc();
-  return Bdd(Mgr, Mgr->notRec(Node), false);
+  return Bdd(Mgr, Mgr->notTop(Node), false);
 }
 
 Bdd Bdd::implies(const Bdd &O) const { return (!*this) | O; }
@@ -98,20 +133,227 @@ size_t Bdd::nodeCount() const {
     if (!Seen.insert(N).second || N <= 1)
       continue;
     ++Internal;
-    Stack.push_back(Mgr->Nodes[N].Low);
-    Stack.push_back(Mgr->Nodes[N].High);
+    BddManager::RawNode Nd = Mgr->rawNode(N);
+    Stack.push_back(Nd.Low);
+    Stack.push_back(Nd.High);
   }
   return Internal + 1; // all terminals count as one
 }
 
 //===----------------------------------------------------------------------===//
-// BddManager: node store and unique table
+// BddManager: generic algorithms over the backend seam
+//===----------------------------------------------------------------------===//
+
+BddManager::~BddManager() = default;
+
+void BddManager::ensureVars(unsigned NewNumVars) {
+  while (NumVars < NewNumVars) {
+    VarNodes.push_back(mkRaw(NumVars, ZeroNode, OneNode));
+    ++NumVars;
+  }
+}
+
+uint32_t BddManager::var2Node(unsigned Var) {
+  ensureVars(Var + 1);
+  return VarNodes[Var];
+}
+
+Bdd BddManager::one() { return wrap(OneNode); }
+Bdd BddManager::zero() { return wrap(ZeroNode); }
+Bdd BddManager::var(unsigned Var) { return wrap(var2Node(Var)); }
+Bdd BddManager::nvar(unsigned Var) {
+  unsigned V = var2Node(Var);
+  return wrap(notTop(V));
+}
+
+Bdd BddManager::ite(const Bdd &F, const Bdd &G, const Bdd &H) {
+  assert(F.manager() == this && G.manager() == this && H.manager() == this);
+  maybeGc();
+  return wrap(iteTop(F.node(), G.node(), H.node()));
+}
+
+Bdd BddManager::exists(const Bdd &F, const Bdd &Cube) {
+  assert(F.manager() == this && Cube.manager() == this);
+  maybeGc();
+  return wrap(existsTop(F.node(), Cube.node(), /*Universal=*/false));
+}
+
+Bdd BddManager::forall(const Bdd &F, const Bdd &Cube) {
+  assert(F.manager() == this && Cube.manager() == this);
+  maybeGc();
+  return wrap(existsTop(F.node(), Cube.node(), /*Universal=*/true));
+}
+
+Bdd BddManager::andExists(const Bdd &F, const Bdd &G, const Bdd &Cube) {
+  assert(F.manager() == this && G.manager() == this && Cube.manager() == this);
+  maybeGc();
+  return wrap(andExistsTop(F.node(), G.node(), Cube.node()));
+}
+
+Bdd BddManager::cube(const std::vector<unsigned> &Vars) {
+  std::vector<unsigned> Sorted(Vars);
+  std::sort(Sorted.begin(), Sorted.end());
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  uint32_t R = OneNode;
+  for (auto It = Sorted.rbegin(); It != Sorted.rend(); ++It) {
+    ensureVars(*It + 1);
+    R = mkRaw(*It, ZeroNode, R);
+  }
+  return wrap(R);
+}
+
+Bdd BddManager::cofactor(const Bdd &F, unsigned Var, bool Val) {
+  assert(F.manager() == this);
+  maybeGc();
+  return wrap(cofactorTop(F.node(), Var, Val));
+}
+
+Bdd BddManager::restrict(
+    const Bdd &F, const std::vector<std::pair<unsigned, bool>> &Assignment) {
+  assert(F.manager() == this);
+  maybeGc();
+  uint32_t R = F.node();
+  for (const auto &[Var, Val] : Assignment)
+    R = cofactorTop(R, Var, Val);
+  return wrap(R);
+}
+
+Bdd BddManager::remapVars(const Bdd &F, const std::vector<unsigned> &VarMap) {
+  assert(F.manager() == this);
+  maybeGc();
+  std::unordered_map<uint32_t, uint32_t> Memo;
+  auto Rec = [&](auto &&Self, uint32_t N) -> uint32_t {
+    if (N <= 1)
+      return N;
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return It->second;
+    const RawNode Nd = rawNode(N);
+    assert(Nd.Var < VarMap.size() && "remap without a mapping for a var");
+    unsigned NewVar = VarMap[Nd.Var];
+    ensureVars(NewVar + 1);
+    uint32_t R = mkRaw(NewVar, Self(Self, Nd.Low), Self(Self, Nd.High));
+    Memo.emplace(N, R);
+    return R;
+  };
+  return wrap(Rec(Rec, F.node()));
+}
+
+bool BddManager::satOne(const Bdd &F, std::vector<bool> &Values,
+                        std::vector<bool> *DontCare) {
+  assert(F.manager() == this);
+  Values.assign(NumVars, false);
+  if (DontCare)
+    DontCare->assign(NumVars, true);
+  if (F.node() == 0)
+    return false;
+  uint32_t N = F.node();
+  while (N > 1) {
+    const RawNode Nd = rawNode(N);
+    // Prefer the low branch: variables default to false, which for the
+    // solver's lean encoding means fewer obligations — smaller models
+    // (§7.2 asks for minimal satisfying trees).
+    bool TakeHigh = Nd.Low == 0;
+    Values[Nd.Var] = TakeHigh;
+    if (DontCare)
+      (*DontCare)[Nd.Var] = false;
+    N = TakeHigh ? Nd.High : Nd.Low;
+  }
+  assert(N == 1 && "reduced BDD path must end in a terminal");
+  return true;
+}
+
+double BddManager::satCountRec(
+    uint32_t F, std::unordered_map<uint32_t, double> &Memo) const {
+  if (F == 0)
+    return 0.0;
+  if (F == 1)
+    return 1.0;
+  auto It = Memo.find(F);
+  if (It != Memo.end())
+    return It->second;
+  const RawNode Nd = rawNode(F);
+  auto VarOf = [&](uint32_t N) {
+    return N <= 1 ? NumVars : rawNode(N).Var;
+  };
+  double CL = satCountRec(Nd.Low, Memo) *
+              std::pow(2.0, double(VarOf(Nd.Low)) - Nd.Var - 1);
+  double CH = satCountRec(Nd.High, Memo) *
+              std::pow(2.0, double(VarOf(Nd.High)) - Nd.Var - 1);
+  double C = CL + CH;
+  Memo.emplace(F, C);
+  return C;
+}
+
+double BddManager::satCount(const Bdd &F, unsigned OverVars) {
+  assert(F.manager() == this);
+  assert(OverVars <= NumVars && "count domain exceeds variable universe");
+  // Counting is done over the full universe, then scaled down.
+  std::unordered_map<uint32_t, double> Memo;
+  uint32_t N = F.node();
+  double TopVar = N <= 1 ? NumVars : rawNode(N).Var;
+  double C = satCountRec(N, Memo) * std::pow(2.0, TopVar);
+  return C / std::pow(2.0, double(NumVars) - OverVars);
+}
+
+std::vector<unsigned> BddManager::support(const Bdd &F) {
+  std::unordered_set<uint32_t> Seen;
+  std::vector<uint32_t> Stack{F.node()};
+  std::vector<bool> InSupport(NumVars, false);
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    if (N <= 1 || !Seen.insert(N).second)
+      continue;
+    const RawNode Nd = rawNode(N);
+    InSupport[Nd.Var] = true;
+    Stack.push_back(Nd.Low);
+    Stack.push_back(Nd.High);
+  }
+  std::vector<unsigned> Result;
+  for (unsigned V = 0; V < NumVars; ++V)
+    if (InSupport[V])
+      Result.push_back(V);
+  return Result;
+}
+
+std::string BddManager::toDot(const Bdd &F,
+                              const std::vector<std::string> *VarNames) {
+  std::ostringstream OS;
+  OS << "digraph bdd {\n";
+  std::unordered_set<uint32_t> Seen;
+  std::vector<uint32_t> Stack{F.node()};
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(N).second)
+      continue;
+    if (N <= 1) {
+      OS << "  n" << N << " [shape=box,label=\"" << N << "\"];\n";
+      continue;
+    }
+    const RawNode Nd = rawNode(N);
+    std::string Label = VarNames && Nd.Var < VarNames->size()
+                            ? (*VarNames)[Nd.Var]
+                            : "x" + std::to_string(Nd.Var);
+    OS << "  n" << N << " [label=\"" << Label << "\"];\n";
+    OS << "  n" << N << " -> n" << Nd.Low << " [style=dashed];\n";
+    OS << "  n" << N << " -> n" << Nd.High << ";\n";
+    Stack.push_back(Nd.Low);
+    Stack.push_back(Nd.High);
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// SerialBddManager: node store and unique table
 //===----------------------------------------------------------------------===//
 
 static constexpr uint32_t InvalidNode = ~0u;
 static constexpr size_t CacheSize = 1u << 18; // direct-mapped entries
 
-BddManager::BddManager(unsigned InitialVars) {
+SerialBddManager::SerialBddManager(unsigned InitialVars) {
   Nodes.reserve(1 << 14);
   // Terminal nodes 0 (false) and 1 (true); permanently referenced.
   Nodes.push_back({TerminalVar, 0, 0, InvalidNode, 1, false});
@@ -124,7 +366,7 @@ BddManager::BddManager(unsigned InitialVars) {
   ensureVars(InitialVars);
 }
 
-BddManager::~BddManager() = default;
+SerialBddManager::~SerialBddManager() = default;
 
 static inline size_t hash3(uint32_t A, uint32_t B, uint32_t C) {
   uint64_t H = (uint64_t(A) * 0x9e3779b97f4a7c15ull) ^
@@ -134,7 +376,7 @@ static inline size_t hash3(uint32_t A, uint32_t B, uint32_t C) {
   return static_cast<size_t>(H);
 }
 
-uint32_t BddManager::allocNode() {
+uint32_t SerialBddManager::allocNode() {
   if (FreeList != InvalidNode) {
     uint32_t N = FreeList;
     FreeList = Nodes[N].Next;
@@ -144,7 +386,7 @@ uint32_t BddManager::allocNode() {
   return static_cast<uint32_t>(Nodes.size() - 1);
 }
 
-void BddManager::growUniqueTable() {
+void SerialBddManager::growUniqueTable() {
   size_t NewSize = UniqueTable.size() * 2;
   UniqueTable.assign(NewSize, InvalidNode);
   for (uint32_t N = 2; N < Nodes.size(); ++N) {
@@ -157,7 +399,7 @@ void BddManager::growUniqueTable() {
   }
 }
 
-uint32_t BddManager::mk(uint32_t Var, uint32_t Low, uint32_t High) {
+uint32_t SerialBddManager::mk(uint32_t Var, uint32_t Low, uint32_t High) {
   if (Low == High)
     return Low;
   assert(Nodes[Low].Var == TerminalVar || Nodes[Low].Var > Var);
@@ -183,38 +425,11 @@ uint32_t BddManager::mk(uint32_t Var, uint32_t Low, uint32_t High) {
   return N;
 }
 
-void BddManager::ref(uint32_t N) { ++Nodes[N].Refs; }
-
-void BddManager::deref(uint32_t N) {
-  assert(Nodes[N].Refs > 0 && "over-deref of BDD node");
-  --Nodes[N].Refs;
-}
-
-void BddManager::ensureVars(unsigned NewNumVars) {
-  while (NumVars < NewNumVars) {
-    VarNodes.push_back(mk(NumVars, ZeroNode, OneNode));
-    ++NumVars;
-  }
-}
-
-uint32_t BddManager::var2Node(unsigned Var) {
-  ensureVars(Var + 1);
-  return VarNodes[Var];
-}
-
-Bdd BddManager::one() { return wrap(OneNode); }
-Bdd BddManager::zero() { return wrap(ZeroNode); }
-Bdd BddManager::var(unsigned Var) { return wrap(var2Node(Var)); }
-Bdd BddManager::nvar(unsigned Var) {
-  unsigned V = var2Node(Var);
-  return wrap(notRec(V));
-}
-
 //===----------------------------------------------------------------------===//
 // Garbage collection
 //===----------------------------------------------------------------------===//
 
-void BddManager::markRecursive(uint32_t N) {
+void SerialBddManager::markRecursive(uint32_t N) {
   while (N > 1 && !Nodes[N].Mark) {
     Nodes[N].Mark = true;
     markRecursive(Nodes[N].Low);
@@ -222,7 +437,7 @@ void BddManager::markRecursive(uint32_t N) {
   }
 }
 
-void BddManager::gc() {
+void SerialBddManager::gc() {
   ++GcRuns;
   // Mark phase: externally referenced nodes and the variable nodes are roots.
   for (uint32_t N = 2; N < Nodes.size(); ++N)
@@ -254,7 +469,7 @@ void BddManager::gc() {
   clearCaches();
 }
 
-void BddManager::maybeGc() {
+void SerialBddManager::maybeGc() {
   if (!GcEnabled || NodeCount <= GcThreshold)
     return;
   gc();
@@ -267,13 +482,14 @@ void BddManager::maybeGc() {
 // Operation cache
 //===----------------------------------------------------------------------===//
 
-BddManager::CacheEntry &BddManager::cacheSlot(uint8_t OpTag, uint32_t A,
-                                              uint32_t B, uint32_t C) {
+SerialBddManager::CacheEntry &
+SerialBddManager::cacheSlot(uint8_t OpTag, uint32_t A, uint32_t B,
+                            uint32_t C) {
   uint64_t H = hash3(A, B, C) * 0x2545f4914f6cdd1dull + OpTag;
   return OpCache[H & (CacheSize - 1)];
 }
 
-void BddManager::clearCaches() {
+void SerialBddManager::clearCaches() {
   std::fill(OpCache.begin(), OpCache.end(), CacheEntry{});
 }
 
@@ -291,7 +507,7 @@ constexpr uint8_t TagCofactor1 = 206;
 // Core recursive algorithms
 //===----------------------------------------------------------------------===//
 
-uint32_t BddManager::notRec(uint32_t F) {
+uint32_t SerialBddManager::notRec(uint32_t F) {
   if (F <= 1)
     return F ^ 1;
   {
@@ -308,7 +524,7 @@ uint32_t BddManager::notRec(uint32_t F) {
   return R;
 }
 
-uint32_t BddManager::applyRec(Op O, uint32_t A, uint32_t B) {
+uint32_t SerialBddManager::applyRec(Op O, uint32_t A, uint32_t B) {
   // Terminal cases.
   switch (O) {
   case Op::And:
@@ -343,8 +559,6 @@ uint32_t BddManager::applyRec(Op O, uint32_t A, uint32_t B) {
     if (B == 1)
       return notRec(A);
     break;
-  default:
-    assert(false && "applyRec only handles And/Or/Xor");
   }
   if (A > B)
     std::swap(A, B); // commutative: canonicalize for the cache
@@ -370,7 +584,7 @@ uint32_t BddManager::applyRec(Op O, uint32_t A, uint32_t B) {
   return R;
 }
 
-uint32_t BddManager::iteRec(uint32_t F, uint32_t G, uint32_t H) {
+uint32_t SerialBddManager::iteRec(uint32_t F, uint32_t G, uint32_t H) {
   if (F == 1)
     return G;
   if (F == 0)
@@ -403,7 +617,8 @@ uint32_t BddManager::iteRec(uint32_t F, uint32_t G, uint32_t H) {
   return R;
 }
 
-uint32_t BddManager::existsRec(uint32_t F, uint32_t Cube, bool Universal) {
+uint32_t SerialBddManager::existsRec(uint32_t F, uint32_t Cube,
+                                     bool Universal) {
   if (F <= 1)
     return F;
   // Skip quantified variables above F's top variable.
@@ -443,7 +658,8 @@ uint32_t BddManager::existsRec(uint32_t F, uint32_t Cube, bool Universal) {
   return R;
 }
 
-uint32_t BddManager::andExistsRec(uint32_t F, uint32_t G, uint32_t Cube) {
+uint32_t SerialBddManager::andExistsRec(uint32_t F, uint32_t G,
+                                        uint32_t Cube) {
   if (F == 0 || G == 0)
     return 0;
   if (F == 1)
@@ -485,7 +701,7 @@ uint32_t BddManager::andExistsRec(uint32_t F, uint32_t G, uint32_t Cube) {
   return R;
 }
 
-uint32_t BddManager::cofactorRec(uint32_t F, uint32_t Var, bool Val) {
+uint32_t SerialBddManager::cofactorRec(uint32_t F, uint32_t Var, bool Val) {
   if (F <= 1 || Nodes[F].Var > Var)
     return F;
   const Node NF = Nodes[F];
@@ -504,184 +720,4 @@ uint32_t BddManager::cofactorRec(uint32_t F, uint32_t Var, bool Val) {
                   cofactorRec(NF.High, Var, Val));
   cacheSlot(Tag, F, Var, 0) = {F, Var, 0, Tag, R};
   return R;
-}
-
-//===----------------------------------------------------------------------===//
-// Public operations
-//===----------------------------------------------------------------------===//
-
-Bdd BddManager::ite(const Bdd &F, const Bdd &G, const Bdd &H) {
-  assert(F.manager() == this && G.manager() == this && H.manager() == this);
-  maybeGc();
-  return wrap(iteRec(F.node(), G.node(), H.node()));
-}
-
-Bdd BddManager::exists(const Bdd &F, const Bdd &Cube) {
-  assert(F.manager() == this && Cube.manager() == this);
-  maybeGc();
-  return wrap(existsRec(F.node(), Cube.node(), /*Universal=*/false));
-}
-
-Bdd BddManager::forall(const Bdd &F, const Bdd &Cube) {
-  assert(F.manager() == this && Cube.manager() == this);
-  maybeGc();
-  return wrap(existsRec(F.node(), Cube.node(), /*Universal=*/true));
-}
-
-Bdd BddManager::andExists(const Bdd &F, const Bdd &G, const Bdd &Cube) {
-  assert(F.manager() == this && G.manager() == this && Cube.manager() == this);
-  maybeGc();
-  return wrap(andExistsRec(F.node(), G.node(), Cube.node()));
-}
-
-Bdd BddManager::cube(const std::vector<unsigned> &Vars) {
-  std::vector<unsigned> Sorted(Vars);
-  std::sort(Sorted.begin(), Sorted.end());
-  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
-  uint32_t R = OneNode;
-  for (auto It = Sorted.rbegin(); It != Sorted.rend(); ++It) {
-    ensureVars(*It + 1);
-    R = mk(*It, ZeroNode, R);
-  }
-  return wrap(R);
-}
-
-Bdd BddManager::cofactor(const Bdd &F, unsigned Var, bool Val) {
-  assert(F.manager() == this);
-  maybeGc();
-  return wrap(cofactorRec(F.node(), Var, Val));
-}
-
-Bdd BddManager::restrict(
-    const Bdd &F, const std::vector<std::pair<unsigned, bool>> &Assignment) {
-  assert(F.manager() == this);
-  maybeGc();
-  uint32_t R = F.node();
-  for (const auto &[Var, Val] : Assignment)
-    R = cofactorRec(R, Var, Val);
-  return wrap(R);
-}
-
-Bdd BddManager::remapVars(const Bdd &F, const std::vector<unsigned> &VarMap) {
-  assert(F.manager() == this);
-  maybeGc();
-  std::unordered_map<uint32_t, uint32_t> Memo;
-  auto Rec = [&](auto &&Self, uint32_t N) -> uint32_t {
-    if (N <= 1)
-      return N;
-    auto It = Memo.find(N);
-    if (It != Memo.end())
-      return It->second;
-    const Node Nd = Nodes[N];
-    assert(Nd.Var < VarMap.size() && "remap without a mapping for a var");
-    unsigned NewVar = VarMap[Nd.Var];
-    ensureVars(NewVar + 1);
-    uint32_t R = mk(NewVar, Self(Self, Nd.Low), Self(Self, Nd.High));
-    Memo.emplace(N, R);
-    return R;
-  };
-  return wrap(Rec(Rec, F.node()));
-}
-
-bool BddManager::satOne(const Bdd &F, std::vector<bool> &Values,
-                        std::vector<bool> *DontCare) {
-  assert(F.manager() == this);
-  Values.assign(NumVars, false);
-  if (DontCare)
-    DontCare->assign(NumVars, true);
-  if (F.node() == 0)
-    return false;
-  uint32_t N = F.node();
-  while (N > 1) {
-    const Node &Nd = Nodes[N];
-    // Prefer the low branch: variables default to false, which for the
-    // solver's lean encoding means fewer obligations — smaller models
-    // (§7.2 asks for minimal satisfying trees).
-    bool TakeHigh = Nd.Low == 0;
-    Values[Nd.Var] = TakeHigh;
-    if (DontCare)
-      (*DontCare)[Nd.Var] = false;
-    N = TakeHigh ? Nd.High : Nd.Low;
-  }
-  assert(N == 1 && "reduced BDD path must end in a terminal");
-  return true;
-}
-
-double BddManager::satCountRec(uint32_t F, std::vector<double> &Memo) {
-  if (F == 0)
-    return 0.0;
-  if (F == 1)
-    return 1.0;
-  if (Memo[F] >= 0)
-    return Memo[F];
-  const Node &Nd = Nodes[F];
-  auto VarOf = [&](uint32_t N) {
-    return N <= 1 ? NumVars : Nodes[N].Var;
-  };
-  double CL = satCountRec(Nd.Low, Memo) *
-              std::pow(2.0, double(VarOf(Nd.Low)) - Nd.Var - 1);
-  double CH = satCountRec(Nd.High, Memo) *
-              std::pow(2.0, double(VarOf(Nd.High)) - Nd.Var - 1);
-  Memo[F] = CL + CH;
-  return Memo[F];
-}
-
-double BddManager::satCount(const Bdd &F, unsigned OverVars) {
-  assert(F.manager() == this);
-  assert(OverVars <= NumVars && "count domain exceeds variable universe");
-  // Counting is done over the full universe, then scaled down.
-  std::vector<double> Memo(Nodes.size(), -1.0);
-  uint32_t N = F.node();
-  double TopVar = N <= 1 ? NumVars : Nodes[N].Var;
-  double C = satCountRec(N, Memo) * std::pow(2.0, TopVar);
-  return C / std::pow(2.0, double(NumVars) - OverVars);
-}
-
-std::vector<unsigned> BddManager::support(const Bdd &F) {
-  std::unordered_set<uint32_t> Seen;
-  std::vector<uint32_t> Stack{F.node()};
-  std::vector<bool> InSupport(NumVars, false);
-  while (!Stack.empty()) {
-    uint32_t N = Stack.back();
-    Stack.pop_back();
-    if (N <= 1 || !Seen.insert(N).second)
-      continue;
-    InSupport[Nodes[N].Var] = true;
-    Stack.push_back(Nodes[N].Low);
-    Stack.push_back(Nodes[N].High);
-  }
-  std::vector<unsigned> Result;
-  for (unsigned V = 0; V < NumVars; ++V)
-    if (InSupport[V])
-      Result.push_back(V);
-  return Result;
-}
-
-std::string BddManager::toDot(const Bdd &F,
-                              const std::vector<std::string> *VarNames) {
-  std::ostringstream OS;
-  OS << "digraph bdd {\n";
-  std::unordered_set<uint32_t> Seen;
-  std::vector<uint32_t> Stack{F.node()};
-  while (!Stack.empty()) {
-    uint32_t N = Stack.back();
-    Stack.pop_back();
-    if (!Seen.insert(N).second)
-      continue;
-    if (N <= 1) {
-      OS << "  n" << N << " [shape=box,label=\"" << N << "\"];\n";
-      continue;
-    }
-    const Node &Nd = Nodes[N];
-    std::string Label = VarNames && Nd.Var < VarNames->size()
-                            ? (*VarNames)[Nd.Var]
-                            : "x" + std::to_string(Nd.Var);
-    OS << "  n" << N << " [label=\"" << Label << "\"];\n";
-    OS << "  n" << N << " -> n" << Nd.Low << " [style=dashed];\n";
-    OS << "  n" << N << " -> n" << Nd.High << ";\n";
-    Stack.push_back(Nd.Low);
-    Stack.push_back(Nd.High);
-  }
-  OS << "}\n";
-  return OS.str();
 }

@@ -1,0 +1,681 @@
+//===- Parallel.cpp - Work-stealing parallel BDD backend -------------------===//
+
+#include "bdd/Parallel.h"
+
+#include "support/WorkerPool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <unordered_set>
+
+using namespace xsa;
+
+static constexpr uint32_t InvalidNode = ~0u;
+
+namespace {
+// Cache tags, shared numbering with the serial backend (apply uses the Op
+// value itself, 0..2).
+constexpr uint8_t TagNot = 200;
+constexpr uint8_t TagIte = 201;
+constexpr uint8_t TagExists = 202;
+constexpr uint8_t TagForall = 203;
+constexpr uint8_t TagAndExists = 204;
+constexpr uint8_t TagCofactor0 = 205;
+constexpr uint8_t TagCofactor1 = 206;
+
+inline size_t hash3(uint32_t A, uint32_t B, uint32_t C) {
+  uint64_t H = (uint64_t(A) * 0x9e3779b97f4a7c15ull) ^
+               (uint64_t(B) * 0xc2b2ae3d27d4eb4full) ^
+               (uint64_t(C) * 0x165667b19e3779f9ull);
+  H ^= H >> 29;
+  return static_cast<size_t>(H);
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Tasks and per-worker deques
+//===----------------------------------------------------------------------===//
+
+/// A forked cofactor subproblem. Lives on the forking worker's stack: the
+/// forker always joins before its frame returns, so the lifetime is
+/// naturally bounded. Result doubles as the done flag (InvalidNode =
+/// pending); the release store publishes the nodes the subcomputation
+/// created to the acquiring joiner.
+struct ParallelBddManager::Task {
+  enum Kind : uint8_t { Apply, AndExists } K = Apply;
+  uint8_t OpTag = 0; ///< Op value when K == Apply
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0; ///< cube when K == AndExists
+  uint16_t Depth = 0;
+  std::atomic<uint32_t> Result{InvalidNode};
+};
+
+/// One worker's task deque. Owner pushes/pops at the back (LIFO, matching
+/// the fork/join nesting); thieves take from the front (oldest = biggest
+/// subproblems). A plain mutex: forks happen only in the top MaxForkDepth
+/// recursion levels, so contention on the deque is not the hot path.
+struct alignas(64) ParallelBddManager::WorkCtx {
+  unsigned Index = 0;
+  std::mutex Mu;
+  std::vector<Task *> Dq;
+
+  void push(Task *T) {
+    std::lock_guard<std::mutex> L(Mu);
+    Dq.push_back(T);
+  }
+  /// Pops \p T only if it is still the newest entry (the fork/join
+  /// discipline guarantees the joined task is at the back unless stolen).
+  bool popSpecific(Task *T) {
+    std::lock_guard<std::mutex> L(Mu);
+    if (!Dq.empty() && Dq.back() == T) {
+      Dq.pop_back();
+      return true;
+    }
+    return false;
+  }
+  Task *stealOldest() {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Dq.empty())
+      return nullptr;
+    Task *T = Dq.front();
+    Dq.erase(Dq.begin());
+    return T;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Construction / node store
+//===----------------------------------------------------------------------===//
+
+ParallelBddManager::ParallelBddManager(unsigned InitialVars,
+                                       unsigned Threads) {
+  ThreadCount = Threads ? Threads : std::thread::hardware_concurrency();
+  ThreadCount = std::min(std::max(ThreadCount, 1u), 64u);
+
+  Segs = std::make_unique<std::atomic<PNode *>[]>(MaxSegs);
+  for (size_t I = 0; I < MaxSegs; ++I)
+    Segs[I].store(nullptr, std::memory_order_relaxed);
+  Segs[0].store(new PNode[SegSize], std::memory_order_relaxed);
+
+  Heads = std::make_unique<std::atomic<uint32_t>[]>(UtBuckets);
+  for (size_t I = 0; I < UtBuckets; ++I)
+    Heads[I].store(InvalidNode, std::memory_order_relaxed);
+
+  Cache = std::make_unique<CacheSlot[]>(CacheSlotCount);
+
+  // Terminal nodes 0 (false) and 1 (true).
+  PNode *Seg0 = Segs[0].load(std::memory_order_relaxed);
+  Seg0[0].Var = TerminalVar;
+  Seg0[0].Low = 0;
+  Seg0[0].High = 0;
+  Seg0[0].Next.store(InvalidNode, std::memory_order_relaxed);
+  Seg0[1].Var = TerminalVar;
+  Seg0[1].Low = 1;
+  Seg0[1].High = 1;
+  Seg0[1].Next.store(InvalidNode, std::memory_order_relaxed);
+
+  ensureVars(InitialVars);
+}
+
+ParallelBddManager::~ParallelBddManager() {
+  Pool.reset(); // joins workers before the store goes away
+  for (size_t I = 0; I < MaxSegs; ++I)
+    delete[] Segs[I].load(std::memory_order_relaxed);
+}
+
+ParallelBddManager::PNode &ParallelBddManager::node(uint32_t N) const {
+  PNode *Seg = Segs[N >> SegBits].load(std::memory_order_acquire);
+  return Seg[N & (SegSize - 1)];
+}
+
+void ParallelBddManager::ensureSegment(uint32_t SegIdx) {
+  if (Segs[SegIdx].load(std::memory_order_acquire))
+    return;
+  std::lock_guard<std::mutex> L(SegMu);
+  if (!Segs[SegIdx].load(std::memory_order_relaxed))
+    Segs[SegIdx].store(new PNode[SegSize], std::memory_order_release);
+}
+
+BddManager::RawNode ParallelBddManager::rawNode(uint32_t N) const {
+  const PNode &Nd = node(N);
+  return {Nd.Var, Nd.Low, Nd.High};
+}
+
+size_t ParallelBddManager::numNodes() const {
+  return Published.load(std::memory_order_relaxed) + 2;
+}
+
+size_t ParallelBddManager::peakNodes() const { return numNodes(); }
+
+ParallelBddManager::StatShard &ParallelBddManager::statShard() {
+  static std::atomic<unsigned> NextSlot{0};
+  static thread_local unsigned Slot =
+      NextSlot.fetch_add(1, std::memory_order_relaxed);
+  return Stats[Slot % StatShardCount];
+}
+
+// With <= StatShardCount threads each shard has a single writer, so a
+// plain load+store beats the locked RMW of fetch_add on the hottest
+// paths (one bump per unique-table probe and per cache probe). More
+// threads than shards can lose the odd increment — these are
+// diagnostics, not control flow — and it is still no data race: relaxed
+// atomic accesses, merely non-atomic as a read-modify-write.
+static inline void bump(std::atomic<uint64_t> &C) {
+  C.store(C.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+#define XSA_SUM_STAT(Field)                                                    \
+  size_t Sum = 0;                                                              \
+  for (const StatShard &S : Stats)                                             \
+    Sum += S.Field.load(std::memory_order_relaxed);                            \
+  return Sum
+
+size_t ParallelBddManager::uniqueLookups() const { XSA_SUM_STAT(UniqueLookups); }
+size_t ParallelBddManager::uniqueHits() const { XSA_SUM_STAT(UniqueHits); }
+size_t ParallelBddManager::opCacheLookups() const { XSA_SUM_STAT(OpLookups); }
+size_t ParallelBddManager::opCacheHits() const { XSA_SUM_STAT(OpHits); }
+
+#undef XSA_SUM_STAT
+
+uint32_t ParallelBddManager::mkP(uint32_t Var, uint32_t Low, uint32_t High) {
+  if (Low == High)
+    return Low;
+  assert(node(Low).Var == TerminalVar || node(Low).Var > Var);
+  assert(node(High).Var == TerminalVar || node(High).Var > Var);
+  std::atomic<uint32_t> &Head = Heads[hash3(Var, Low, High) & (UtBuckets - 1)];
+  StatShard &SS = statShard();
+  bump(SS.UniqueLookups);
+
+  uint32_t Scanned = Head.load(std::memory_order_acquire);
+  for (uint32_t N = Scanned; N != InvalidNode;) {
+    PNode &Nd = node(N);
+    if (Nd.Var == Var && Nd.Low == Low && Nd.High == High) {
+      bump(SS.UniqueHits);
+      return N;
+    }
+    N = Nd.Next.load(std::memory_order_relaxed);
+  }
+
+  // Miss: speculatively allocate, then CAS onto the bucket head. Losing
+  // a race leaks the speculative id (a hole in the store, never visible
+  // through the table) — rare enough that recycling isn't worth a free
+  // list.
+  uint32_t N = NextId.fetch_add(1, std::memory_order_relaxed);
+  if (N >= MaxSegs * SegSize) {
+    std::fprintf(stderr, "xsa: parallel BDD node store exhausted\n");
+    std::abort();
+  }
+  ensureSegment(N >> SegBits);
+  PNode &Nd = node(N);
+  Nd.Var = Var;
+  Nd.Low = Low;
+  Nd.High = High;
+  uint32_t Expected = Scanned;
+  Nd.Next.store(Expected, std::memory_order_relaxed);
+  while (!Head.compare_exchange_weak(Expected, N, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+    // Someone inserted ahead of us: re-scan only the new prefix
+    // [Expected, Scanned) for a duplicate before retrying.
+    for (uint32_t M = Expected; M != Scanned && M != InvalidNode;) {
+      PNode &Md = node(M);
+      if (Md.Var == Var && Md.Low == Low && Md.High == High) {
+        bump(SS.UniqueHits);
+        return M;
+      }
+      M = Md.Next.load(std::memory_order_relaxed);
+    }
+    Scanned = Expected;
+    Nd.Next.store(Expected, std::memory_order_relaxed);
+  }
+  Published.fetch_add(1, std::memory_order_relaxed);
+  return N;
+}
+
+uint32_t ParallelBddManager::mkRaw(uint32_t Var, uint32_t Low,
+                                   uint32_t High) {
+  return mkP(Var, Low, High);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent operation cache (per-slot seqlock)
+//===----------------------------------------------------------------------===//
+
+bool ParallelBddManager::cacheGet(uint8_t Tag, uint32_t A, uint32_t B,
+                                  uint32_t C, uint32_t &Result) {
+  StatShard &SS = statShard();
+  bump(SS.OpLookups);
+  uint64_t K1 = (uint64_t(A) << 32) | B;
+  uint64_t K2 = (uint64_t(Tag) << 32) | C;
+  uint64_t H = hash3(A, B, C) * 0x2545f4914f6cdd1dull + Tag;
+  CacheSlot &S = Cache[H & (CacheSlotCount - 1)];
+
+  uint32_t V1 = S.Ver.load(std::memory_order_acquire);
+  if (V1 & 1)
+    return false;
+  uint64_t SK1 = S.K1.load(std::memory_order_relaxed);
+  uint64_t SK2 = S.K2.load(std::memory_order_relaxed);
+  uint32_t R = S.Res.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (S.Ver.load(std::memory_order_relaxed) != V1)
+    return false;
+  if (SK1 != K1 || SK2 != K2)
+    return false;
+  bump(SS.OpHits);
+  Result = R;
+  return true;
+}
+
+void ParallelBddManager::cachePut(uint8_t Tag, uint32_t A, uint32_t B,
+                                  uint32_t C, uint32_t Result) {
+  uint64_t K1 = (uint64_t(A) << 32) | B;
+  uint64_t K2 = (uint64_t(Tag) << 32) | C;
+  uint64_t H = hash3(A, B, C) * 0x2545f4914f6cdd1dull + Tag;
+  CacheSlot &S = Cache[H & (CacheSlotCount - 1)];
+
+  uint32_t V = S.Ver.load(std::memory_order_relaxed);
+  if (V & 1)
+    return; // another writer owns the slot; lossy
+  if (!S.Ver.compare_exchange_strong(V, V + 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed))
+    return;
+  S.K1.store(K1, std::memory_order_relaxed);
+  S.K2.store(K2, std::memory_order_relaxed);
+  S.Res.store(Result, std::memory_order_relaxed);
+  S.Ver.store(V + 2, std::memory_order_release);
+}
+
+//===----------------------------------------------------------------------===//
+// Work stealing
+//===----------------------------------------------------------------------===//
+
+void ParallelBddManager::ensurePool() {
+  if (Pool)
+    return;
+  Ctxs.clear();
+  Ctxs.reserve(ThreadCount);
+  for (unsigned I = 0; I < ThreadCount; ++I) {
+    Ctxs.push_back(std::make_unique<WorkCtx>());
+    Ctxs.back()->Index = I;
+  }
+  Pool = std::make_unique<WorkerPool>(ThreadCount);
+}
+
+void ParallelBddManager::runTask(Task &T, WorkCtx *W) {
+  uint32_t R = T.K == Task::Apply
+                   ? applyRecP(static_cast<Op>(T.OpTag), T.A, T.B, W, T.Depth)
+                   : andExistsRecP(T.A, T.B, T.C, W, T.Depth);
+  T.Result.store(R, std::memory_order_release);
+}
+
+ParallelBddManager::Task *ParallelBddManager::stealAny(WorkCtx *Self) {
+  size_t N = Ctxs.size();
+  for (size_t I = 0; I < N; ++I)
+    if (Task *T = Ctxs[(Self->Index + I + 1) % N]->stealOldest())
+      return T;
+  return nullptr;
+}
+
+uint32_t ParallelBddManager::joinTask(Task &T, WorkCtx *W) {
+  // Fast path: nobody stole it, run it inline in LIFO order.
+  if (W->popSpecific(&T)) {
+    runTask(T, W);
+    return T.Result.load(std::memory_order_relaxed);
+  }
+  // Stolen: help run other tasks while the thief finishes ours.
+  uint32_t R;
+  while ((R = T.Result.load(std::memory_order_acquire)) == InvalidNode) {
+    if (Task *S = stealAny(W))
+      runTask(*S, W);
+    else
+      std::this_thread::yield();
+  }
+  return R;
+}
+
+uint32_t ParallelBddManager::runRoot(Task &Root) {
+  ensurePool();
+  Ctxs[0]->push(&Root);
+  // Every pool worker runs the same loop: steal (the root is just the
+  // first stealable task) and help until the root resolves. No loop is
+  // special, so any scheduling of the parallelFor indices — including all
+  // of them landing on one thread — terminates.
+  Pool->parallelFor(ThreadCount, [&](size_t I, size_t) {
+    WorkCtx *W = Ctxs[I].get();
+    while (Root.Result.load(std::memory_order_acquire) == InvalidNode) {
+      if (Task *S = stealAny(W))
+        runTask(*S, W);
+      else
+        std::this_thread::yield();
+    }
+  });
+  return Root.Result.load(std::memory_order_relaxed);
+}
+
+bool ParallelBddManager::bigEnough(uint32_t A, uint32_t B) const {
+  // Phase 1: allocation-free path-bounded walk. Path count >= node count,
+  // so exhausting the budget without finishing proves nothing, but
+  // finishing under it proves the operands are small.
+  {
+    uint32_t Stack[2 * 256 + 4];
+    size_t Top = 0, Visits = 0;
+    Stack[Top++] = A;
+    Stack[Top++] = B;
+    bool Small = true;
+    while (Top) {
+      uint32_t N = Stack[--Top];
+      if (N <= 1)
+        continue;
+      if (++Visits >= 256) {
+        Small = false;
+        break;
+      }
+      RawNode Nd = rawNode(N);
+      Stack[Top++] = Nd.Low;
+      Stack[Top++] = Nd.High;
+    }
+    if (Small)
+      return false;
+  }
+  // Phase 2: exact capped count with dedup.
+  std::unordered_set<uint32_t> Seen;
+  Seen.reserve(2 * SequentialCutoffNodes);
+  std::vector<uint32_t> Stack{A, B};
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    if (N <= 1 || !Seen.insert(N).second)
+      continue;
+    if (Seen.size() >= SequentialCutoffNodes)
+      return true;
+    RawNode Nd = rawNode(N);
+    Stack.push_back(Nd.Low);
+    Stack.push_back(Nd.High);
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Top-level entry points
+//===----------------------------------------------------------------------===//
+
+uint32_t ParallelBddManager::applyTop(Op O, uint32_t A, uint32_t B) {
+  if (ThreadCount <= 1 || !bigEnough(A, B))
+    return applyRecP(O, A, B, nullptr, 0);
+  Task Root;
+  Root.K = Task::Apply;
+  Root.OpTag = static_cast<uint8_t>(O);
+  Root.A = A;
+  Root.B = B;
+  return runRoot(Root);
+}
+
+uint32_t ParallelBddManager::andExistsTop(uint32_t F, uint32_t G,
+                                          uint32_t Cube) {
+  if (ThreadCount <= 1 || !bigEnough(F, G))
+    return andExistsRecP(F, G, Cube, nullptr, 0);
+  Task Root;
+  Root.K = Task::AndExists;
+  Root.A = F;
+  Root.B = G;
+  Root.C = Cube;
+  return runRoot(Root);
+}
+
+uint32_t ParallelBddManager::notTop(uint32_t F) { return notRecP(F); }
+
+uint32_t ParallelBddManager::iteTop(uint32_t F, uint32_t G, uint32_t H) {
+  return iteRecP(F, G, H);
+}
+
+uint32_t ParallelBddManager::existsTop(uint32_t F, uint32_t Cube,
+                                       bool Universal) {
+  return existsRecP(F, Cube, Universal);
+}
+
+uint32_t ParallelBddManager::cofactorTop(uint32_t F, uint32_t Var,
+                                         bool Val) {
+  return cofactorRecP(F, Var, Val);
+}
+
+//===----------------------------------------------------------------------===//
+// Recursive core (thread-safe; forking variants take a WorkCtx)
+//===----------------------------------------------------------------------===//
+
+uint32_t ParallelBddManager::notRecP(uint32_t F) {
+  if (F <= 1)
+    return F ^ 1;
+  uint32_t R;
+  if (cacheGet(TagNot, F, 0, 0, R))
+    return R;
+  const PNode &Nd = node(F);
+  uint32_t Low = Nd.Low, High = Nd.High, Var = Nd.Var;
+  R = mkP(Var, notRecP(Low), notRecP(High));
+  cachePut(TagNot, F, 0, 0, R);
+  return R;
+}
+
+uint32_t ParallelBddManager::applyRecP(Op O, uint32_t A, uint32_t B,
+                                       WorkCtx *W, unsigned Depth) {
+  // Terminal cases.
+  switch (O) {
+  case Op::And:
+    if (A == B)
+      return A;
+    if (A == 0 || B == 0)
+      return 0;
+    if (A == 1)
+      return B;
+    if (B == 1)
+      return A;
+    break;
+  case Op::Or:
+    if (A == B)
+      return A;
+    if (A == 1 || B == 1)
+      return 1;
+    if (A == 0)
+      return B;
+    if (B == 0)
+      return A;
+    break;
+  case Op::Xor:
+    if (A == B)
+      return 0;
+    if (A == 0)
+      return B;
+    if (B == 0)
+      return A;
+    if (A == 1)
+      return notRecP(B);
+    if (B == 1)
+      return notRecP(A);
+    break;
+  }
+  if (A > B)
+    std::swap(A, B); // commutative: canonicalize for the cache
+  uint8_t Tag = static_cast<uint8_t>(O);
+  uint32_t R;
+  if (cacheGet(Tag, A, B, 0, R))
+    return R;
+  const PNode &NA = node(A), &NB = node(B);
+  uint32_t V = std::min(NA.Var, NB.Var);
+  uint32_t A0 = NA.Var == V ? NA.Low : A;
+  uint32_t A1 = NA.Var == V ? NA.High : A;
+  uint32_t B0 = NB.Var == V ? NB.Low : B;
+  uint32_t B1 = NB.Var == V ? NB.High : B;
+  uint32_t R0, R1;
+  if (W && Depth < MaxForkDepth && !(A1 <= 1 && B1 <= 1)) {
+    Task T;
+    T.K = Task::Apply;
+    T.OpTag = Tag;
+    T.A = A1;
+    T.B = B1;
+    T.Depth = static_cast<uint16_t>(Depth + 1);
+    W->push(&T);
+    R0 = applyRecP(O, A0, B0, W, Depth + 1);
+    R1 = joinTask(T, W);
+  } else {
+    R0 = applyRecP(O, A0, B0, W, Depth + 1);
+    R1 = applyRecP(O, A1, B1, W, Depth + 1);
+  }
+  R = mkP(V, R0, R1);
+  cachePut(Tag, A, B, 0, R);
+  return R;
+}
+
+uint32_t ParallelBddManager::iteRecP(uint32_t F, uint32_t G, uint32_t H) {
+  if (F == 1)
+    return G;
+  if (F == 0)
+    return H;
+  if (G == H)
+    return G;
+  if (G == 1 && H == 0)
+    return F;
+  if (G == 0 && H == 1)
+    return notRecP(F);
+  uint32_t R;
+  if (cacheGet(TagIte, F, G, H, R))
+    return R;
+  const PNode &NF = node(F), &NG = node(G), &NH = node(H);
+  uint32_t V = NF.Var;
+  if (NG.Var != TerminalVar)
+    V = std::min(V, NG.Var);
+  if (NH.Var != TerminalVar)
+    V = std::min(V, NH.Var);
+  uint32_t F0 = NF.Var == V ? NF.Low : F, F1 = NF.Var == V ? NF.High : F;
+  uint32_t G0 = NG.Var == V ? NG.Low : G, G1 = NG.Var == V ? NG.High : G;
+  uint32_t H0 = NH.Var == V ? NH.Low : H, H1 = NH.Var == V ? NH.High : H;
+  R = mkP(V, iteRecP(F0, G0, H0), iteRecP(F1, G1, H1));
+  cachePut(TagIte, F, G, H, R);
+  return R;
+}
+
+uint32_t ParallelBddManager::existsRecP(uint32_t F, uint32_t Cube,
+                                        bool Universal) {
+  if (F <= 1)
+    return F;
+  // Skip quantified variables above F's top variable.
+  uint32_t FVar = node(F).Var;
+  while (Cube > 1 && node(Cube).Var < FVar)
+    Cube = node(Cube).High;
+  if (Cube <= 1)
+    return F;
+  uint8_t Tag = Universal ? TagForall : TagExists;
+  uint32_t R;
+  if (cacheGet(Tag, F, Cube, 0, R))
+    return R;
+  const PNode &NF = node(F);
+  uint32_t Low = NF.Low, High = NF.High, Var = NF.Var;
+  if (node(Cube).Var == Var) {
+    uint32_t NextCube = node(Cube).High;
+    uint32_t R0 = existsRecP(Low, NextCube, Universal);
+    // Short-circuit: OR with 1 (or AND with 0) is absorbing.
+    if (!Universal && R0 == 1)
+      R = 1;
+    else if (Universal && R0 == 0)
+      R = 0;
+    else {
+      uint32_t R1 = existsRecP(High, NextCube, Universal);
+      R = applyRecP(Universal ? Op::And : Op::Or, R0, R1, nullptr, 0);
+    }
+  } else {
+    R = mkP(Var, existsRecP(Low, Cube, Universal),
+            existsRecP(High, Cube, Universal));
+  }
+  cachePut(Tag, F, Cube, 0, R);
+  return R;
+}
+
+uint32_t ParallelBddManager::andExistsRecP(uint32_t F, uint32_t G,
+                                           uint32_t Cube, WorkCtx *W,
+                                           unsigned Depth) {
+  if (F == 0 || G == 0)
+    return 0;
+  if (F == 1)
+    return existsRecP(G, Cube, false);
+  if (G == 1 || F == G)
+    return existsRecP(F, Cube, false);
+  if (Cube <= 1)
+    return applyRecP(Op::And, F, G, W, Depth);
+  if (F > G)
+    std::swap(F, G);
+  const PNode &NF = node(F), &NG = node(G);
+  uint32_t V = std::min(NF.Var, NG.Var);
+  while (Cube > 1 && node(Cube).Var < V)
+    Cube = node(Cube).High;
+  if (Cube <= 1)
+    return applyRecP(Op::And, F, G, W, Depth);
+  uint32_t R;
+  if (cacheGet(TagAndExists, F, G, Cube, R))
+    return R;
+  uint32_t F0 = NF.Var == V ? NF.Low : F, F1 = NF.Var == V ? NF.High : F;
+  uint32_t G0 = NG.Var == V ? NG.Low : G, G1 = NG.Var == V ? NG.High : G;
+  bool Fork = W && Depth < MaxForkDepth && !(F1 <= 1 && G1 <= 1);
+  if (node(Cube).Var == V) {
+    uint32_t NextCube = node(Cube).High;
+    uint32_t R0, R1;
+    if (Fork) {
+      // The serial backend skips R1 when R0 absorbs; forking computes it
+      // speculatively. Extra work sometimes, identical (canonical) result
+      // always.
+      Task T;
+      T.K = Task::AndExists;
+      T.A = F1;
+      T.B = G1;
+      T.C = NextCube;
+      T.Depth = static_cast<uint16_t>(Depth + 1);
+      W->push(&T);
+      R0 = andExistsRecP(F0, G0, NextCube, W, Depth + 1);
+      R1 = joinTask(T, W);
+      R = R0 == 1 ? 1 : applyRecP(Op::Or, R0, R1, W, Depth);
+    } else {
+      R0 = andExistsRecP(F0, G0, NextCube, W, Depth + 1);
+      if (R0 == 1)
+        R = 1;
+      else {
+        R1 = andExistsRecP(F1, G1, NextCube, W, Depth + 1);
+        R = applyRecP(Op::Or, R0, R1, W, Depth);
+      }
+    }
+  } else {
+    uint32_t R0, R1;
+    if (Fork) {
+      Task T;
+      T.K = Task::AndExists;
+      T.A = F1;
+      T.B = G1;
+      T.C = Cube;
+      T.Depth = static_cast<uint16_t>(Depth + 1);
+      W->push(&T);
+      R0 = andExistsRecP(F0, G0, Cube, W, Depth + 1);
+      R1 = joinTask(T, W);
+    } else {
+      R0 = andExistsRecP(F0, G0, Cube, W, Depth + 1);
+      R1 = andExistsRecP(F1, G1, Cube, W, Depth + 1);
+    }
+    R = mkP(V, R0, R1);
+  }
+  cachePut(TagAndExists, F, G, Cube, R);
+  return R;
+}
+
+uint32_t ParallelBddManager::cofactorRecP(uint32_t F, uint32_t Var,
+                                          bool Val) {
+  if (F <= 1 || node(F).Var > Var)
+    return F;
+  const PNode &NF = node(F);
+  if (NF.Var == Var)
+    return Val ? NF.High : NF.Low;
+  uint8_t Tag = Val ? TagCofactor1 : TagCofactor0;
+  uint32_t R;
+  if (cacheGet(Tag, F, Var, 0, R))
+    return R;
+  uint32_t Low = NF.Low, High = NF.High, NVar = NF.Var;
+  R = mkP(NVar, cofactorRecP(Low, Var, Val), cofactorRecP(High, Var, Val));
+  cachePut(Tag, F, Var, 0, R);
+  return R;
+}

@@ -1,0 +1,193 @@
+//===- Parallel.h - Work-stealing parallel BDD backend -----------*- C++ -*-===//
+//
+// Part of the xsa project (PLDI 2007 XPath/type analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intra-query parallel symbolic backend (cf. Sylvan behind LTSmin's
+/// vset-lib, the exemplar named in ROADMAP.md). One public operation on a
+/// large operand is decomposed into cofactor subproblems that worker
+/// threads steal from each other, over three concurrent data structures:
+///
+///   * a lock-free hash-consing unique table: fixed power-of-two bucket
+///     array of chained nodes, insertion by CAS on the bucket head with a
+///     re-scan of the newly inserted prefix on failure. Nodes are never
+///     deleted (no GC), so there is no ABA and readers never need locks;
+///   * a segmented node store: node ids index into fixed-size segments
+///     allocated on demand, so node memory never moves and ids stay
+///     stable without a global resize lock;
+///   * a lossy concurrent operation cache: per-entry seqlock (all fields
+///     atomic, even version = stable) storing the *full* operand key, so
+///     a collision or a torn read can only miss, never return a wrong
+///     result. Writers skip the slot if another writer holds it — lossy
+///     by design, exactly like the serial direct-mapped cache.
+///
+/// apply and andExists (the relational product of §7.3, where the solver
+/// spends its time) fork their high-cofactor subproblem as a task onto a
+/// per-worker deque and recurse into the low cofactor themselves; the
+/// joiner helps steal while waiting. Small top-level operands (below
+/// SequentialCutoffNodes reachable nodes) never enter the task machinery.
+///
+/// Determinism: hash consing is canonical, so the result of every
+/// operation is the unique reduced ordered BDD of its function no matter
+/// how subproblems interleave — node ids vary across runs, node structure
+/// cannot. Everything observable (verdicts, models, snapshots, `--stable`
+/// output) is structural, hence byte-identical to the serial backend.
+///
+/// Threading contract: as for every BddManager, the public API is called
+/// from one thread at a time; worker threads live only inside one
+/// operation (the manager owns a lazily created WorkerPool — it must not
+/// borrow the session's pool, whose parallelFor is exclusive per pool and
+/// already carries the solver itself at `--jobs` > 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef XSA_BDD_PARALLEL_H
+#define XSA_BDD_PARALLEL_H
+
+#include "bdd/Bdd.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace xsa {
+
+class WorkerPool;
+
+class ParallelBddManager final : public BddManager {
+public:
+  /// \param InitialVars variables to pre-create.
+  /// \param Threads workers for one operation; 0 = hardware concurrency.
+  explicit ParallelBddManager(unsigned InitialVars = 0, unsigned Threads = 0);
+  ~ParallelBddManager() override;
+
+  BddBackendKind kind() const override { return BddBackendKind::Parallel; }
+
+  /// Resolved worker count (>= 1).
+  unsigned threads() const { return ThreadCount; }
+
+  size_t numNodes() const override;
+  size_t peakNodes() const override;
+  /// No collector: one manager per solver run bounds the store's
+  /// lifetime, and immortal nodes are what make the unique table
+  /// lock-free (no deletion, no ABA).
+  size_t gcRuns() const override { return 0; }
+  void gc() override {}
+
+  size_t uniqueLookups() const override;
+  size_t uniqueHits() const override;
+  size_t opCacheLookups() const override;
+  size_t opCacheHits() const override;
+
+  RawNode rawNode(uint32_t N) const override;
+
+  /// Top-level operands whose combined reachable node count stays below
+  /// this threshold run sequentially on the calling thread (task overhead
+  /// would drown them). Public so tests can straddle it.
+  static constexpr size_t SequentialCutoffNodes = 2048;
+
+protected:
+  uint32_t mkRaw(uint32_t Var, uint32_t Low, uint32_t High) override;
+  uint32_t applyTop(Op O, uint32_t A, uint32_t B) override;
+  uint32_t notTop(uint32_t F) override;
+  uint32_t iteTop(uint32_t F, uint32_t G, uint32_t H) override;
+  uint32_t existsTop(uint32_t F, uint32_t Cube, bool Universal) override;
+  uint32_t andExistsTop(uint32_t F, uint32_t G, uint32_t Cube) override;
+  uint32_t cofactorTop(uint32_t F, uint32_t Var, bool Val) override;
+
+  // Without GC the external reference counts have no consumer.
+  void ref(uint32_t) override {}
+  void deref(uint32_t) override {}
+  void maybeGc() override {}
+
+private:
+  /// One node. Var/Low/High are written by the creating thread before the
+  /// node is published (release-CAS on its bucket head or release store
+  /// of a cache/task slot) and immutable afterwards; every cross-thread
+  /// path to a node id goes through a matching acquire, so plain fields
+  /// are race-free. Next is the unique-table chain, traversed while other
+  /// threads insert ahead of it.
+  struct PNode {
+    uint32_t Var;
+    uint32_t Low;
+    uint32_t High;
+    std::atomic<uint32_t> Next;
+  };
+
+  static constexpr unsigned SegBits = 16;
+  static constexpr uint32_t SegSize = 1u << SegBits;
+  static constexpr size_t MaxSegs = 1u << 12; // up to 2^28 nodes
+  /// Sized so chains stay short without growth (growth would need a
+  /// global rendezvous, defeating the lock-free insert): 2M buckets is
+  /// 8 MB and keeps the load factor under 1 up to 2M live nodes — well
+  /// past the largest solver runs (XHTML-scale peaks are ~10^5..10^6).
+  static constexpr size_t UtBuckets = 1u << 21;
+  static constexpr size_t CacheSlotCount = 1u << 18;
+  /// Cofactor subproblems fork as stealable tasks only in the top levels
+  /// of the recursion; below this depth the branching has already
+  /// produced far more tasks than workers.
+  static constexpr unsigned MaxForkDepth = 12;
+
+  /// Seqlock'd cache entry (Boehm's seqlock construction: acquire-load of
+  /// Ver, relaxed field loads, acquire fence, relaxed re-load of Ver).
+  struct CacheSlot {
+    std::atomic<uint32_t> Ver{0};   ///< even = stable, odd = being written
+    std::atomic<uint64_t> K1{~0ull}; ///< (A << 32) | B — A=~0 marks empty
+    std::atomic<uint64_t> K2{0};    ///< (OpTag << 32) | C
+    std::atomic<uint32_t> Res{0};
+  };
+
+  struct alignas(64) StatShard {
+    std::atomic<uint64_t> UniqueLookups{0};
+    std::atomic<uint64_t> UniqueHits{0};
+    std::atomic<uint64_t> OpLookups{0};
+    std::atomic<uint64_t> OpHits{0};
+  };
+  static constexpr size_t StatShardCount = 16;
+
+  struct Task;
+  struct WorkCtx;
+
+  PNode &node(uint32_t N) const;
+  void ensureSegment(uint32_t SegIdx);
+  uint32_t mkP(uint32_t Var, uint32_t Low, uint32_t High);
+
+  bool cacheGet(uint8_t Tag, uint32_t A, uint32_t B, uint32_t C,
+                uint32_t &Result);
+  void cachePut(uint8_t Tag, uint32_t A, uint32_t B, uint32_t C,
+                uint32_t Result);
+  StatShard &statShard();
+
+  uint32_t applyRecP(Op O, uint32_t A, uint32_t B, WorkCtx *W,
+                     unsigned Depth);
+  uint32_t notRecP(uint32_t F);
+  uint32_t iteRecP(uint32_t F, uint32_t G, uint32_t H);
+  uint32_t existsRecP(uint32_t F, uint32_t Cube, bool Universal);
+  uint32_t andExistsRecP(uint32_t F, uint32_t G, uint32_t Cube, WorkCtx *W,
+                         unsigned Depth);
+  uint32_t cofactorRecP(uint32_t F, uint32_t Var, bool Val);
+
+  void runTask(Task &T, WorkCtx *W);
+  uint32_t joinTask(Task &T, WorkCtx *W);
+  Task *stealAny(WorkCtx *Self);
+  uint32_t runRoot(Task &Root);
+  bool bigEnough(uint32_t A, uint32_t B) const;
+  void ensurePool();
+
+  std::unique_ptr<std::atomic<PNode *>[]> Segs;
+  std::mutex SegMu; ///< guards segment allocation only
+  std::atomic<uint32_t> NextId{2};
+  std::atomic<size_t> Published{0}; ///< nodes visible in the unique table
+  std::unique_ptr<std::atomic<uint32_t>[]> Heads;
+  std::unique_ptr<CacheSlot[]> Cache;
+  StatShard Stats[StatShardCount];
+
+  unsigned ThreadCount;
+  std::unique_ptr<WorkerPool> Pool; ///< created on first large operation
+  std::vector<std::unique_ptr<WorkCtx>> Ctxs;
+};
+
+} // namespace xsa
+
+#endif // XSA_BDD_PARALLEL_H

@@ -16,7 +16,10 @@ BddSnapshot xsa::exportSnapshot(BddManager &M, const Bdd &F) {
     return S;
   }
   // Iterative post-order: a node is emitted only after both children, so
-  // the table comes out topologically ordered.
+  // the table comes out topologically ordered. The walk goes through the
+  // backend-neutral rawNode() accessor, and the emitted order depends
+  // only on node *structure* (low child first), never on manager node
+  // ids — which is what keeps snapshots byte-identical across backends.
   std::unordered_map<uint32_t, uint32_t> Ref; // manager node -> table ref
   Ref.emplace(0, 0);
   Ref.emplace(1, 1);
@@ -26,7 +29,7 @@ BddSnapshot xsa::exportSnapshot(BddManager &M, const Bdd &F) {
     Stack.pop_back();
     if (Ref.count(N))
       continue;
-    const auto &Nd = M.Nodes[N];
+    const BddManager::RawNode Nd = M.rawNode(N);
     if (!ChildrenDone) {
       Stack.push_back({N, true});
       Stack.push_back({Nd.High, false});

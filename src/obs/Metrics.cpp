@@ -249,6 +249,14 @@ std::string series(const std::string &Base, const std::string &Labels,
 } // namespace
 
 std::string MetricRegistry::prometheusText() const {
+  return expositionText(/*OpenMetrics=*/false);
+}
+
+std::string MetricRegistry::openMetricsText() const {
+  return expositionText(/*OpenMetrics=*/true);
+}
+
+std::string MetricRegistry::expositionText(bool OpenMetrics) const {
   struct Row {
     std::string Base, Labels, Help;
     Kind K;
@@ -274,18 +282,42 @@ std::string MetricRegistry::prometheusText() const {
   std::string Out;
   std::string LastBase;
   for (const Row &R : Rows) {
+    // OpenMetrics names a counter *family* without the _total suffix;
+    // the sample line keeps it. The classic format uses the full name
+    // for both.
+    std::string Family = R.Base;
+    std::string SampleName = R.Base;
+    if (R.K == Kind::Counter) {
+      constexpr const char *Suffix = "_total";
+      constexpr size_t SuffixLen = 6;
+      if (OpenMetrics) {
+        if (Family.size() > SuffixLen &&
+            Family.compare(Family.size() - SuffixLen, SuffixLen, Suffix) ==
+                0)
+          Family.resize(Family.size() - SuffixLen);
+        else
+          SampleName += Suffix; // spec: counter samples end in _total
+      }
+    }
     if (R.Base != LastBase) {
       LastBase = R.Base;
-      if (!R.Help.empty())
-        Out += "# HELP " + R.Base + " " + escapeHelpText(R.Help) + "\n";
       const char *Type = R.K == Kind::Counter   ? "counter"
                          : R.K == Kind::Gauge   ? "gauge"
                                                 : "histogram";
-      Out += "# TYPE " + R.Base + " " + Type + "\n";
+      if (OpenMetrics) {
+        // OpenMetrics: TYPE first, HELP after, both on the family name.
+        Out += "# TYPE " + Family + " " + Type + "\n";
+        if (!R.Help.empty())
+          Out += "# HELP " + Family + " " + escapeHelpText(R.Help) + "\n";
+      } else {
+        if (!R.Help.empty())
+          Out += "# HELP " + Family + " " + escapeHelpText(R.Help) + "\n";
+        Out += "# TYPE " + Family + " " + Type + "\n";
+      }
     }
     switch (R.K) {
     case Kind::Counter:
-      Out += series(R.Base, R.Labels, "") + " " +
+      Out += series(SampleName, R.Labels, "") + " " +
              formatNumber(static_cast<double>(R.E->C->value())) + "\n";
       break;
     case Kind::Gauge:
@@ -294,14 +326,28 @@ std::string MetricRegistry::prometheusText() const {
       break;
     case Kind::Histogram: {
       HistogramSnapshot S = R.E->H->snapshot();
+      // An exemplar renders on the one bucket whose range contains its
+      // value (the spec forbids it elsewhere); classic exposition
+      // ignores it entirely.
+      std::string ExLabel;
+      double ExVal = 0;
+      bool HaveEx =
+          OpenMetrics && R.E->H->exemplar(ExLabel, ExVal);
       uint64_t Cum = 0;
       for (size_t I = 0; I < S.Counts.size(); ++I) {
         Cum += S.Counts[I];
-        std::string Le = I < S.Bounds.size()
+        bool Last = I >= S.Bounds.size();
+        std::string Le = !Last
                              ? "le=\"" + formatNumber(S.Bounds[I]) + "\""
                              : std::string("le=\"+Inf\"");
         Out += series(R.Base, R.Labels, "_bucket", Le) + " " +
-               formatNumber(static_cast<double>(Cum)) + "\n";
+               formatNumber(static_cast<double>(Cum));
+        if (HaveEx && (Last || ExVal <= S.Bounds[I])) {
+          Out += " # {rid=\"" + escapePrometheusLabelValue(ExLabel) +
+                 "\"} " + formatNumber(ExVal);
+          HaveEx = false; // exactly one bucket carries it
+        }
+        Out += "\n";
       }
       Out += series(R.Base, R.Labels, "_sum") + " " + formatNumber(S.Sum) +
              "\n";
@@ -311,6 +357,8 @@ std::string MetricRegistry::prometheusText() const {
     }
     }
   }
+  if (OpenMetrics)
+    Out += "# EOF\n";
   return Out;
 }
 

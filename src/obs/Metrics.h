@@ -175,6 +175,14 @@ public:
   /// block per base name, label sets as series under it).
   std::string prometheusText() const;
 
+  /// OpenMetrics 1.0 text exposition: the same series, with counter
+  /// families named without their `_total` suffix (the sample keeps it,
+  /// as the spec requires), histogram exemplars rendered on the
+  /// `_bucket` line whose range contains them (`... # {rid="..."} v`),
+  /// and the mandatory `# EOF` terminator. Served on /metrics when the
+  /// scraper negotiates `Accept: application/openmetrics-text`.
+  std::string openMetricsText() const;
+
   /// JSON export: {"schema":"xsa.metrics/1","counters":{...},
   /// "gauges":{...},"histograms":{name:{count,sum,buckets:[...]}}}.
   /// The schema field versions the shape for protocol clients. With
@@ -205,6 +213,7 @@ private:
   };
   Entry &entry(const std::string &Name, const std::string &Help, Kind K,
                bool Volatile, std::vector<double> *Bounds = nullptr);
+  std::string expositionText(bool OpenMetrics) const;
 
   mutable std::mutex Mu;
   std::vector<std::unique_ptr<Entry>> Entries; ///< registration order

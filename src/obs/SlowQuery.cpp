@@ -84,5 +84,21 @@ JsonRef SlowQueryLog::toJson(const SlowQueryRecord &R) {
   for (const auto &[Name, Ms] : R.StageMs)
     Stages->set(Name, JsonValue::number(Ms));
   O->set("stages", Stages);
+  // Reproduction payload: the admitted request (re-parsed so it embeds
+  // as an object, not a quoted string) and the effective config it ran
+  // under. `xsolve replay` consumes exactly these two fields.
+  if (!R.RequestJson.empty()) {
+    std::string Err;
+    if (JsonRef Req = parseJson(R.RequestJson, Err))
+      O->set("request", Req);
+  }
+  if (!R.Strategy.empty()) {
+    JsonRef Cfg = JsonValue::object();
+    Cfg->set("optimize", JsonValue::boolean(R.Optimize));
+    Cfg->set("share_fixpoints", JsonValue::boolean(R.Share));
+    Cfg->set("fixpoint_strategy", JsonValue::string(R.Strategy));
+    Cfg->set("bdd_backend", JsonValue::string(R.Backend));
+    O->set("config", Cfg);
+  }
   return O;
 }

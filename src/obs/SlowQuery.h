@@ -56,6 +56,15 @@ struct SlowQueryRecord {
   double TotalMs = 0; ///< queue wait + execution
   bool FromCache = false;
   std::vector<std::pair<std::string, double>> StageMs;
+  /// The request as admitted, dumped back to JSON — what `xsolve replay`
+  /// turns into a runnable batch line ("" when capture predates it).
+  std::string RequestJson;
+  /// Effective per-job config snapshot (namespace overrides applied):
+  /// what `xsolve replay` turns into the batch's config preamble.
+  bool Optimize = false;
+  bool Share = false;
+  std::string Strategy;  ///< fixpointStrategyName of the effective strategy
+  std::string Backend;   ///< bddBackendName of the effective backend
 };
 
 class SlowQueryLog {

@@ -230,6 +230,10 @@ struct XsolvedServer::Job {
   bool Optimize = false;
   bool Share = false;
   FixpointStrategy Strategy = FixpointStrategy::Bfs;
+  BddBackendKind Backend = BddBackendKind::Serial;
+  /// The admitted request line dumped back to JSON, carried so a slowlog
+  /// capture can reproduce the request verbatim (`xsolve replay`).
+  std::string RequestJson;
 };
 
 struct XsolvedServer::JobQueue {
@@ -675,9 +679,11 @@ void XsolvedServer::serveHttpConnection(Connection &Conn,
       Version.pop_back();
     bool KeepAlive = Version == "HTTP/1.1"; // 1.0 defaults to close
 
-    // Headers up to the blank line; only Connection: matters here.
+    // Headers up to the blank line; only Connection: and (for /metrics
+    // content negotiation) Accept: matter here.
     std::string HLine;
     bool HTrunc = false;
+    bool WantOpenMetrics = false;
     Reader.PollTimeoutMs = -1; // headers follow immediately or not at all
     while (Reader.next(HLine, HTrunc)) {
       while (!HLine.empty() && HLine.back() == '\r')
@@ -693,6 +699,10 @@ void XsolvedServer::serveHttpConnection(Connection &Conn,
           KeepAlive = false;
         else if (Lower.find("keep-alive") != std::string::npos)
           KeepAlive = true;
+      } else if (Lower.rfind("accept:", 0) == 0 &&
+                 Lower.find("application/openmetrics-text") !=
+                     std::string::npos) {
+        WantOpenMetrics = true;
       }
     }
 
@@ -705,8 +715,17 @@ void XsolvedServer::serveHttpConnection(Connection &Conn,
       Body = "too many HTTP connections\n";
       KeepAlive = false;
     } else if (Path == "/metrics") {
-      ContentType = "text/plain; version=0.0.4";
-      Body = MetricRegistry::global().prometheusText();
+      // Scrapers that negotiate OpenMetrics get exemplars (slowlog
+      // request ids on the latency histogram) and the # EOF terminator;
+      // everyone else gets classic Prometheus text.
+      if (WantOpenMetrics) {
+        ContentType = "application/openmetrics-text; version=1.0.0; "
+                      "charset=utf-8";
+        Body = MetricRegistry::global().openMetricsText();
+      } else {
+        ContentType = "text/plain; version=0.0.4";
+        Body = MetricRegistry::global().prometheusText();
+      }
     } else if (Path == "/healthz") {
       // Orchestrator probe: draining answers 503 so load balancers stop
       // routing here while admitted work finishes.
@@ -845,7 +864,7 @@ void XsolvedServer::handleConfig(Connection &Conn, uint64_t Seq,
 
   static constexpr const char *KnownKeys[] = {
       "op", "id", "ns", "stable", "optimize", "share_fixpoints",
-      "fixpoint_strategy"};
+      "fixpoint_strategy", "bdd_backend"};
   for (const auto &[K, V] : Obj.members()) {
     if (K == "jobs") {
       Reject("invalid_config_value",
@@ -912,10 +931,28 @@ void XsolvedServer::handleConfig(Connection &Conn, uint64_t Seq,
     }
     HaveStrat = true;
   }
+  JsonRef Backend = Obj.get("bdd_backend");
+  BddBackendKind BackendVal = BddBackendKind::Serial;
+  bool HaveBackend = false;
+  if (!Backend->isNull()) {
+    if (Backend->type() != JsonValue::Type::String ||
+        !parseBddBackend(Backend->asString(), BackendVal)) {
+      std::string Given = Backend->type() == JsonValue::Type::String
+                              ? Backend->asString()
+                              : Backend->dump();
+      Reject("invalid_config_value",
+             "invalid bdd_backend '" + Given +
+                 "' (expected serial or parallel)",
+             "bdd_backend", Given);
+      return;
+    }
+    HaveBackend = true;
+  }
 
   NamespaceState &Ns = *Conn.Ns;
   bool EffOptimize, EffShare;
   FixpointStrategy EffStrategy;
+  BddBackendKind EffBackend;
   {
     std::lock_guard<std::mutex> L(Ns.Mu);
     if (!Optimize->isNull()) {
@@ -930,10 +967,16 @@ void XsolvedServer::handleConfig(Connection &Conn, uint64_t Seq,
       Ns.HaveStrategy = true;
       Ns.Strategy = StratVal;
     }
+    if (HaveBackend) {
+      Ns.HaveBackend = true;
+      Ns.Backend = BackendVal;
+    }
     EffOptimize = Ns.HaveOptimize ? Ns.Optimize : Opts.Session.Optimize;
     EffShare = Ns.HaveShare ? Ns.Share : Opts.Session.ShareFixpoints;
     EffStrategy =
         Ns.HaveStrategy ? Ns.Strategy : Opts.Session.Solver.Strategy;
+    EffBackend =
+        Ns.HaveBackend ? Ns.Backend : Opts.Session.Solver.Backend;
   }
 
   JsonRef O = JsonValue::object();
@@ -947,6 +990,7 @@ void XsolvedServer::handleConfig(Connection &Conn, uint64_t Seq,
   O->set("share_fixpoints", JsonValue::boolean(EffShare));
   O->set("fixpoint_strategy",
          JsonValue::string(fixpointStrategyName(EffStrategy)));
+  O->set("bdd_backend", JsonValue::string(bddBackendName(EffBackend)));
   deliver(Conn, Seq, O->dump());
 }
 
@@ -1056,18 +1100,28 @@ JsonRef XsolvedServer::statusJson() {
   // whichever side registers first the series agree.
   MetricRegistry &R = MetricRegistry::global();
   JsonRef Bdd = JsonValue::object();
-  Bdd->set("live_nodes",
+  // One sub-object per backend, mirroring the labeled gauge series the
+  // solver maintains (xsa_bdd_live_nodes{backend="..."}).
+  for (BddBackendKind K :
+       {BddBackendKind::Serial, BddBackendKind::Parallel}) {
+    const char *Name = bddBackendName(K);
+    JsonRef B = JsonValue::object();
+    B->set("live_nodes",
            JsonValue::number(
-               R.gauge("xsa_bdd_live_nodes",
+               R.gauge(labeledMetricName("xsa_bdd_live_nodes", "backend",
+                                         Name),
                        "Live BDD nodes of the last solver run",
                        /*Volatile=*/true)
                    .value()));
-  Bdd->set("peak_nodes",
+    B->set("peak_nodes",
            JsonValue::number(
-               R.gauge("xsa_bdd_peak_nodes",
+               R.gauge(labeledMetricName("xsa_bdd_peak_nodes", "backend",
+                                         Name),
                        "Peak BDD nodes of the last solver run",
                        /*Volatile=*/true)
                    .value()));
+    Bdd->set(Name, B);
+  }
   S->set("bdd", Bdd);
   S->set("namespaces", namespacesJson());
   SlowQueryLog &Slow = SlowQueryLog::global();
@@ -1157,6 +1211,7 @@ void XsolvedServer::admit(Connection &Conn, uint64_t Seq, const JsonValue &Obj,
               ? J.Req.Id
               : "c" + std::to_string(Conn.Id) + "-" + std::to_string(Seq);
   J.Req.TraceId = J.Rid;
+  J.RequestJson = Obj.dump();
   JsonRef Priority = Obj.get("priority");
   if (Priority->type() == JsonValue::Type::Number)
     J.Priority = static_cast<int>(Priority->asNumber());
@@ -1174,6 +1229,8 @@ void XsolvedServer::admit(Connection &Conn, uint64_t Seq, const JsonValue &Obj,
         Conn.Ns->HaveShare ? Conn.Ns->Share : Opts.Session.ShareFixpoints;
     J.Strategy = Conn.Ns->HaveStrategy ? Conn.Ns->Strategy
                                        : Opts.Session.Solver.Strategy;
+    J.Backend = Conn.Ns->HaveBackend ? Conn.Ns->Backend
+                                     : Opts.Session.Solver.Backend;
   }
 
   // Find this connection's shared_ptr (deliver from the dispatcher needs
@@ -1289,6 +1346,11 @@ void XsolvedServer::dispatchLoop() {
       SR.QueueWaitMs = WaitMs;
       SR.TotalMs = WaitMs;
       SR.StageMs.emplace_back("server.queue_wait", WaitMs);
+      SR.RequestJson = J.RequestJson;
+      SR.Optimize = J.Optimize;
+      SR.Share = J.Share;
+      SR.Strategy = fixpointStrategyName(J.Strategy);
+      SR.Backend = bddBackendName(J.Backend);
       J.Ns->SlowQueries.fetch_add(1, std::memory_order_relaxed);
       SlowQueryLog::global().record(std::move(SR));
       // J.Stable is the admission-time snapshot: the dispatcher must
@@ -1318,10 +1380,11 @@ void XsolvedServer::dispatchBatch(std::vector<Job> &Batch) {
     AnalysisContext &Ctx = Sess->workerContext(Worker);
     // Apply the namespace-config snapshot taken at admission. The
     // setters early-out when the value is unchanged, so a homogeneous
-    // stream costs three compares per request.
+    // stream costs four compares per request.
     Ctx.setOptimizePrePass(Batch[I].Optimize);
     Ctx.setShareFixpoints(Batch[I].Share);
     Ctx.setFixpointStrategy(Batch[I].Strategy);
+    Ctx.setBddBackend(Batch[I].Backend);
     Resps[I] = runRequest(Ctx, Batch[I].Req);
   });
   InFlight.fetch_sub(Batch.size(), std::memory_order_relaxed);
@@ -1366,6 +1429,11 @@ void XsolvedServer::dispatchBatch(std::vector<Job> &Batch) {
       SR.FromCache = R.FromCache;
       SR.StageMs = R.StageMs;
       SR.StageMs.emplace_back("server.queue_wait", QueueWaitMs[I]);
+      SR.RequestJson = J.RequestJson;
+      SR.Optimize = J.Optimize;
+      SR.Share = J.Share;
+      SR.Strategy = fixpointStrategyName(J.Strategy);
+      SR.Backend = bddBackendName(J.Backend);
       J.Ns->SlowQueries.fetch_add(1, std::memory_order_relaxed);
       Slow.record(std::move(SR));
       // Link the latency histogram back to this capture.

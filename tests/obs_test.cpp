@@ -184,6 +184,57 @@ TEST(MetricRegistry, PrometheusTextShape) {
   EXPECT_NE(Text.find("lat_ms_count 3"), std::string::npos);
 }
 
+TEST(MetricRegistry, OpenMetricsTextShape) {
+  MetricRegistry R;
+  R.counter("req_total", "Requests").add(3);
+  R.counter(labeledMetricName("req_total", "op", "a")).add(2);
+  R.gauge("nodes", "Live nodes").set(7);
+  Histogram &H =
+      R.histogram("xsa_request_latency_ms", "Request latency", {1, 10, 100});
+  H.observe(0.5);
+  H.observe(5);
+  H.observe(50);
+  H.setExemplar("r-123", 5);
+  std::string Text = R.openMetricsText();
+
+  // Counter families drop the _total suffix; sample lines keep it.
+  EXPECT_NE(Text.find("# TYPE req counter"), std::string::npos);
+  EXPECT_EQ(Text.find("# TYPE req_total"), std::string::npos);
+  EXPECT_NE(Text.find("req_total 3"), std::string::npos);
+  EXPECT_NE(Text.find("req_total{op=\"a\"} 2"), std::string::npos);
+  // TYPE precedes HELP (classic exposition is HELP-then-TYPE).
+  EXPECT_LT(Text.find("# TYPE req counter"), Text.find("# HELP req Requests"));
+  // The exemplar renders on exactly the bucket whose range contains its
+  // value — 5 falls in (1, 10] — in OpenMetrics exemplar syntax.
+  EXPECT_NE(Text.find("xsa_request_latency_ms_bucket{le=\"10\"} 2 "
+                      "# {rid=\"r-123\"} 5"),
+            std::string::npos);
+  size_t FirstEx = Text.find("# {");
+  EXPECT_NE(FirstEx, std::string::npos);
+  EXPECT_EQ(Text.find("# {", FirstEx + 1), std::string::npos);
+  // The mandatory terminator, and nothing after it.
+  EXPECT_TRUE(Text.size() >= 6 &&
+              Text.compare(Text.size() - 6, 6, "# EOF\n") == 0);
+
+  // The classic exposition of the same registry is unchanged by the
+  // OpenMetrics extensions: full-name counter family, no exemplars, no
+  // terminator.
+  std::string Classic = R.prometheusText();
+  EXPECT_NE(Classic.find("# TYPE req_total counter"), std::string::npos);
+  EXPECT_EQ(Classic.find("# {"), std::string::npos);
+  EXPECT_EQ(Classic.find("# EOF"), std::string::npos);
+}
+
+TEST(MetricRegistry, OpenMetricsExemplarPastLastFiniteBoundRidesInf) {
+  MetricRegistry R;
+  Histogram &H = R.histogram("h_ms", "", {1, 10});
+  H.observe(500);
+  H.setExemplar("r-inf", 500);
+  std::string Text = R.openMetricsText();
+  EXPECT_NE(Text.find("h_ms_bucket{le=\"+Inf\"} 1 # {rid=\"r-inf\"} 500"),
+            std::string::npos);
+}
+
 TEST(MetricRegistry, LabeledNameEscapesValue) {
   EXPECT_EQ(labeledMetricName("m", "op", "a\"b\\c"),
             "m{op=\"a\\\"b\\\\c\"}");
@@ -631,6 +682,37 @@ TEST(SlowQueryLog, ToJsonCarriesStagesAndIds) {
   EXPECT_FALSE(J->get("ok")->asBool());
   EXPECT_DOUBLE_EQ(J->get("stages")->get("server.queue_wait")->asNumber(),
                    12.5);
+  // No reproduction payload on this record: the optional fields are
+  // absent, not empty placeholders.
+  EXPECT_FALSE(J->has("request"));
+  EXPECT_FALSE(J->has("config"));
+}
+
+TEST(SlowQueryLog, ToJsonCarriesReproductionPayload) {
+  SlowQueryRecord R;
+  R.RequestId = "r-42";
+  R.Op = "contains";
+  R.RequestJson =
+      "{\"id\":\"q1\",\"op\":\"contains\",\"e1\":\"/a//b\",\"e2\":\"//b\","
+      "\"dtd\":\"xhtml\"}";
+  R.Optimize = true;
+  R.Share = true;
+  R.Strategy = "auto";
+  R.Backend = "parallel";
+  JsonRef J = SlowQueryLog::toJson(R);
+  // The request embeds as an object (re-parsed, not a quoted string) —
+  // what `xsolve replay` re-executes.
+  JsonRef Req = J->get("request");
+  ASSERT_EQ(Req->type(), JsonValue::Type::Object);
+  EXPECT_EQ(Req->str("op"), "contains");
+  EXPECT_EQ(Req->str("e1"), "/a//b");
+  // The effective config snapshot becomes replay's config preamble.
+  JsonRef Cfg = J->get("config");
+  ASSERT_EQ(Cfg->type(), JsonValue::Type::Object);
+  EXPECT_TRUE(Cfg->get("optimize")->asBool());
+  EXPECT_TRUE(Cfg->get("share_fixpoints")->asBool());
+  EXPECT_EQ(Cfg->str("fixpoint_strategy"), "auto");
+  EXPECT_EQ(Cfg->str("bdd_backend"), "parallel");
 }
 
 //===----------------------------------------------------------------------===//
